@@ -1,0 +1,308 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// runs the corresponding experiment end to end on the simulated machine and
+// prints the rows/series the paper reports; success rates and recovered
+// quantities are also exposed as benchmark metrics. Absolute timings are
+// simulator-relative; the shapes (who wins, separation margins, plateaus)
+// are the reproduction targets. See EXPERIMENTS.md for recorded outputs.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pathfinder/internal/attack"
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/core"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/harness"
+	"pathfinder/internal/phr"
+	"pathfinder/internal/victim"
+)
+
+var printOnce sync.Map
+
+func once(b *testing.B, f func()) {
+	if _, done := printOnce.LoadOrStore(b.Name(), true); !done {
+		f()
+	}
+}
+
+// BenchmarkTable1_Microarchitectures prints the Table 1 machine configs.
+func BenchmarkTable1_Microarchitectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Table1()
+	}
+	once(b, func() { fmt.Printf("\n--- Table 1 ---\n%s", harness.Table1()) })
+}
+
+// BenchmarkObs1_PHRStructure verifies Observation 1 behaviourally: the same
+// program leaves identical PHR values on Raptor Lake and Alder Lake.
+func BenchmarkObs1_PHRStructure(b *testing.B) {
+	same := true
+	for i := 0; i < b.N; i++ {
+		v := victim.PatternedLoop(30, victim.RandomPattern(30, 3))
+		rl, err := core.CaptureVictimPHR(cpu.New(cpu.Options{Arch: bpu.RaptorLake}), v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		al, err := core.CaptureVictimPHR(cpu.New(cpu.Options{Arch: bpu.AlderLake}), v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		same = same && rl.Equal(al)
+	}
+	if !same {
+		b.Fatal("Observation 1 violated: PHR structures differ")
+	}
+	once(b, func() {
+		fmt.Printf("\n--- Observation 1 ---\nRaptor Lake PHR == Alder Lake PHR for identical programs: %v\n", same)
+	})
+}
+
+// BenchmarkObs2_CounterWidth reproduces the saturating-counter experiment.
+func BenchmarkObs2_CounterWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, bits, err := harness.Obs2CounterWidth(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bits != 3 {
+			b.Fatalf("inferred %d-bit counters, want 3", bits)
+		}
+		b.ReportMetric(float64(bits), "counter-bits")
+		once(b, func() {
+			fmt.Printf("\n--- Observation 2 (T^m N^m mispredictions per period) ---\n")
+			for _, r := range rows {
+				fmt.Printf("m=%-3d %.2f\n", r.M, r.MispredictPerPeriod)
+			}
+			fmt.Printf("plateau => %d-bit saturating counters\n", bits)
+		})
+	}
+}
+
+// BenchmarkFig2_Footprint exercises the branch-footprint function.
+func BenchmarkFig2_Footprint(b *testing.B) {
+	var acc uint16
+	for i := 0; i < b.N; i++ {
+		acc ^= phr.Footprint(uint64(i)*2654435761, uint64(i)*40503)
+	}
+	_ = acc
+	once(b, func() {
+		fmt.Printf("\n--- Figure 2 ---\nfootprint(0xac40, 0x15) = %#04x; zero-footprint branch: %v\n",
+			phr.Footprint(0xac40, 0x15), phr.Footprint(0x7fff0000, 0x40) == 0)
+	})
+}
+
+// BenchmarkFig4_ReadDoublet reproduces the Figure 4 candidate-rate matrix.
+func BenchmarkFig4_ReadDoublet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig4ReadDoublet(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, func() {
+			fmt.Printf("\n--- Figure 4 (test-branch misprediction rate per candidate X) ---\n")
+			for _, r := range rows {
+				fmt.Printf("doublet %d: X=0:%.2f X=1:%.2f X=2:%.2f X=3:%.2f  (true P=%d)\n",
+					r.Doublet, r.Rates[0], r.Rates[1], r.Rates[2], r.Rates[3], r.True)
+			}
+		})
+	}
+}
+
+// BenchmarkReadPHR_RandomValues reproduces the §4.2 evaluation (scaled from
+// the paper's 1000 random values; every trial must read back exactly).
+func BenchmarkReadPHR_RandomValues(b *testing.B) {
+	const trials, doublets = 8, 48
+	for i := 0; i < b.N; i++ {
+		ok, err := harness.ReadPHRRandomEval(trials, doublets, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ok)/float64(trials), "success-rate")
+		once(b, func() {
+			fmt.Printf("\n--- §4.2 Read PHR evaluation ---\n%d/%d random PHR values read back exactly (first %d doublets)\n", ok, trials, doublets)
+		})
+	}
+}
+
+// BenchmarkPHT_ReadWrite exercises Attack Primitives 2 and 3: write a
+// counter state, accumulate victim executions, read the counter back.
+func BenchmarkPHT_ReadWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := cpu.New(cpu.Options{Seed: int64(i)})
+		reg := phr.New(m.Arch().PHRSize)
+		reg.SetDoublet(3, 2)
+		pc := uint64(0x00cd_9c80)
+		if err := core.WritePHT(m, pc, reg, false); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < 2; k++ { // two "victim" taken executions
+			if _, err := core.RunAliased(m, pc, reg, []bool{true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mis, err := core.ReadPHT(m, pc, reg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mis != 2 {
+			b.Fatalf("probe mispredicts = %d, want 2 (two taken instances)", mis)
+		}
+		once(b, func() {
+			fmt.Printf("\n--- §4.3/4.4 Write/Read PHT ---\nprimed strongly-not-taken; 2 victim taken instances; probe mispredicts: %d (paper: '2 mispredictions indicates it moved two steps')\n", mis)
+		})
+	}
+}
+
+// BenchmarkFig5_ExtendedReadPHR reproduces the §5 evaluation across victim
+// sizes within and beyond the 194-branch window.
+func BenchmarkFig5_ExtendedReadPHR(b *testing.B) {
+	trips := []int{60, 150, 250, 400}
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ExtendedReadEval(trips, int64(13+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact := 0
+		for _, r := range rows {
+			if r.Exact {
+				exact++
+			}
+		}
+		b.ReportMetric(float64(exact)/float64(len(rows)), "exact-rate")
+		once(b, func() {
+			fmt.Printf("\n--- §5 Extended Read PHR evaluation ---\n")
+			for _, r := range rows {
+				fmt.Printf("taken branches %-5d exact recovery: %v\n", r.TakenBranches, r.Exact)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6_PathfinderAES reproduces the Figure 6 CFG recovery.
+func BenchmarkFig6_PathfinderAES(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig6PathfinderAES(int64(17 + i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LoopIterations != 9 {
+			b.Fatalf("loop iterations %d, want 9", res.LoopIterations)
+		}
+		b.ReportMetric(float64(res.LoopIterations), "loop-iterations")
+		once(b, func() {
+			fmt.Printf("\n--- Figure 6 (Pathfinder on looped AES-128) ---\nrecovered block sequence: %v\naesenc loop executes %d times (8 taken back-edges + exit)\n",
+				res.BlockSequence, res.LoopIterations)
+		})
+	}
+}
+
+// BenchmarkPathfinder_Microbench reproduces the §6 microbenchmark
+// evaluation over random CFGs.
+func BenchmarkPathfinder_Microbench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exact := 0
+		const cases = 6
+		for c := 0; c < cases; c++ {
+			m := cpu.New(cpu.Options{Seed: int64(c)})
+			v := victim.RandomCFG(int64(23+c), 6+c)
+			rec, err := core.ExtendedReadPHR(m, v, core.ExtendedOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rec.Path.Complete {
+				exact++
+			}
+		}
+		b.ReportMetric(float64(exact)/cases, "exact-rate")
+		once(b, func() {
+			fmt.Printf("\n--- §6 Pathfinder microbenchmarks ---\n%d/%d random CFGs (loops, nested loops, data-dependent branches) recovered completely\n", exact, cases)
+		})
+	}
+}
+
+// BenchmarkTable2_AttackSurface re-derives the boundary matrix.
+func BenchmarkTable2_AttackSurface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := attack.AttackSurface()
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, func() {
+			fmt.Printf("\n--- Table 2 (attack primitives practicality) ---\n%s", attack.FormatSurface(cells))
+		})
+	}
+}
+
+// BenchmarkSyscallBranchCounts reproduces the §7.1 measurement.
+func BenchmarkSyscallBranchCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		entry, exit, err := harness.SyscallBranchCounts()
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, func() {
+			fmt.Printf("\n--- §7.1 ---\nsyscall entry adds %d branch outcomes to the PHR, exit adds %d\n", entry, exit)
+		})
+	}
+}
+
+// BenchmarkFig7_ImageRecovery reproduces the §8 image-recovery evaluation
+// over (a subset of) the secret-image test set. cmd/imagerecover runs the
+// full 15-image set.
+func BenchmarkFig7_ImageRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig7ImageRecovery(24, 60, 3, int64(29))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var acc float64
+		for _, r := range rows {
+			acc += r.FlagAccuracy
+		}
+		b.ReportMetric(acc/float64(len(rows)), "flag-accuracy")
+		once(b, func() {
+			fmt.Printf("\n--- Figure 7 / §8 image recovery (24x24 thumbnails; cmd/imagerecover runs the full set) ---\n")
+			fmt.Printf("%-12s %-16s %-14s %s\n", "image", "taken branches", "flag accuracy", "edge corr")
+			for _, r := range rows {
+				fmt.Printf("%-12s %-16d %-14.3f %.2f\n", r.Name, r.TakenBranches, r.FlagAccuracy, r.EdgeCorrelation)
+			}
+		})
+	}
+}
+
+// BenchmarkAES_KeyRecovery reproduces the §9 evaluation: stolen
+// reduced-round ciphertext bytes vs ground truth under noise, plus full key
+// recovery (paper: 98.43% average byte success).
+func BenchmarkAES_KeyRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.AESLeakEval(120, 0.015, int64(31+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SuccessRate, "byte-success-rate")
+		once(b, func() {
+			fmt.Printf("\n--- §9 AES evaluation ---\nstolen bytes matching ground truth: %d/%d (%.2f%%; paper reports 98.43%%)\nfull AES-128 key recovered from skip-loop leaks: %v\n",
+				res.ByteSuccesses, res.TotalBytes, 100*res.SuccessRate, res.KeyRecovered)
+		})
+	}
+}
+
+// BenchmarkMitigations reproduces the §10 mitigation table.
+func BenchmarkMitigations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := attack.EvaluateMitigations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, func() {
+			fmt.Printf("\n--- §10 mitigations ---\n%-40s %-12s %s\n", "mitigation", "cost (instr)", "defeats PHR leak")
+			for _, r := range rows {
+				fmt.Printf("%-40s %-12d %v\n", r.Name, r.CostInstructions, r.Defeated)
+			}
+		})
+	}
+}

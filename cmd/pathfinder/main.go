@@ -1,0 +1,67 @@
+// Command pathfinder runs the §6 control-flow recovery tool against a
+// chosen victim and prints the recovered path, per-branch outcomes and
+// loop trip counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/harness"
+	"pathfinder/internal/pathfinder"
+	"pathfinder/internal/victim"
+)
+
+func main() {
+	kind := flag.String("victim", "loop", "victim program: loop | randomcfg | aes")
+	trips := flag.Int("trips", 120, "loop trip count (loop victim)")
+	segments := flag.Int("segments", 8, "structure size (randomcfg victim)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	if *kind == "aes" {
+		res, err := harness.Fig6PathfinderAES(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered runtime CFG (Figure 6):\n%s\n", res.CFGDump)
+		fmt.Printf("block sequence: %v\n", res.BlockSequence)
+		fmt.Printf("aesenc loop executes %d times\n", res.LoopIterations)
+		return
+	}
+
+	var v core.Victim
+	switch *kind {
+	case "loop":
+		v = victim.PatternedLoop(*trips, victim.RandomPattern(*trips, *seed))
+	case "randomcfg":
+		v = victim.RandomCFG(*seed, *segments)
+	default:
+		log.Fatalf("unknown victim %q", *kind)
+	}
+	m := cpu.New(cpu.Options{Seed: *seed})
+	rec, err := core.ExtendedReadPHR(m, v, core.ExtendedOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered %d steps (complete=%v), %d extension doublets, %d oracle probes\n",
+		len(rec.Path.Steps), rec.Path.Complete, len(rec.Ext), rec.Probes)
+	cfg, err := pathfinder.Build(rec.CaptureProgram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("block sequence: %v\n", rec.Path.BlockSequence(cfg, rec.Entry, rec.Final))
+	fmt.Println("conditional branch outcomes (execution order):")
+	line := 0
+	for _, s := range rec.Path.Outcomes() {
+		fmt.Printf(" %s", s)
+		line++
+		if line%8 == 0 {
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+}

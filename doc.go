@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Pathfinder:
+// High-Resolution Control-Flow Attacks Exploiting the Conditional Branch
+// Predictor" (Yavarzadeh et al., ASPLOS 2024).
+//
+// The repository models the Intel conditional branch predictor the paper
+// reverse engineers (path history register + pattern history tables),
+// executes victim programs on a simulated machine with speculative
+// execution and a shared data cache, and implements the paper's attack
+// primitives and case studies on top: Read/Write PHR, Read/Write PHT,
+// Extended Read PHR, the Pathfinder control-flow recovery tool, secret
+// image recovery from a JPEG decoder's IDCT control flow, and AES key
+// recovery through high-resolution Spectre poisoning.
+//
+// See DESIGN.md for the system inventory and the per-experiment index, and
+// bench_test.go for the benchmarks that regenerate every table and figure
+// of the paper's evaluation.
+package repro

@@ -1,0 +1,56 @@
+// The §9 case study end to end: recover the control flow of a looped
+// AES-NI encryption oracle, speculatively terminate the loop at chosen
+// iterations to steal reduced-round ciphertexts over Flush+Reload, and
+// recover the full AES-128 key.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathfinder/internal/aes"
+	"pathfinder/internal/attack"
+	"pathfinder/internal/cpu"
+)
+
+func main() {
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	m := cpu.New(cpu.Options{Seed: 42, Noise: 0.01})
+	a, err := attack.NewAESAttack(m, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("phase 1: Extended Read PHR + Pathfinder on the oracle ...")
+	if err := a.RecoverControlFlow(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  recovered CFG: the aesenc loop runs %d times (AES-128)\n\n", a.LoopIterations())
+
+	pt := aes.Block{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	fmt.Println("phase 2: poison the PHT at chosen loop iterations and steal reduced-round ciphertexts:")
+	for n := 0; n <= 8; n++ {
+		leak, ok, err := a.LeakReducedRound(pt, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, _ := a.GroundTruthReduced(pt, n)
+		good := 0
+		for i := 0; i < 16; i++ {
+			if ok[i] && leak[i] == want[i] {
+				good++
+			}
+		}
+		fmt.Printf("  exit after %d rounds: stolen % x  (%2d/16 bytes correct)\n", n, leak, good)
+	}
+
+	fmt.Println("\nphase 3: differential key recovery from skip-loop leaks ...")
+	recovered, queries, err := a.RecoverKey(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  oracle queries used: %d\n", queries)
+	fmt.Printf("  true key:      % x\n", key)
+	fmt.Printf("  recovered key: % x\n", recovered[:])
+}

@@ -1,0 +1,295 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS-197 Appendix C known-answer vectors.
+var fips = []struct {
+	key  []byte
+	pt   Block
+	want Block
+}{
+	{
+		key:  []byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f},
+		pt:   Block{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		want: Block{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a},
+	},
+	{
+		key: []byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f,
+			0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17},
+		pt:   Block{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		want: Block{0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec, 0x0d, 0x71, 0x91},
+	},
+	{
+		key: []byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f,
+			0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b, 0x1c, 0x1d, 0x1e, 0x1f},
+		pt:   Block{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		want: Block{0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49, 0x60, 0x89},
+	},
+}
+
+func TestFIPSVectors(t *testing.T) {
+	for _, v := range fips {
+		rks, err := ExpandKey(v.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Encrypt(rks, v.pt); got != v.want {
+			t.Errorf("key len %d: got % x want % x", len(v.key), got, v.want)
+		}
+		if back := Decrypt(rks, v.want); back != v.pt {
+			t.Errorf("key len %d: decrypt got % x", len(v.key), back)
+		}
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, klen := range []int{16, 24, 32} {
+		for trial := 0; trial < 50; trial++ {
+			key := make([]byte, klen)
+			rng.Read(key)
+			var pt Block
+			rng.Read(pt[:])
+			rks, err := ExpandKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			std, err := stdaes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want Block
+			std.Encrypt(want[:], pt[:])
+			if got := Encrypt(rks, pt); got != want {
+				t.Fatalf("klen %d mismatch vs stdlib", klen)
+			}
+		}
+	}
+}
+
+func TestSboxProperties(t *testing.T) {
+	if sbox[0x00] != 0x63 || sbox[0x53] != 0xed {
+		t.Fatalf("sbox anchors wrong: %#x %#x", sbox[0x00], sbox[0x53])
+	}
+	seen := map[byte]bool{}
+	for i := 0; i < 256; i++ {
+		if seen[sbox[i]] {
+			t.Fatal("sbox not a permutation")
+		}
+		seen[sbox[i]] = true
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatal("invSbox not inverse")
+		}
+	}
+}
+
+func TestRoundInverses(t *testing.T) {
+	if err := quick.Check(func(s, k Block) bool {
+		if DecRound(EncRound(s, k), k) != s {
+			return false
+		}
+		if DecLastRound(EncLastRound(s, k), k) != s {
+			return false
+		}
+		if InvShiftRows(ShiftRows(s)) != s {
+			return false
+		}
+		if InvMixColumns(MixColumns(s)) != s {
+			return false
+		}
+		return InvSubBytes(SubBytes(s)) == s
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptViaRoundPrimitivesMatchesAESNISemantics(t *testing.T) {
+	// aesenc/aesenclast semantics: whiten + 9 EncRound + EncLastRound must
+	// equal the cipher (this is what the ISA's AESENC instructions do).
+	rng := rand.New(rand.NewSource(3))
+	key := make([]byte, 16)
+	rng.Read(key)
+	rks, _ := ExpandKey(key)
+	var pt Block
+	rng.Read(pt[:])
+	state := XorBlocks(pt, rks[0])
+	for r := 1; r <= 9; r++ {
+		state = EncRound(state, rks[r])
+	}
+	state = EncLastRound(state, rks[10])
+	if state != Encrypt(rks, pt) {
+		t.Fatal("round-primitive composition diverges from Encrypt")
+	}
+}
+
+func TestReducedEncryptBounds(t *testing.T) {
+	rks, _ := ExpandKey(make([]byte, 16))
+	if _, err := ReducedEncrypt(rks, Block{}, -1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := ReducedEncrypt(rks, Block{}, 10); err == nil {
+		t.Fatal("n = Nr accepted")
+	}
+	full, err := ReducedEncrypt(rks, Block{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != Encrypt(rks, Block{}) {
+		t.Fatal("ReducedEncrypt(Nr-1) must equal the true ciphertext")
+	}
+}
+
+func TestReducedEncryptDiffersPerRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	key := make([]byte, 16)
+	rng.Read(key)
+	rks, _ := ExpandKey(key)
+	var pt Block
+	rng.Read(pt[:])
+	seen := map[Block]int{}
+	for n := 0; n <= 9; n++ {
+		c, err := ReducedEncrypt(rks, pt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("rounds %d and %d produce identical values", prev, n)
+		}
+		seen[c] = n
+	}
+}
+
+func TestInvertKeySchedule128(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		key := make([]byte, 16)
+		rng.Read(key)
+		rks, _ := ExpandKey(key)
+		for r := 0; r <= 10; r++ {
+			got, err := InvertKeySchedule128(rks[r], r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got[:], key) {
+				t.Fatalf("round %d: schedule inversion failed", r)
+			}
+		}
+	}
+	if _, err := InvertKeySchedule128(Block{}, 11); err == nil {
+		t.Fatal("round 11 accepted")
+	}
+}
+
+func TestRecoverKeyFromLeaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		key := make([]byte, 16)
+		rng.Read(key)
+		rks, _ := ExpandKey(key)
+		var obs []LeakedPair
+		var refCT Block
+		for i := 0; i < 4; i++ {
+			var pt Block
+			rng.Read(pt[:])
+			leak, err := ReducedEncrypt(rks, pt, 0) // skip-loop leak
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs = append(obs, LeakedPair{Plaintext: pt, Leak: leak})
+			if i == 0 {
+				refCT = Encrypt(rks, pt)
+			}
+		}
+		got, err := RecoverKeyFromLeaks(obs, refCT, true)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got[:], key) {
+			t.Fatalf("trial %d: wrong key", trial)
+		}
+	}
+}
+
+func TestRecoverKeyRejectsGarbage(t *testing.T) {
+	if _, err := RecoverKeyFromLeaks(nil, Block{}, false); err == nil {
+		t.Fatal("empty observations accepted")
+	}
+	obs := []LeakedPair{
+		{Plaintext: Block{1}, Leak: Block{2}},
+		{Plaintext: Block{3}, Leak: Block{0xff, 0xee}},
+		{Plaintext: Block{9, 9}, Leak: Block{0x55, 0x44, 0x33}},
+	}
+	if _, err := RecoverKeyFromLeaks(obs, Block{}, true); err == nil {
+		t.Fatal("inconsistent leaks accepted")
+	}
+}
+
+func TestRecoverKeyNoVerifyNeedsDistinctDeltas(t *testing.T) {
+	// Without ciphertext verification, two pairs with the same plaintext
+	// difference keep the paired spurious solution; three distinct
+	// plaintexts resolve it.
+	rng := rand.New(rand.NewSource(33))
+	key := make([]byte, 16)
+	rng.Read(key)
+	rks, _ := ExpandKey(key)
+	var obs []LeakedPair
+	for i := 0; i < 4; i++ {
+		var pt Block
+		rng.Read(pt[:])
+		leak, _ := ReducedEncrypt(rks, pt, 0)
+		obs = append(obs, LeakedPair{Plaintext: pt, Leak: leak})
+	}
+	got, err := RecoverKeyFromLeaks(obs, Block{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:], key) {
+		t.Fatal("wrong key without verification")
+	}
+}
+
+func TestGF(t *testing.T) {
+	if gmul(0x57, 0x83) != 0xc1 { // FIPS-197 §4.2 example
+		t.Fatalf("gmul: %#x", gmul(0x57, 0x83))
+	}
+	for i := 1; i < 256; i++ {
+		if gmul(byte(i), ginv(byte(i))) != 1 {
+			t.Fatalf("ginv(%#x) wrong", i)
+		}
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	rks, _ := ExpandKey(make([]byte, 16))
+	var pt Block
+	for i := 0; i < b.N; i++ {
+		pt = Encrypt(rks, pt)
+	}
+}
+
+func BenchmarkRecoverKeyFromLeaks(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	key := make([]byte, 16)
+	rng.Read(key)
+	rks, _ := ExpandKey(key)
+	var obs []LeakedPair
+	for i := 0; i < 4; i++ {
+		var pt Block
+		rng.Read(pt[:])
+		leak, _ := ReducedEncrypt(rks, pt, 0)
+		obs = append(obs, LeakedPair{Plaintext: pt, Leak: leak})
+	}
+	ct := Encrypt(rks, obs[0].Plaintext)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverKeyFromLeaks(obs, ct, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

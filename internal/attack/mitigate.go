@@ -1,0 +1,201 @@
+package attack
+
+import (
+	"fmt"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/isa"
+	"pathfinder/internal/victim"
+)
+
+// MitigationResult reports one §10 mitigation evaluation.
+type MitigationResult struct {
+	Name string
+	// CostInstructions is the per-context-switch instruction overhead.
+	CostInstructions uint64
+	// Defeated reports whether the PHR leak experiment stopped working.
+	Defeated bool
+}
+
+// EvaluateMitigations runs the §10 software mitigations against the
+// canonical secret-bit PHR leak and reports their cost and effectiveness:
+//
+//   - phr-flush: 194 unconditional branches on the return path (§10.1),
+//   - phr-randomize: a handful of random taken branches (§10.1),
+//   - pht-flush-sw: ~100k branch executions washing the tables (§10.2),
+//   - pht-flush-hw: a hypothetical architectural flush instruction (§10.2).
+//
+// The PHT mitigations do not stop the plain Read PHR leak — the register is
+// not a table — which is the paper's §10.1 observation that PHT-focused
+// defenses leave the PHR exposed.
+func EvaluateMitigations() ([]MitigationResult, error) {
+	var out []MitigationResult
+
+	// Baseline: the leak works.
+	base, cost0, err := phrLeakWorks(plainSecretVictim(), 0)
+	if err != nil {
+		return nil, err
+	}
+	if !base {
+		return nil, fmt.Errorf("attack: baseline PHR leak does not work; mitigation results meaningless")
+	}
+	out = append(out, MitigationResult{Name: "none (baseline)", CostInstructions: cost0, Defeated: false})
+
+	// PHR flush: Clear_PHR on the boundary.
+	works, cost, err := phrLeakWorks(flushedSecretVictim(), cost0)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, MitigationResult{Name: "phr-flush (194 uncond branches)", CostInstructions: cost, Defeated: !works})
+
+	// PHR randomization: non-deterministic branches on the boundary.
+	works, cost, err = phrLeakWorks(randomizedSecretVictim(16), cost0)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, MitigationResult{Name: "phr-randomize (16 random branches)", CostInstructions: cost, Defeated: !works})
+
+	// PHT flushes leave the PHR readable.
+	m := cpu.New(cpu.Options{Seed: 81})
+	swCost, err := SoftwarePHTFlush(m)
+	if err != nil {
+		return nil, err
+	}
+	works, _, err = phrLeakWorks(plainSecretVictim(), 0)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, MitigationResult{Name: "pht-flush-sw (leaves PHR readable)", CostInstructions: swCost, Defeated: !works})
+	out = append(out, MitigationResult{Name: "pht-flush-hw (leaves PHR readable)", CostInstructions: 1, Defeated: !works})
+	return out, nil
+}
+
+// phrLeakWorks measures whether Read_PHR distinguishes the two secrets, and
+// the victim's per-call instruction cost.
+func phrLeakWorks(v core.Victim, baselineCost uint64) (works bool, cost uint64, err error) {
+	m := cpu.New(cpu.Options{Seed: 82})
+	prog, err := v.Build()
+	if err != nil {
+		return false, 0, err
+	}
+	m.Mem.Write8(secretAddr, 0)
+	m.ResetStats()
+	if err := m.Run(prog, v.Entry); err != nil {
+		return false, 0, err
+	}
+	cost = m.Stats().Instructions
+
+	read := func(bit byte) (string, error) {
+		m.Mem.Write8(secretAddr, bit)
+		r, err := core.ReadPHR(m, v, core.ReadPHROptions{MaxDoublets: 16})
+		if err != nil {
+			return "", nil // unreadable PHR: the mitigation broke the primitive itself
+		}
+		return r.String(), nil
+	}
+	s0, err := read(0)
+	if err != nil {
+		return false, cost, err
+	}
+	s1, err := read(1)
+	if err != nil {
+		return false, cost, err
+	}
+	if s0 == "" || s1 == "" {
+		return false, cost, nil
+	}
+	return s0 != s1, cost, nil
+}
+
+// plainSecretVictim is the unprotected leak target.
+func plainSecretVictim() core.Victim {
+	return victim.SecretBitVictim(secretAddr, 0x5c80)
+}
+
+// flushedSecretVictim appends Clear_PHR to the victim's return path: the
+// §10.1 flush mitigation.
+func flushedSecretVictim() core.Victim {
+	v := plainSecretVictim()
+	emit := v.Emit
+	v.Emit = func(a *isa.Assembler) {
+		// Rebuild the victim body without its RET, then flush and return.
+		_ = emit
+		a.Label("sbit_entry")
+		a.MovI(isa.R1, secretAddr)
+		a.LdB(isa.R2, isa.R1, 0)
+		a.MovI(isa.R3, 1)
+		a.Align(0x1_0000, 0x5c80)
+		a.Label("sbit_branch")
+		a.Br(isa.EQ, isa.R2, isa.R3, "sbit_after")
+		a.Label("sbit_after")
+		core.EmitClearPHR(a, "mflush", 194, "mflush_done")
+		a.Align(0x40, 0)
+		a.Label("mflush_done")
+		a.Ret()
+	}
+	return v
+}
+
+// randomizedSecretVictim adds n random-direction taken branches after the
+// secret branch: the §10.1 randomization mitigation.
+func randomizedSecretVictim(n int) core.Victim {
+	v := plainSecretVictim()
+	v.Emit = func(a *isa.Assembler) {
+		a.Label("sbit_entry")
+		a.MovI(isa.R1, secretAddr)
+		a.LdB(isa.R2, isa.R1, 0)
+		a.MovI(isa.R3, 1)
+		a.Align(0x1_0000, 0x5c80)
+		a.Label("sbit_branch")
+		a.Br(isa.EQ, isa.R2, isa.R3, "sbit_after")
+		a.Label("sbit_after")
+		for i := 0; i < n; i++ {
+			a.Rand(isa.R4)
+			a.And(isa.R4, isa.R4, isa.R3)
+			a.Br(isa.EQ, isa.R4, isa.R3, fmt.Sprintf("mr_a%d", i))
+			a.Jmp(fmt.Sprintf("mr_b%d", i))
+			a.Label(fmt.Sprintf("mr_a%d", i))
+			a.Nop()
+			a.Label(fmt.Sprintf("mr_b%d", i))
+			a.Nop()
+		}
+		a.Ret()
+	}
+	return v
+}
+
+// SoftwarePHTFlush executes the §10.2 software table wash: conditional
+// branches covering every base-predictor index with alternating outcomes
+// and churning path histories, costing on the order of 100k instructions.
+// It returns the instruction count.
+func SoftwarePHTFlush(m *cpu.Machine) (uint64, error) {
+	a := isa.NewAssembler()
+	a.Org(0x6000_0000)
+	a.Label("flush_main")
+	a.MovI(isa.R1, 0)
+	a.MovI(isa.R2, 8) // passes
+	a.Label("flush_pass")
+	// 8192 branch sites, one per base-predictor index, each conditional on
+	// the pass parity so counters see both directions.
+	a.MovI(isa.R3, 1)
+	a.And(isa.R4, isa.R1, isa.R3)
+	for slot := 0; slot < 1<<13; slot++ {
+		a.Align(0x4000, uint64(slot))
+		a.Br(isa.EQ, isa.R4, isa.R3, fmt.Sprintf("flush_t%d", slot))
+		a.Label(fmt.Sprintf("flush_t%d", slot))
+		a.Nop()
+	}
+	a.AddI(isa.R1, isa.R1, 1)
+	a.Br(isa.LT, isa.R1, isa.R2, "flush_pass")
+	a.Halt()
+	p, err := a.Assemble()
+	if err != nil {
+		return 0, err
+	}
+	m.ResetStats()
+	if err := m.Run(p, "flush_main"); err != nil {
+		return 0, err
+	}
+	return m.Stats().Instructions, nil
+}

@@ -1,0 +1,35 @@
+package attack
+
+import "testing"
+
+func TestMitigations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	results, err := EvaluateMitigations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]MitigationResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+		t.Logf("%-40s cost=%-8d defeated=%v", r.Name, r.CostInstructions, r.Defeated)
+	}
+	if byName["none (baseline)"].Defeated {
+		t.Fatal("baseline must leak")
+	}
+	if !byName["phr-flush (194 uncond branches)"].Defeated {
+		t.Fatal("PHR flush must defeat the leak")
+	}
+	if !byName["phr-randomize (16 random branches)"].Defeated {
+		t.Fatal("PHR randomization must defeat the leak")
+	}
+	// §10.1: PHT-focused defenses leave the PHR readable.
+	if byName["pht-flush-sw (leaves PHR readable)"].Defeated {
+		t.Fatal("software PHT flush must NOT stop Read PHR")
+	}
+	// §10.2: the software wash costs on the order of 100k instructions.
+	if c := byName["pht-flush-sw (leaves PHR readable)"].CostInstructions; c < 50_000 {
+		t.Fatalf("software PHT flush cost %d, expected ~100k", c)
+	}
+}

@@ -1,0 +1,47 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttackSurfaceMatchesTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	cells, err := AttackSurface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	// Table 2 of the paper: everything works except PHR primitives across
+	// SMT (each logical core has a private PHR).
+	for _, p := range []string{"Read PHR", "Write PHR", "Read PHT", "Write PHT"} {
+		for _, b := range []string{"User/Kernel Enter", "User/Kernel Exit", "SGX Enter", "SGX Exit", "SMT", "IBPB", "IBRS"} {
+			works := true
+			if b == "SMT" && strings.Contains(p, "PHR") {
+				works = false
+			}
+			want[p+"|"+b] = works
+		}
+	}
+	got := map[string]bool{}
+	for _, c := range cells {
+		got[c.Primitive+"|"+c.Boundary] = c.Works
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("missing cell %s", k)
+			continue
+		}
+		if g != w {
+			t.Errorf("cell %s: got %v want %v", k, g, w)
+		}
+	}
+	table := FormatSurface(cells)
+	if !strings.Contains(table, "Read PHR") {
+		t.Fatal("table formatting broken")
+	}
+	t.Logf("\n%s", table)
+}

@@ -1,0 +1,238 @@
+// Package bpu assembles the branch prediction unit of the modeled Intel
+// CPUs: the conditional branch predictor (CBP — base predictor plus tagged
+// pattern history tables driven by the path history register), a branch
+// target buffer (BTB) and an indirect branch predictor (IBP).
+//
+// The CBP follows the TAGE discipline the paper attributes to Intel
+// hardware: the prediction comes from the hit table with the longest
+// history ("provider"); on a misprediction a fresh weak entry is allocated
+// in a table with a longer history. Only conditional branches interact with
+// the CBP; every taken branch (conditional or not) updates the PHR, which
+// is owned by each logical core (hart) and passed in by the caller.
+package bpu
+
+import (
+	"pathfinder/internal/phr"
+	"pathfinder/internal/pht"
+)
+
+// Config describes one target microarchitecture (Table 1 of the paper).
+type Config struct {
+	Name       string // microarchitecture name
+	Model      string // the paper's example part
+	PHRSize    int    // taken-branch history depth in doublets
+	TableHists []int  // PHR doublets folded by each tagged table, ascending
+}
+
+// The three machines of Table 1. Observation 1: Raptor Lake's PHR structure
+// is identical to Alder Lake's. Skylake keeps the same three-table layout
+// with its shorter 93-doublet PHR capping the longest history.
+var (
+	RaptorLake = Config{Name: "Raptor Lake", Model: "Core i9-13900KS", PHRSize: 194, TableHists: []int{34, 66, 194}}
+	AlderLake  = Config{Name: "Alder Lake", Model: "Core i9-12900", PHRSize: 194, TableHists: []int{34, 66, 194}}
+	Skylake    = Config{Name: "Skylake", Model: "Core i7-6770HQ", PHRSize: 93, TableHists: []int{34, 66, 93}}
+)
+
+// Configs lists the modeled machines in Table 1 order.
+func Configs() []Config { return []Config{RaptorLake, AlderLake, Skylake} }
+
+// Prediction is the CBP output for one conditional branch, retained by the
+// caller and passed back to Update at resolution.
+type Prediction struct {
+	Taken    bool
+	Provider int  // index into Tables, or -1 for the base predictor
+	AltTaken bool // prediction of the next-longest component
+}
+
+// UsefulResetPeriod is how many conditional-branch updates pass between
+// global usefulness-counter decays — TAGE's periodic reset, scaled to the
+// model's table sizes. Without it long-running victims pin every way of hot
+// sets as "useful" and fresh correlations can never allocate.
+const UsefulResetPeriod = 4096
+
+// CBP is the conditional branch predictor of Figure 3.
+type CBP struct {
+	cfg     Config
+	Base    *pht.BaseTable
+	Tables  []*pht.TaggedTable
+	updates uint64
+}
+
+// NewCBP builds an empty CBP for the given microarchitecture.
+func NewCBP(cfg Config) *CBP {
+	c := &CBP{cfg: cfg, Base: pht.NewBase()}
+	for _, h := range cfg.TableHists {
+		c.Tables = append(c.Tables, pht.NewTagged(h))
+	}
+	return c
+}
+
+// Config returns the microarchitecture this CBP models.
+func (c *CBP) Config() Config { return c.cfg }
+
+// Predict returns the direction prediction for a conditional branch at pc
+// under path history h.
+func (c *CBP) Predict(pc uint64, h *phr.Reg) Prediction {
+	p := Prediction{Provider: -1, Taken: c.Base.Predict(pc), AltTaken: c.Base.Predict(pc)}
+	for i, t := range c.Tables { // ascending history; later hits override
+		if e, hit := t.Lookup(pc, h); hit {
+			p.AltTaken = p.Taken
+			p.Taken = e.Ctr.Taken()
+			p.Provider = i
+		}
+	}
+	return p
+}
+
+// Update resolves a conditional branch: trains the provider component and,
+// on a misprediction, allocates a weak entry in a longer-history table
+// (the shortest one with room; full sets age their usefulness counters).
+func (c *CBP) Update(pc uint64, h *phr.Reg, taken bool, p Prediction) {
+	c.updates++
+	if c.updates%UsefulResetPeriod == 0 {
+		for _, t := range c.Tables {
+			t.DecayUseful()
+		}
+	}
+	if p.Provider < 0 {
+		c.Base.Update(pc, taken)
+	} else {
+		t := c.Tables[p.Provider]
+		if e, hit := t.Lookup(pc, h); hit {
+			e.Ctr = e.Ctr.Update(taken)
+			if p.Taken != p.AltTaken {
+				if p.Taken == taken {
+					if e.Useful < pht.UsefulMax {
+						e.Useful++
+					}
+				} else if e.Useful > 0 {
+					e.Useful--
+				}
+			}
+		}
+	}
+	if p.Taken != taken {
+		for i := p.Provider + 1; i < len(c.Tables); i++ {
+			if c.Tables[i].Allocate(pc, h, taken) {
+				break
+			}
+		}
+	}
+}
+
+// Flush clears every CBP structure. On hardware this has no architectural
+// instruction and costs on the order of 100k branches (§10.2); the
+// mitigation experiments model that cost separately.
+func (c *CBP) Flush() {
+	c.Base.Reset()
+	for _, t := range c.Tables {
+		t.Reset()
+	}
+}
+
+// btbEntry is a BTB slot.
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+}
+
+// BTB is a direct-mapped branch target buffer. Its only role in this model
+// is to exist as the structure IBPB actually flushes, demonstrating that
+// Intel's indirect-branch defenses leave the CBP and PHR untouched
+// (Table 2, §7.4).
+type BTB struct {
+	entries []btbEntry
+}
+
+// NewBTB returns an empty 4096-entry BTB.
+func NewBTB() *BTB { return &BTB{entries: make([]btbEntry, 4096)} }
+
+func (b *BTB) slot(pc uint64) *btbEntry { return &b.entries[pc%uint64(len(b.entries))] }
+
+// Insert records a taken branch target.
+func (b *BTB) Insert(pc, target uint64) {
+	*b.slot(pc) = btbEntry{valid: true, tag: pc, target: target}
+}
+
+// Lookup predicts the target for pc.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	e := b.slot(pc)
+	if e.valid && e.tag == pc {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Flush invalidates the BTB (the effect of IBPB).
+func (b *BTB) Flush() {
+	for i := range b.entries {
+		b.entries[i] = btbEntry{}
+	}
+}
+
+// Occupancy counts valid BTB entries.
+func (b *BTB) Occupancy() int {
+	n := 0
+	for _, e := range b.entries {
+		if e.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// IBP is the indirect branch predictor: targets keyed by PC and folded path
+// history. Like the BTB it exists so IBPB/IBRS have their documented effect
+// — and *only* that effect.
+type IBP struct {
+	targets map[uint64]uint64
+}
+
+// NewIBP returns an empty indirect predictor.
+func NewIBP() *IBP { return &IBP{targets: make(map[uint64]uint64)} }
+
+func ibpKey(pc uint64, h *phr.Reg) uint64 {
+	return pc<<16 ^ uint64(h.Fold(h.Size(), 16))
+}
+
+// Insert records an indirect branch target for (pc, history).
+func (p *IBP) Insert(pc uint64, h *phr.Reg, target uint64) {
+	p.targets[ibpKey(pc, h)] = target
+}
+
+// Lookup predicts an indirect target.
+func (p *IBP) Lookup(pc uint64, h *phr.Reg) (uint64, bool) {
+	t, ok := p.targets[ibpKey(pc, h)]
+	return t, ok
+}
+
+// Flush clears the IBP (the effect of IBPB; IBRS restricts its use across
+// privilege transitions, modeled as a flush at transition time).
+func (p *IBP) Flush() { p.targets = make(map[uint64]uint64) }
+
+// Occupancy counts recorded indirect targets.
+func (p *IBP) Occupancy() int { return len(p.targets) }
+
+// Unit bundles the shared predictor structures of one physical core. The
+// PHR is deliberately absent: each SMT hart owns a private PHR (§7.3),
+// while the Unit is shared between co-resident harts.
+type Unit struct {
+	CBP *CBP
+	BTB *BTB
+	IBP *IBP
+}
+
+// NewUnit builds the shared predictor state for one physical core.
+func NewUnit(cfg Config) *Unit {
+	return &Unit{CBP: NewCBP(cfg), BTB: NewBTB(), IBP: NewIBP()}
+}
+
+// IBPB models Intel's Indirect Branch Predictor Barrier: it flushes the
+// BTB and IBP but leaves the CBP (PHTs) — and each hart's PHR — intact,
+// which is exactly why it does not mitigate the Pathfinder attacks
+// (Table 2).
+func (u *Unit) IBPB() {
+	u.BTB.Flush()
+	u.IBP.Flush()
+}

@@ -1,0 +1,176 @@
+// Package cache models a set-associative data cache with the four
+// properties the Spectre-style leakage in §9 of the Pathfinder paper
+// requires: flushing a line (CLFLUSH), a measurable latency gap between
+// hits and misses, state changes on transient loads, and persistence of
+// that state across a pipeline squash.
+//
+// The default geometry is a 4 MiB, 16-way, 64-byte-line LLC-style cache
+// backed by a flat-latency memory — Flush+Reload operates on the last-level
+// cache, and the page-strided probe slots must land in distinct sets.
+// Latencies are in model cycles.
+package cache
+
+// Geometry and latency defaults.
+const (
+	LineSize    = 64
+	DefaultSets = 4096
+	DefaultWays = 16
+
+	HitLatency  = 4
+	MissLatency = 300
+)
+
+type line struct {
+	valid bool
+	tag   uint64
+	lru   uint64
+}
+
+// Cache is a single-level set-associative cache. The zero value is not
+// usable; call New.
+type Cache struct {
+	sets [][]line
+	ways int
+	tick uint64
+
+	hits, misses, flushes uint64
+}
+
+// New returns an empty cache with the given geometry. sets must be a power
+// of two.
+func New(sets, ways int) *Cache {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("cache: bad geometry")
+	}
+	c := &Cache{sets: make([][]line, sets), ways: ways}
+	for i := range c.sets {
+		c.sets[i] = make([]line, ways)
+	}
+	return c
+}
+
+// NewDefault returns the default 32 KiB cache.
+func NewDefault() *Cache { return New(DefaultSets, DefaultWays) }
+
+func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
+	lineAddr := addr / LineSize
+	return c.sets[lineAddr%uint64(len(c.sets))], lineAddr
+}
+
+// Access touches addr, returning the access latency in cycles and whether
+// it hit. Misses allocate the line with LRU replacement.
+func (c *Cache) Access(addr uint64) (latency int, hit bool) {
+	c.tick++
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			c.hits++
+			return HitLatency, true
+		}
+	}
+	c.misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = line{valid: true, tag: tag, lru: c.tick}
+	return MissLatency, false
+}
+
+// Contains reports whether addr's line is cached, without touching LRU
+// state (an oracle for tests; attackers must use timed accesses).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush evicts addr's line if present (CLFLUSH).
+func (c *Cache) Flush(addr uint64) {
+	c.flushes++
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i] = line{}
+		}
+	}
+}
+
+// FlushAll empties the cache.
+func (c *Cache) FlushAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+}
+
+// Stats returns cumulative hit/miss/flush counts.
+func (c *Cache) Stats() (hits, misses, flushes uint64) {
+	return c.hits, c.misses, c.flushes
+}
+
+// ProbeStride is the spacing of Flush+Reload probe slots: one page per
+// possible byte value, defeating adjacent-line prefetching exactly as the
+// 256-page array in §9 does.
+const ProbeStride = 4096
+
+// ProbeArray is a Flush+Reload covert-channel receiver over a 256-slot,
+// page-strided array starting at Base. The transmitter (the victim's
+// transient gadget) accesses Base + value*ProbeStride; the receiver times
+// a reload of every slot and takes hits as transmitted values.
+type ProbeArray struct {
+	Base  uint64
+	cache *Cache
+}
+
+// NewProbeArray binds a probe array at base to the cache shared with the
+// victim.
+func NewProbeArray(c *Cache, base uint64) *ProbeArray {
+	return &ProbeArray{Base: base, cache: c}
+}
+
+// SlotAddr returns the address encoding a byte value.
+func (p *ProbeArray) SlotAddr(value byte) uint64 {
+	return p.Base + uint64(value)*ProbeStride
+}
+
+// Flush evicts all 256 slots (the Flush phase).
+func (p *ProbeArray) Flush() {
+	for v := 0; v < 256; v++ {
+		p.cache.Flush(p.SlotAddr(byte(v)))
+	}
+}
+
+// Reload times all 256 slots and returns the values whose slots hit (the
+// Reload phase). Typically zero or one value per transmission.
+func (p *ProbeArray) Reload() []byte {
+	var got []byte
+	for v := 0; v < 256; v++ {
+		if lat, _ := p.cache.Access(p.SlotAddr(byte(v))); lat <= HitLatency {
+			got = append(got, byte(v))
+		}
+	}
+	return got
+}
+
+// ReloadOne returns the single hit value, or ok=false when zero or multiple
+// slots hit (a corrupted transmission).
+func (p *ProbeArray) ReloadOne() (byte, bool) {
+	got := p.Reload()
+	if len(got) == 1 {
+		return got[0], true
+	}
+	return 0, false
+}

@@ -1,0 +1,141 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMissThenHit(t *testing.T) {
+	c := NewDefault()
+	lat, hit := c.Access(0x1000)
+	if hit || lat != MissLatency {
+		t.Fatalf("first access: lat=%d hit=%v", lat, hit)
+	}
+	lat, hit = c.Access(0x1000)
+	if !hit || lat != HitLatency {
+		t.Fatalf("second access: lat=%d hit=%v", lat, hit)
+	}
+	// Same line, different byte.
+	if _, hit = c.Access(0x1000 + LineSize - 1); !hit {
+		t.Fatal("same-line access missed")
+	}
+	// Next line.
+	if _, hit = c.Access(0x1000 + LineSize); hit {
+		t.Fatal("next line hit spuriously")
+	}
+}
+
+func TestFlushEvicts(t *testing.T) {
+	c := NewDefault()
+	c.Access(0x4000)
+	if !c.Contains(0x4000) {
+		t.Fatal("line absent after access")
+	}
+	c.Flush(0x4007) // any byte within the line
+	if c.Contains(0x4000) {
+		t.Fatal("line present after flush")
+	}
+	if lat, _ := c.Access(0x4000); lat != MissLatency {
+		t.Fatal("flush did not force a miss")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(1, 2) // one set, two ways
+	c.Access(0 * LineSize)
+	c.Access(1 * LineSize)
+	c.Access(0 * LineSize) // refresh line 0
+	c.Access(2 * LineSize) // evicts line 1 (LRU)
+	if !c.Contains(0) || c.Contains(1*LineSize) || !c.Contains(2*LineSize) {
+		t.Fatal("LRU eviction picked the wrong victim")
+	}
+}
+
+func TestFlushAllAndStats(t *testing.T) {
+	c := NewDefault()
+	for i := uint64(0); i < 10; i++ {
+		c.Access(i * LineSize)
+	}
+	c.FlushAll()
+	for i := uint64(0); i < 10; i++ {
+		if c.Contains(i * LineSize) {
+			t.Fatal("FlushAll left a line")
+		}
+	}
+	h, m, _ := c.Stats()
+	if h != 0 || m != 10 {
+		t.Fatalf("stats h=%d m=%d", h, m)
+	}
+}
+
+func TestSetIndexingIsolation(t *testing.T) {
+	if err := quick.Check(func(a, b uint16) bool {
+		c := NewDefault()
+		addrA := uint64(a) * LineSize
+		addrB := uint64(b) * LineSize
+		c.Access(addrA)
+		if addrA/LineSize == addrB/LineSize {
+			return c.Contains(addrB)
+		}
+		// A single fill may only ever make its own line present.
+		return !c.Contains(addrB)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbeArrayRoundTrip(t *testing.T) {
+	c := NewDefault()
+	p := NewProbeArray(c, 0x10_0000)
+	p.Flush()
+	// Transmit the value 0x5a by touching its slot (what the transient
+	// victim gadget does).
+	c.Access(p.SlotAddr(0x5a))
+	got, ok := p.ReloadOne()
+	if !ok || got != 0x5a {
+		t.Fatalf("recovered %#x ok=%v, want 0x5a", got, ok)
+	}
+}
+
+func TestProbeArrayNoTransmission(t *testing.T) {
+	c := NewDefault()
+	p := NewProbeArray(c, 0x10_0000)
+	p.Flush()
+	if _, ok := p.ReloadOne(); ok {
+		t.Fatal("reload found a hit with no transmission")
+	}
+}
+
+func TestProbeArrayReloadPrimesSlots(t *testing.T) {
+	// After one Reload pass every slot is cached, so a second Reload sees
+	// all 256 values — the reason the receiver must Flush between rounds.
+	c := NewDefault()
+	p := NewProbeArray(c, 0x10_0000)
+	p.Reload()
+	if got := p.Reload(); len(got) != 256 {
+		t.Fatalf("second reload saw %d hits, want 256", len(got))
+	}
+	p.Flush()
+	if got := p.Reload(); len(got) != 0 {
+		t.Fatalf("reload after flush saw %d hits", len(got))
+	}
+}
+
+func TestProbeArraySlotsDistinctLines(t *testing.T) {
+	p := NewProbeArray(NewDefault(), 0)
+	seen := map[uint64]bool{}
+	for v := 0; v < 256; v++ {
+		l := p.SlotAddr(byte(v)) / LineSize
+		if seen[l] {
+			t.Fatal("probe slots share a cache line")
+		}
+		seen[l] = true
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := NewDefault()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * LineSize % (1 << 20))
+	}
+}

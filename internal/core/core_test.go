@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/isa"
+	"pathfinder/internal/phr"
+)
+
+func randomPHR(rng *rand.Rand, size int) *phr.Reg {
+	r := phr.New(size)
+	for i := 0; i < size; i++ {
+		r.SetDoublet(i, uint8(rng.Intn(4)))
+	}
+	return r
+}
+
+func TestWritePHRExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := cpu.New(cpu.Options{})
+	for trial := 0; trial < 100; trial++ {
+		want := randomPHR(rng, m.Arch().PHRSize)
+		if err := WritePHR(m, want); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Hart(0).PHR.Equal(want) {
+			t.Fatalf("trial %d:\n got %v\nwant %v", trial, m.Hart(0).PHR, want)
+		}
+	}
+}
+
+func TestWritePHRSkylake(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := cpu.New(cpu.Options{Arch: bpu.Skylake})
+	for trial := 0; trial < 20; trial++ {
+		want := randomPHR(rng, 93)
+		if err := WritePHR(m, want); err != nil {
+			t.Fatal(err)
+		}
+		if !m.Hart(0).PHR.Equal(want) {
+			t.Fatalf("trial %d mismatch", trial)
+		}
+	}
+}
+
+func TestWritePHRSizeMismatch(t *testing.T) {
+	m := cpu.New(cpu.Options{})
+	if err := WritePHR(m, phr.New(93)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestShiftAndClearPHR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := cpu.New(cpu.Options{})
+	v := randomPHR(rng, m.Arch().PHRSize)
+	if err := WritePHR(m, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := ShiftPHR(m, 5); err != nil {
+		t.Fatal(err)
+	}
+	want := v.Clone()
+	want.Shift(5)
+	if !m.Hart(0).PHR.Equal(want) {
+		t.Fatalf("shift mismatch:\n got %v\nwant %v", m.Hart(0).PHR, want)
+	}
+	if err := ClearPHR(m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Hart(0).PHR.IsZero() {
+		t.Fatal("ClearPHR left residue")
+	}
+}
+
+func TestGadgetsDoNotTouchPHTs(t *testing.T) {
+	m := cpu.New(cpu.Options{})
+	if err := WritePHR(m, randomPHR(rand.New(rand.NewSource(4)), 194)); err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range m.BPU.CBP.Tables {
+		if tt.Occupancy() != 0 {
+			t.Fatalf("Write_PHR polluted tagged table %d", i)
+		}
+	}
+}
+
+// phrWritingVictim returns a victim whose body is itself a Write_PHR chain:
+// calling it leaves a predetermined PHR — the setup of the §4.2 evaluation.
+func phrWritingVictim(value *phr.Reg) Victim {
+	return Victim{
+		Entry: "victim",
+		Emit: func(a *isa.Assembler) {
+			a.Label("victim")
+			a.Nop()
+			EmitWritePHR(a, "vw", value, "vdone")
+			a.Align(0x1_0000, WriteContOffset(value))
+			a.Label("vdone")
+			a.Ret()
+		},
+	}
+}
+
+func TestCaptureVictimPHRDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	val := randomPHR(rng, 194)
+	v := phrWritingVictim(val)
+	a, err := CaptureVictimPHR(cpu.New(cpu.Options{}), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CaptureVictimPHR(cpu.New(cpu.Options{}), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("capture not deterministic")
+	}
+	// The capture includes the victim's RET footprint on top of the chain
+	// value: one extra taken branch.
+	want := val.Clone()
+	wantShifted := want.Clone()
+	wantShifted.Shift(1)
+	if a.Equal(val) {
+		t.Fatal("capture unexpectedly equals the raw chain value (RET missing?)")
+	}
+	// Undoing one update with the RET's footprint must recover the value
+	// shifted... instead simply check the upper doublets moved up by one.
+	for i := 20; i < 194; i++ {
+		if a.Doublet(i) != val.Doublet(i-1) {
+			t.Fatalf("doublet %d: got %d want %d (value shifted by RET)", i, a.Doublet(i), val.Doublet(i-1))
+		}
+	}
+}
+
+func TestReadPHRRecoversVictimPHR(t *testing.T) {
+	// §4.2 evaluation (reduced): initialize the PHR to random states via a
+	// PHR-writing victim and read it back with the Read_PHR primitive.
+	trials := 3
+	doublets := 16
+	if testing.Short() {
+		trials, doublets = 1, 8
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < trials; trial++ {
+		val := randomPHR(rng, 194)
+		v := phrWritingVictim(val)
+		m := cpu.New(cpu.Options{Seed: int64(trial)})
+		truth, err := CaptureVictimPHR(m, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadPHR(m, v, ReadPHROptions{MaxDoublets: doublets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < doublets; k++ {
+			if got.Doublet(k) != truth.Doublet(k) {
+				t.Fatalf("trial %d doublet %d: got %d want %d", trial, k, got.Doublet(k), truth.Doublet(k))
+			}
+		}
+	}
+}
+
+func TestReadPHRFullRegister(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 194-doublet read in long mode only")
+	}
+	rng := rand.New(rand.NewSource(7))
+	val := randomPHR(rng, 194)
+	v := phrWritingVictim(val)
+	m := cpu.New(cpu.Options{Seed: 11})
+	truth, err := CaptureVictimPHR(m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPHR(m, v, ReadPHROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(truth) {
+		t.Fatalf("full read mismatch:\n got %v\nwant %v", got, truth)
+	}
+}
+
+// singleBranchVictim builds a program with one conditional branch at a
+// chosen victim address; R1 selects its direction.
+func singleBranchVictim(t *testing.T, pcLow uint64) (*isa.Program, uint64) {
+	t.Helper()
+	a := isa.NewAssembler()
+	a.Org(VictimBase)
+	a.Label("ventry")
+	a.MovI(isa.R2, 1)
+	a.Align(0x1_0000, pcLow)
+	a.Label("vbr")
+	a.Br(isa.EQ, isa.R1, isa.R2, "vafter")
+	a.Label("vafter")
+	a.Halt()
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, p.MustSymbol("vbr")
+}
+
+func TestWritePHTPoisonsAliasedVictimBranch(t *testing.T) {
+	prog, vpc := singleBranchVictim(t, 0xac40)
+	m := cpu.New(cpu.Options{Seed: 9})
+	target := randomPHR(rand.New(rand.NewSource(10)), 194)
+
+	// Poison (pc, PHR) to not-taken, then run the victim branch with that
+	// exact PHR and a taken outcome: it must mispredict.
+	if err := WritePHT(m, vpc, target, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePHR(m, target); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+	m.Hart(0).SetReg(isa.R1, 1) // branch taken
+	if err := m.Run(prog, "ventry"); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Branch(vpc)
+	if st.Executed != 1 || st.Mispredicted != 1 {
+		t.Fatalf("victim branch executed=%d mispredicted=%d, want 1/1", st.Executed, st.Mispredicted)
+	}
+
+	// Control: with an unrelated PHR the poisoning must not apply. The
+	// branch may still mispredict through the base predictor, so poison
+	// taken and check a taken run predicts correctly instead.
+	if err := WritePHT(m, vpc, target, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePHR(m, target); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+	m.Hart(0).SetReg(isa.R1, 1)
+	if err := m.Run(prog, "ventry"); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Branch(vpc); st.Mispredicted != 0 {
+		t.Fatalf("taken-poisoned branch mispredicted %d times", st.Mispredicted)
+	}
+}
+
+func TestReadPHTCounterReadout(t *testing.T) {
+	// Prime the entry to strongly-not-taken, let the victim take the branch
+	// k times at the same (PC, PHR), probe with 4 taken executions: the
+	// probe must mispredict 4-k times (§4.4).
+	for k := 0; k <= 3; k++ {
+		prog, vpc := singleBranchVictim(t, 0x9c80)
+		m := cpu.New(cpu.Options{Seed: 21})
+		target := randomPHR(rand.New(rand.NewSource(int64(30+k))), 194)
+		if err := WritePHT(m, vpc, target, false); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			if err := WritePHR(m, target); err != nil {
+				t.Fatal(err)
+			}
+			m.Hart(0).SetReg(isa.R1, 1) // taken
+			if err := m.Run(prog, "ventry"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mis, err := ReadPHT(m, vpc, target, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mis != 4-k {
+			t.Fatalf("k=%d: probe mispredicts = %d, want %d", k, mis, 4-k)
+		}
+	}
+}
+
+func TestWritePlanSolvesPollution(t *testing.T) {
+	// Property: simulating the emitted chain's footprints doublet-exactly
+	// must reproduce the requested PHR for random targets.
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 200; trial++ {
+		target := randomPHR(rng, 194)
+		plan := writePlan(target)
+		sim := phr.New(194)
+		prevT := uint64(0)
+		for i, v := range plan {
+			addr := uint64(0x5_0000)*uint64(i+1) + prevT
+			tbits := uint64(swap2(v))
+			tgt := uint64(0x5_0000)*uint64(i+2) + tbits
+			sim.UpdateBranch(addr, tgt)
+			prevT = tbits
+		}
+		if !sim.Equal(target) {
+			t.Fatalf("trial %d: plan does not reproduce target", trial)
+		}
+	}
+}

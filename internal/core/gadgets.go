@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"pathfinder/internal/isa"
+	"pathfinder/internal/phr"
+)
+
+// The PHR manipulation gadgets are chains of unconditional jumps. Each slot
+// sits at a 64 KiB boundary (branch address low 16 bits ≈ 0), so a jump's
+// footprint is controlled entirely by the low bits of its target:
+//
+//   - target low 6 bits zero        -> zero footprint: a pure one-doublet
+//     shift (the Shift_PHR / Clear_PHR macros of §4),
+//   - target low 2 bits t ∈ {0..3}  -> footprint doublet 0 = (T0<<1)|T1,
+//     everything else zero: writes one chosen doublet (Write_PHR, §4.1).
+//
+// Because a chain slot is itself the previous jump's landing point, writing
+// doublet values forces slot addresses with non-zero low bits, whose B0/B1
+// address bits feed back into that slot's own footprint at doublet 3. The
+// Write_PHR emitter solves for this feedback exactly (see emitWritePHR).
+//
+// Unconditional jumps never touch the PHTs, so these gadgets manipulate the
+// PHR without disturbing predictor tables — the property §10.1 also relies
+// on for the PHR-flush mitigation.
+
+const slotAlign = 0x1_0000
+
+// EmitShiftPHR emits the Shift_PHR[n] macro: n zero-footprint taken jumps
+// that shift the PHR left by n doublets. The chain is entered by falling
+// into its first slot and leaves by jumping to contLabel, which the caller
+// must place at an address with zero low 6 bits (use Align(0x10000, 0));
+// that final jump is the n-th shift. uniq namespaces the internal labels.
+// n must be >= 1; use nothing at all for n == 0.
+func EmitShiftPHR(a *isa.Assembler, uniq string, n int, contLabel string) {
+	if n < 1 {
+		panic("core: EmitShiftPHR needs n >= 1")
+	}
+	for i := 0; i < n; i++ {
+		a.Align(slotAlign, 0)
+		a.Label(fmt.Sprintf("%s_s%d", uniq, i))
+		next := contLabel
+		if i+1 < n {
+			next = fmt.Sprintf("%s_s%d", uniq, i+1)
+		}
+		a.Jmp(next)
+	}
+}
+
+// EmitClearPHR emits the Clear_PHR macro: Shift_PHR[phrSize], resetting the
+// PHR to all zeros (§4).
+func EmitClearPHR(a *isa.Assembler, uniq string, phrSize int, contLabel string) {
+	EmitShiftPHR(a, uniq, phrSize, contLabel)
+}
+
+// swap2 exchanges the two low bits of a doublet-sized value. It maps a
+// desired footprint doublet 0 value v = (T0<<1)|T1 to the target low bits
+// t = (T1<<1)|T0, and is its own inverse.
+func swap2(v uint8) uint8 { return (v&1)<<1 | (v>>1)&1 }
+
+// WriteContOffset returns the low-bits offset at which the continuation of
+// a Write_PHR chain for the given target PHR must be placed:
+// Align(0x10000, WriteContOffset(target)) immediately before the
+// continuation label. The offset encodes the final written doublet 0.
+func WriteContOffset(target *phr.Reg) uint64 {
+	return uint64(swap2(target.Doublet(0)))
+}
+
+// writePlan solves the Write_PHR footprint algebra. Branch i (1-based,
+// i = 1..N) of the chain contributes:
+//
+//	doublet 0 value v[i] = (T0<<1)|T1 of its target   -> final position N-i
+//	doublet 3 value w[i] = (B0<<1)|B1 of its address  -> final position N-i+3
+//
+// A slot's address low bits are the previous jump's target low bits, and
+// both v and w are the same 2-bit swap of those bits, so w[i] == v[i-1]
+// (with v[0] = 0: the first slot is placed at a clean boundary). The final
+// doublet at position p is therefore v[N-p] ^ v[N-p+2] (the second term
+// only when branch N-p+3 exists). Solving in decreasing i:
+//
+//	v[i] = D[N-i] ^ v[i+2]   (v[i+2] taken as 0 beyond N)
+//
+// The returned slice holds v[1..N] at indices 0..N-1.
+func writePlan(target *phr.Reg) []uint8 {
+	n := target.Size()
+	v := make([]uint8, n+3) // v[i] at index i; indices n+1, n+2 stay zero
+	for i := n; i >= 1; i-- {
+		d := target.Doublet(n - i)
+		if i+3 <= n {
+			d ^= v[i+2]
+		}
+		v[i] = d
+	}
+	return v[1 : n+1]
+}
+
+// EmitWritePHR emits the Write_PHR macro (§4.1): a chain of target.Size()
+// taken jumps that leaves the PHR exactly equal to target. The chain is
+// entered by falling into its first slot. The final jump lands on
+// contLabel, which the caller must place at
+// Align(0x10000, WriteContOffset(target)); execution continues there with
+// the PHR holding target. uniq namespaces the internal labels.
+func EmitWritePHR(a *isa.Assembler, uniq string, target *phr.Reg, contLabel string) {
+	plan := writePlan(target)
+	n := len(plan)
+	// Slot i (0-based) is placed at low bits swap2(plan[i-1]) — the target
+	// bits of the previous jump; slot 0 at a clean boundary.
+	for i := 0; i < n; i++ {
+		off := uint64(0)
+		if i > 0 {
+			off = uint64(swap2(plan[i-1]))
+		}
+		a.Align(slotAlign, off)
+		a.Label(fmt.Sprintf("%s_w%d", uniq, i))
+		next := contLabel
+		if i+1 < n {
+			next = fmt.Sprintf("%s_w%d", uniq, i+1)
+		}
+		a.Jmp(next)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathfinder/internal/phr"
+)
+
+func TestSwap2Involution(t *testing.T) {
+	for v := uint8(0); v < 4; v++ {
+		if swap2(swap2(v)) != v {
+			t.Fatalf("swap2 not an involution at %d", v)
+		}
+	}
+	if swap2(0b01) != 0b10 || swap2(0b11) != 0b11 || swap2(0) != 0 {
+		t.Fatal("swap2 mapping wrong")
+	}
+}
+
+func TestWriteContOffsetEncodesDoublet0(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		target := phr.New(194)
+		for i := 0; i < 194; i++ {
+			target.SetDoublet(i, phr.Doublet(rng.Intn(4)))
+		}
+		off := WriteContOffset(target)
+		// The continuation offset's swapped bits must be the final doublet 0.
+		return phr.Doublet(swap2(uint8(off))) == target.Doublet(0)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWritePlanLength(t *testing.T) {
+	target := phr.New(93)
+	if got := len(writePlan(target)); got != 93 {
+		t.Fatalf("plan length %d, want 93", got)
+	}
+}
+
+func TestWritePlanZeroTargetIsZeroFootprints(t *testing.T) {
+	// Writing an all-zero PHR must degenerate to a pure shift chain: every
+	// planned doublet is zero, hence every slot is 64 KiB-aligned.
+	target := phr.New(194)
+	for _, v := range writePlan(target) {
+		if v != 0 {
+			t.Fatal("zero target must plan zero footprints")
+		}
+	}
+}

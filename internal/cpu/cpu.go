@@ -1,0 +1,514 @@
+// Package cpu executes ISA programs on a modeled machine that couples a
+// functional interpreter to the microarchitectural state the Pathfinder
+// attacks exploit: the per-hart path history register, the shared
+// conditional branch predictor and BTB/IBP (package bpu), and a shared data
+// cache (package cache).
+//
+// The execution model is functional-first with a speculation side model:
+// architectural execution always follows correct outcomes, while every
+// conditional branch is also predicted, counted, and — when mispredicted —
+// followed by a bounded *transient* execution of the predicted wrong path.
+// Transient instructions run on a sandboxed copy of the architectural
+// state; their loads perturb the shared cache (the Spectre channel) and
+// everything else is squashed. The transient window length equals the
+// branch's resolution delay, which is dominated by cache misses feeding its
+// operands — flushing a value a branch depends on therefore widens the
+// window, exactly as in §9 of the paper.
+package cpu
+
+import (
+	"fmt"
+
+	"pathfinder/internal/aes"
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/cache"
+	"pathfinder/internal/isa"
+	"pathfinder/internal/phr"
+)
+
+// Domain is a security domain for the attack-surface experiments (§7).
+type Domain uint8
+
+// Security domains.
+const (
+	User Domain = iota
+	Kernel
+	Enclave
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	switch d {
+	case User:
+		return "user"
+	case Kernel:
+		return "kernel"
+	case Enclave:
+		return "enclave"
+	}
+	return fmt.Sprintf("domain(%d)", uint8(d))
+}
+
+// splitmix64 is a tiny cloneable PRNG driving the RAND instruction and the
+// noise model; cloneability keeps transient execution from perturbing the
+// architectural random stream.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (r *splitmix64) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Hart is one logical core: private architectural registers and a private
+// PHR (§7.3: SMT harts do not share the PHR).
+type Hart struct {
+	ID     int
+	PHR    *phr.Reg
+	Domain Domain
+
+	regs    [isa.NumRegs]uint64
+	vregs   [isa.NumVRegs][16]byte
+	ready   [isa.NumRegs]uint64 // cycle at which each register's value is available
+	stack   []frame
+	rng     splitmix64
+	machine *Machine
+}
+
+type frame struct {
+	retIdx        int // program index to resume at; -1 ends the run
+	restoreDomain bool
+	prevDomain    Domain
+}
+
+// Reg returns a scalar register value.
+func (h *Hart) Reg(r isa.Reg) uint64 { return h.regs[r] }
+
+// SetReg writes a scalar register.
+func (h *Hart) SetReg(r isa.Reg, v uint64) { h.regs[r] = v }
+
+// VReg returns a vector register value.
+func (h *Hart) VReg(v isa.VReg) [16]byte { return h.vregs[v] }
+
+// SetVReg writes a vector register.
+func (h *Hart) SetVReg(v isa.VReg, val [16]byte) { h.vregs[v] = val }
+
+// BranchStat accumulates per-branch-address outcomes; the model's stand-in
+// for per-branch performance-counter measurements.
+type BranchStat struct {
+	Executed     uint64
+	Taken        uint64
+	Mispredicted uint64
+}
+
+// MispredictRate returns mispredictions per execution.
+func (s BranchStat) MispredictRate() float64 {
+	if s.Executed == 0 {
+		return 0
+	}
+	return float64(s.Mispredicted) / float64(s.Executed)
+}
+
+// Counters are machine-wide event counts since the last ResetStats.
+type Counters struct {
+	Instructions    uint64
+	Cycles          uint64
+	CondBranches    uint64
+	TakenBranches   uint64 // all taken branches, conditional or not
+	Mispredicts     uint64
+	TransientInstrs uint64
+	Runs            uint64
+}
+
+// Options configure a Machine.
+type Options struct {
+	Arch               bpu.Config // microarchitecture; zero value means Alder Lake
+	Harts              int        // logical cores; default 1, max 2 per physical core
+	Seed               int64      // deterministic seed for RAND and the noise model
+	Noise              float64    // probability a mispredict resolves with no transient window
+	MispredictPenalty  int        // cycles added per misprediction (default 15)
+	MaxTransientWindow int        // cap on transient instructions per mispredict (default 400)
+	StepLimit          uint64     // per-Run instruction budget (default 100M)
+}
+
+// Machine is a physical core: shared branch prediction unit, shared cache
+// and memory, one or two harts.
+type Machine struct {
+	BPU  *bpu.Unit
+	Mem  *Memory
+	Data *cache.Cache
+
+	IBRS bool // when set, entering the kernel flushes indirect predictors
+
+	// TraceTaken, when non-nil, observes every architecturally taken branch
+	// (pc, target) in execution order. Experiments use it to compute
+	// ground-truth path history; attacks never do.
+	TraceTaken func(pc, target uint64)
+
+	harts  []*Hart
+	opts   Options
+	noise  splitmix64
+	stats  Counters
+	perPC  map[uint64]*BranchStat
+	kstubs map[int64]string // syscall number -> entry label
+	estubs map[int64]string // enclave number -> entry label
+}
+
+// New builds a machine.
+func New(opts Options) *Machine {
+	if opts.Arch.PHRSize == 0 {
+		opts.Arch = bpu.AlderLake
+	}
+	if opts.Harts <= 0 {
+		opts.Harts = 1
+	}
+	if opts.Harts > 2 {
+		panic("cpu: at most two SMT harts per core")
+	}
+	if opts.MispredictPenalty == 0 {
+		opts.MispredictPenalty = 15
+	}
+	if opts.MaxTransientWindow == 0 {
+		opts.MaxTransientWindow = 400
+	}
+	if opts.StepLimit == 0 {
+		opts.StepLimit = 100_000_000
+	}
+	m := &Machine{
+		BPU:    bpu.NewUnit(opts.Arch),
+		Mem:    NewMemory(),
+		Data:   cache.NewDefault(),
+		opts:   opts,
+		noise:  splitmix64{s: uint64(opts.Seed)*2654435761 + 1},
+		perPC:  make(map[uint64]*BranchStat),
+		kstubs: make(map[int64]string),
+		estubs: make(map[int64]string),
+	}
+	for i := 0; i < opts.Harts; i++ {
+		m.harts = append(m.harts, &Hart{
+			ID:      i,
+			PHR:     phr.New(opts.Arch.PHRSize),
+			rng:     splitmix64{s: uint64(opts.Seed) + uint64(i)*0x632be59bd9b4e019 + 7},
+			machine: m,
+		})
+	}
+	return m
+}
+
+// Hart returns logical core i.
+func (m *Machine) Hart(i int) *Hart { return m.harts[i] }
+
+// NumHarts returns the hart count.
+func (m *Machine) NumHarts() int { return len(m.harts) }
+
+// Arch returns the modeled microarchitecture.
+func (m *Machine) Arch() bpu.Config { return m.opts.Arch }
+
+// Stats returns the counters accumulated since the last ResetStats.
+func (m *Machine) Stats() Counters { return m.stats }
+
+// Branch returns the accumulated stats for the branch at pc.
+func (m *Machine) Branch(pc uint64) BranchStat {
+	if s := m.perPC[pc]; s != nil {
+		return *s
+	}
+	return BranchStat{}
+}
+
+// ResetStats clears counters and per-branch stats. Predictor and cache
+// state — the microarchitectural attack surface — is deliberately left
+// untouched.
+func (m *Machine) ResetStats() {
+	m.stats = Counters{}
+	m.perPC = make(map[uint64]*BranchStat)
+}
+
+// RegisterKernelStub maps a syscall number to the label of its handler in
+// the program. The handler runs in the kernel domain and returns with RET.
+func (m *Machine) RegisterKernelStub(num int64, label string) { m.kstubs[num] = label }
+
+// RegisterEnclaveStub maps an enclave call number to its handler label.
+func (m *Machine) RegisterEnclaveStub(num int64, label string) { m.estubs[num] = label }
+
+// Run executes prog from entry on hart 0 until HALT or a return from the
+// entry frame.
+func (m *Machine) Run(prog *isa.Program, entry string) error {
+	return m.RunOn(0, prog, entry)
+}
+
+// RunOn executes prog from the entry label on the given hart. The entry is
+// treated as a call: a RET with an empty stack ends the run like HALT.
+func (m *Machine) RunOn(hartID int, prog *isa.Program, entry string) error {
+	h := m.harts[hartID]
+	addr, ok := prog.SymbolAddr(entry)
+	if !ok {
+		return fmt.Errorf("cpu: no symbol %q", entry)
+	}
+	idx, ok := prog.IndexOf(addr)
+	if !ok {
+		return fmt.Errorf("cpu: symbol %q resolves to a gap", entry)
+	}
+	m.stats.Runs++
+	h.stack = h.stack[:0]
+	return m.exec(h, prog, idx)
+}
+
+func (m *Machine) branchStat(pc uint64) *BranchStat {
+	s := m.perPC[pc]
+	if s == nil {
+		s = &BranchStat{}
+		m.perPC[pc] = s
+	}
+	return s
+}
+
+// takenBranch applies the PHR update shared by every taken branch and
+// keeps the BTB warm for direct branches.
+func (m *Machine) takenBranch(h *Hart, pc, target uint64, direct bool) {
+	if m.TraceTaken != nil {
+		m.TraceTaken(pc, target)
+	}
+	h.PHR.UpdateBranch(pc, target)
+	m.stats.TakenBranches++
+	if direct {
+		m.BPU.BTB.Insert(pc, target)
+	} else {
+		m.BPU.IBP.Insert(pc, h.PHR, target)
+	}
+}
+
+func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
+	steps := uint64(0)
+	for {
+		if idx < 0 || idx >= len(prog.Instrs) {
+			return fmt.Errorf("cpu: execution ran off the program (index %d)", idx)
+		}
+		if steps >= m.opts.StepLimit {
+			return fmt.Errorf("cpu: step limit %d exceeded at %#x", m.opts.StepLimit, prog.Instrs[idx].Addr)
+		}
+		steps++
+		m.stats.Instructions++
+		m.stats.Cycles++
+		in := &prog.Instrs[idx]
+
+		switch in.Op {
+		case isa.NOP:
+		case isa.HALT:
+			return nil
+
+		case isa.MOVI:
+			h.regs[in.Rd] = uint64(in.Imm)
+			h.ready[in.Rd] = m.stats.Cycles
+		case isa.MOV:
+			h.regs[in.Rd] = h.regs[in.Rs]
+			h.ready[in.Rd] = maxu(m.stats.Cycles, h.ready[in.Rs])
+		case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.MUL:
+			h.regs[in.Rd] = alu(in.Op, h.regs[in.Rs], h.regs[in.Rt])
+			h.ready[in.Rd] = maxu(m.stats.Cycles, maxu(h.ready[in.Rs], h.ready[in.Rt]))
+		case isa.ADDI:
+			h.regs[in.Rd] = h.regs[in.Rs] + uint64(in.Imm)
+			h.ready[in.Rd] = maxu(m.stats.Cycles, h.ready[in.Rs])
+		case isa.XORI:
+			h.regs[in.Rd] = h.regs[in.Rs] ^ uint64(in.Imm)
+			h.ready[in.Rd] = maxu(m.stats.Cycles, h.ready[in.Rs])
+		case isa.SHLI:
+			h.regs[in.Rd] = h.regs[in.Rs] << uint64(in.Imm)
+			h.ready[in.Rd] = maxu(m.stats.Cycles, h.ready[in.Rs])
+		case isa.SHRI:
+			h.regs[in.Rd] = h.regs[in.Rs] >> uint64(in.Imm)
+			h.ready[in.Rd] = maxu(m.stats.Cycles, h.ready[in.Rs])
+
+		case isa.LD, isa.LDB, isa.TIMEDLD:
+			addr := h.regs[in.Rs] + uint64(in.Imm)
+			lat, _ := m.Data.Access(addr)
+			switch in.Op {
+			case isa.LD:
+				h.regs[in.Rd] = m.Mem.Read64(addr)
+			case isa.LDB:
+				h.regs[in.Rd] = uint64(m.Mem.Read8(addr))
+			case isa.TIMEDLD:
+				h.regs[in.Rd] = uint64(lat)
+			}
+			h.ready[in.Rd] = m.stats.Cycles + uint64(lat)
+		case isa.ST:
+			m.Data.Access(h.regs[in.Rs] + uint64(in.Imm))
+			m.Mem.Write64(h.regs[in.Rs]+uint64(in.Imm), h.regs[in.Rt])
+		case isa.STB:
+			m.Data.Access(h.regs[in.Rs] + uint64(in.Imm))
+			m.Mem.Write8(h.regs[in.Rs]+uint64(in.Imm), byte(h.regs[in.Rt]))
+		case isa.CLFLUSH:
+			m.Data.Flush(h.regs[in.Rs] + uint64(in.Imm))
+
+		case isa.RAND:
+			h.regs[in.Rd] = h.rng.next()
+			h.ready[in.Rd] = m.stats.Cycles
+		case isa.RDCYCLE:
+			h.regs[in.Rd] = m.stats.Cycles
+			h.ready[in.Rd] = m.stats.Cycles
+
+		case isa.VLD:
+			addr := h.regs[in.Rs] + uint64(in.Imm)
+			m.Data.Access(addr)
+			h.vregs[in.Vd] = m.Mem.Read128(addr)
+		case isa.VST:
+			addr := h.regs[in.Rs] + uint64(in.Imm)
+			m.Data.Access(addr)
+			m.Mem.Write128(addr, h.vregs[in.Vd])
+		case isa.VXOR:
+			addr := h.regs[in.Rs] + uint64(in.Imm)
+			m.Data.Access(addr)
+			h.vregs[in.Vd] = aes.XorBlocks(h.vregs[in.Vd], m.Mem.Read128(addr))
+		case isa.AESENC:
+			addr := h.regs[in.Rs] + uint64(in.Imm)
+			m.Data.Access(addr)
+			h.vregs[in.Vd] = aes.EncRound(h.vregs[in.Vd], m.Mem.Read128(addr))
+		case isa.AESENCLAST:
+			addr := h.regs[in.Rs] + uint64(in.Imm)
+			m.Data.Access(addr)
+			h.vregs[in.Vd] = aes.EncLastRound(h.vregs[in.Vd], m.Mem.Read128(addr))
+
+		case isa.BR:
+			taken := in.Cond.Eval(h.regs[in.Rs], h.regs[in.Rt])
+			pred := m.BPU.CBP.Predict(in.Addr, h.PHR)
+			st := m.branchStat(in.Addr)
+			st.Executed++
+			m.stats.CondBranches++
+			if taken {
+				st.Taken++
+			}
+			if pred.Taken != taken {
+				st.Mispredicted++
+				m.stats.Mispredicts++
+				m.speculate(h, prog, idx, pred.Taken)
+				m.stats.Cycles += uint64(m.opts.MispredictPenalty)
+			}
+			m.BPU.CBP.Update(in.Addr, h.PHR, taken, pred)
+			if taken {
+				m.takenBranch(h, in.Addr, in.Target, true)
+				ti, ok := prog.IndexOf(in.Target)
+				if !ok {
+					return fmt.Errorf("cpu: branch at %#x to hole %#x", in.Addr, in.Target)
+				}
+				idx = ti
+				continue
+			}
+
+		case isa.JMP:
+			m.takenBranch(h, in.Addr, in.Target, true)
+			ti, ok := prog.IndexOf(in.Target)
+			if !ok {
+				return fmt.Errorf("cpu: jmp at %#x to hole %#x", in.Addr, in.Target)
+			}
+			idx = ti
+			continue
+
+		case isa.CALL:
+			if idx+1 >= len(prog.Instrs) {
+				return fmt.Errorf("cpu: call at %#x has no return point", in.Addr)
+			}
+			h.stack = append(h.stack, frame{retIdx: idx + 1})
+			m.takenBranch(h, in.Addr, in.Target, true)
+			ti, ok := prog.IndexOf(in.Target)
+			if !ok {
+				return fmt.Errorf("cpu: call at %#x to hole %#x", in.Addr, in.Target)
+			}
+			idx = ti
+			continue
+
+		case isa.RET:
+			if len(h.stack) == 0 {
+				return nil // return from the entry frame ends the run
+			}
+			f := h.stack[len(h.stack)-1]
+			h.stack = h.stack[:len(h.stack)-1]
+			if f.restoreDomain {
+				h.Domain = f.prevDomain
+			}
+			if f.retIdx < 0 || f.retIdx >= len(prog.Instrs) {
+				return nil
+			}
+			m.takenBranch(h, in.Addr, prog.Instrs[f.retIdx].Addr, false)
+			idx = f.retIdx
+			continue
+
+		case isa.JR:
+			target := h.regs[in.Rs]
+			ti, ok := prog.IndexOf(target)
+			if !ok {
+				return fmt.Errorf("cpu: jr at %#x to hole %#x", in.Addr, target)
+			}
+			m.takenBranch(h, in.Addr, target, false)
+			idx = ti
+			continue
+
+		case isa.SYSCALL, isa.EENTER:
+			stubs, dom := m.kstubs, Kernel
+			if in.Op == isa.EENTER {
+				stubs, dom = m.estubs, Enclave
+			}
+			label, ok := stubs[in.Imm]
+			if !ok {
+				return fmt.Errorf("cpu: no stub registered for %s %d", in.Op, in.Imm)
+			}
+			addr, ok := prog.SymbolAddr(label)
+			if !ok {
+				return fmt.Errorf("cpu: stub label %q missing from program", label)
+			}
+			ti, ok := prog.IndexOf(addr)
+			if !ok {
+				return fmt.Errorf("cpu: stub label %q resolves to a hole", label)
+			}
+			if idx+1 >= len(prog.Instrs) {
+				return fmt.Errorf("cpu: %s at %#x has no return point", in.Op, in.Addr)
+			}
+			h.stack = append(h.stack, frame{retIdx: idx + 1, restoreDomain: true, prevDomain: h.Domain})
+			if in.Op == isa.SYSCALL && m.IBRS {
+				// IBRS restricts indirect speculation in the more privileged
+				// mode; modeled as flushing indirect predictors on entry.
+				// The CBP and PHR are untouched (§7.4).
+				m.BPU.IBP.Flush()
+				m.BPU.BTB.Flush()
+			}
+			h.Domain = dom
+			// The transfer itself is not PHR-visible; the stub's branches are.
+			idx = ti
+			continue
+
+		case isa.IBPB:
+			m.BPU.IBPB()
+
+		default:
+			return fmt.Errorf("cpu: unimplemented op %v at %#x", in.Op, in.Addr)
+		}
+		idx++
+	}
+}
+
+func alu(op isa.Op, a, b uint64) uint64 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.MUL:
+		return a * b
+	}
+	panic("cpu: not an ALU op")
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package cpu
+
+import "encoding/binary"
+
+const pageSize = 4096
+
+// Memory is a sparse, paged, byte-addressable physical memory. Multi-byte
+// accesses are little-endian and may span pages.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns empty memory; reads of untouched addresses yield zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	pn := addr / pageSize
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint64) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr%pageSize]
+	}
+	return 0
+}
+
+// Write8 stores one byte.
+func (m *Memory) Write8(addr uint64, v byte) {
+	m.page(addr, true)[addr%pageSize] = v
+}
+
+// Read64 returns the little-endian uint64 at addr.
+func (m *Memory) Read64(addr uint64) uint64 {
+	var b [8]byte
+	m.ReadBytes(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Write64 stores a little-endian uint64.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.WriteBytes(addr, b[:])
+}
+
+// Read128 returns 16 bytes at addr.
+func (m *Memory) Read128(addr uint64) [16]byte {
+	var b [16]byte
+	m.ReadBytes(addr, b[:])
+	return b
+}
+
+// Write128 stores 16 bytes at addr.
+func (m *Memory) Write128(addr uint64, v [16]byte) {
+	m.WriteBytes(addr, v[:])
+}
+
+// ReadBytes fills dst from memory starting at addr.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = m.Read8(addr + uint64(i))
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for i, v := range src {
+		m.Write8(addr+uint64(i), v)
+	}
+}

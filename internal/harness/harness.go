@@ -1,0 +1,411 @@
+// Package harness drives the paper's evaluation: one function per table or
+// figure, returning structured results plus formatted rows matching what
+// the paper reports. The bench suite at the repository root and the cmd/
+// binaries are thin wrappers around these drivers.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/aes"
+	"pathfinder/internal/attack"
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/core"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/isa"
+	"pathfinder/internal/jpeg"
+	"pathfinder/internal/media"
+	"pathfinder/internal/pathfinder"
+	"pathfinder/internal/phr"
+	"pathfinder/internal/victim"
+)
+
+// Table1 renders the target-processor table.
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-18s %-10s %-14s\n", "Machine", "Model", "PHR size", "Table hists")
+	for i, c := range bpu.Configs() {
+		fmt.Fprintf(&b, "machine %-4d %-18s %-10d %v\n", i+1, c.Model, c.PHRSize, c.TableHists)
+	}
+	return b.String()
+}
+
+// Obs2Result is one point of the counter-width experiment.
+type Obs2Result struct {
+	M                   int
+	MispredictPerPeriod float64
+}
+
+// Obs2CounterWidth reproduces Observation 2: a branch with the repeating
+// pattern T^m N^m at a fixed all-zero PHR is executed through the aliased
+// harness; the per-period misprediction count plateaus once m exceeds the
+// counter's saturation range, at m = 2^n - 1 for n-bit counters.
+func Obs2CounterWidth(maxM int) ([]Obs2Result, int, error) {
+	var out []Obs2Result
+	plateauAt := -1
+	var prev float64 = -1
+	for m := 1; m <= maxM; m++ {
+		mach := cpu.New(cpu.Options{Seed: int64(100 + m)})
+		reg := phr.New(mach.Arch().PHRSize)
+		const periods = 24
+		var outcomes []bool
+		for p := 0; p < periods; p++ {
+			for i := 0; i < m; i++ {
+				outcomes = append(outcomes, true)
+			}
+			for i := 0; i < m; i++ {
+				outcomes = append(outcomes, false)
+			}
+		}
+		mis, err := core.RunAliased(mach, 0x00ab_3c40, reg, outcomes)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Skip the first warm-up periods.
+		warm := 4
+		machWarm := cpu.New(cpu.Options{Seed: int64(100 + m)})
+		misWarm, err := core.RunAliased(machWarm, 0x00ab_3c40, reg, outcomes[:2*m*warm])
+		if err != nil {
+			return nil, 0, err
+		}
+		rate := float64(mis-misWarm) / float64(periods-warm)
+		out = append(out, Obs2Result{M: m, MispredictPerPeriod: rate})
+		if prev >= 0 && rate == prev && plateauAt < 0 {
+			plateauAt = m - 1
+		}
+		if rate != prev {
+			plateauAt = -1
+		}
+		prev = rate
+	}
+	bits := 0
+	if plateauAt > 0 {
+		for v := plateauAt + 1; v > 1; v >>= 1 {
+			bits++
+		}
+	}
+	return out, bits, nil
+}
+
+// Fig4Result holds the four candidate misprediction rates for one doublet.
+type Fig4Result struct {
+	Doublet int
+	Rates   [4]float64
+	True    phr.Doublet
+}
+
+// Fig4ReadDoublet reproduces Figure 4: the train/test misprediction rates
+// for all four candidate values of the first few PHR doublets of a victim.
+func Fig4ReadDoublet(doublets int) ([]Fig4Result, error) {
+	m := cpu.New(cpu.Options{Seed: 7})
+	pattern := victim.RandomPattern(24, 7)
+	v := victim.PatternedLoop(24, pattern)
+	truth, err := core.CaptureVictimPHR(m, v)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig4Result
+	known := phr.New(m.Arch().PHRSize)
+	for k := 0; k < doublets; k++ {
+		rates, err := core.DoubletCandidateRates(m, v, known, k, 48)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig4Result{Doublet: k, Rates: rates, True: truth.Doublet(k)})
+		known.SetDoublet(k, truth.Doublet(k))
+	}
+	return out, nil
+}
+
+// ReadPHRRandomEval reproduces the §4.2 evaluation: write random PHR values
+// through a PHR-writing victim and read them back, reporting successes.
+func ReadPHRRandomEval(trials, doublets int, seed int64) (successes int, err error) {
+	for t := 0; t < trials; t++ {
+		m := cpu.New(cpu.Options{Seed: seed + int64(t)})
+		val := randomReg(m.Arch().PHRSize, seed*31+int64(t))
+		v := phrWriterVictim(val)
+		truth, err := core.CaptureVictimPHR(m, v)
+		if err != nil {
+			return successes, err
+		}
+		got, err := core.ReadPHR(m, v, core.ReadPHROptions{MaxDoublets: doublets})
+		if err != nil {
+			return successes, err
+		}
+		ok := true
+		for k := 0; k < doublets; k++ {
+			if got.Doublet(k) != truth.Doublet(k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			successes++
+		}
+	}
+	return successes, nil
+}
+
+// ExtendedEvalResult is one §5 evaluation case.
+type ExtendedEvalResult struct {
+	TakenBranches int
+	Exact         bool
+}
+
+// ExtendedReadEval reproduces the §5 evaluation: victims with varying
+// numbers of taken branches (within and beyond the PHR window) have their
+// entire control-flow history recovered and compared against ground truth.
+func ExtendedReadEval(trips []int, seed int64) ([]ExtendedEvalResult, error) {
+	var out []ExtendedEvalResult
+	for i, n := range trips {
+		m := cpu.New(cpu.Options{Seed: seed + int64(i)})
+		v := victim.PatternedLoop(n, victim.RandomPattern(n, seed+int64(7*i)))
+		rec, err := core.ExtendedReadPHR(m, v, core.ExtendedOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("harness: trips=%d: %w", n, err)
+		}
+		truth, taken, err := traceCapture(seed+int64(i), v)
+		if err != nil {
+			return nil, err
+		}
+		exact := rec.Path.Complete && len(truth) == countTaken(rec.Path)
+		if exact {
+			j := 0
+			for _, s := range rec.Path.Steps {
+				if !s.Taken {
+					continue
+				}
+				if s.Addr != truth[j].Addr || s.Target != truth[j].Target {
+					exact = false
+					break
+				}
+				j++
+			}
+		}
+		out = append(out, ExtendedEvalResult{TakenBranches: taken, Exact: exact})
+	}
+	return out, nil
+}
+
+// traceCapture ground-truths the capture run's taken branches (minus the
+// clear chain).
+func traceCapture(seed int64, v core.Victim) ([]pathfinder.Step, int, error) {
+	m := cpu.New(cpu.Options{Seed: seed})
+	var steps []pathfinder.Step
+	m.TraceTaken = func(pc, tgt uint64) {
+		steps = append(steps, pathfinder.Step{Addr: pc, Target: tgt, Taken: true})
+	}
+	if v.Setup != nil {
+		v.Setup(m)
+	}
+	prog, err := core.BuildCaptureProgram(m, v)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := m.Run(prog, "cap_main"); err != nil {
+		return nil, 0, err
+	}
+	steps = steps[m.Arch().PHRSize:]
+	return steps, len(steps), nil
+}
+
+// phrWriterVictim is the §4.2 evaluation victim: calling it runs a
+// Write_PHR chain leaving a predetermined register value.
+func phrWriterVictim(value *phr.Reg) core.Victim {
+	return core.Victim{
+		Entry: "hw_victim",
+		Emit: func(a *isa.Assembler) {
+			a.Label("hw_victim")
+			a.Nop()
+			core.EmitWritePHR(a, "hw", value, "hw_done")
+			a.Align(0x1_0000, core.WriteContOffset(value))
+			a.Label("hw_done")
+			a.Ret()
+		},
+	}
+}
+
+func countTaken(p pathfinder.Path) int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Taken {
+			n++
+		}
+	}
+	return n
+}
+
+// Fig6Result is the Pathfinder output for the looped AES victim.
+type Fig6Result struct {
+	LoopIterations int
+	BlockSequence  []int
+	CFGDump        string
+}
+
+// Fig6PathfinderAES reproduces Figure 6: recover the AES victim's runtime
+// CFG and loop trip count from its PHR.
+func Fig6PathfinderAES(seed int64) (*Fig6Result, error) {
+	m := cpu.New(cpu.Options{Seed: seed})
+	key := make([]byte, 16)
+	for i := range key {
+		key[i] = byte(i*17 + 3)
+	}
+	a, err := attack.NewAESAttack(m, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.RecoverControlFlow(); err != nil {
+		return nil, err
+	}
+	cfg, err := pathfinder.Build(a.Rec.CaptureProgram)
+	if err != nil {
+		return nil, err
+	}
+	seq := a.Rec.Path.BlockSequence(cfg, a.Rec.Entry, a.Rec.Final)
+	return &Fig6Result{
+		LoopIterations: a.LoopIterations(),
+		BlockSequence:  seq,
+		CFGDump:        cfg.Dump(),
+	}, nil
+}
+
+// Fig7Result is one recovered image of the §8 evaluation.
+type Fig7Result struct {
+	Name            string
+	TakenBranches   int
+	FlagAccuracy    float64 // fraction of constant-row/col flags recovered correctly
+	EdgeCorrelation float64
+	Recovered       *media.Gray
+}
+
+// Fig7ImageRecovery reproduces the §8 evaluation over the synthetic secret
+// image set at the given edge size and JPEG quality.
+func Fig7ImageRecovery(size, quality, maxImages int, seed int64) ([]Fig7Result, error) {
+	set := media.TestSet(size)
+	if maxImages > 0 && maxImages < len(set) {
+		set = set[:maxImages]
+	}
+	var out []Fig7Result
+	for i, entry := range set {
+		enc, err := jpeg.Encode(entry.Image.Pix, entry.Image.W, entry.Image.H, quality)
+		if err != nil {
+			return nil, err
+		}
+		_, blocks, err := jpeg.DecodeBlocks(enc)
+		if err != nil {
+			return nil, err
+		}
+		ir := &attack.ImageRecovery{M: cpu.New(cpu.Options{Seed: seed + int64(i)})}
+		res, err := ir.Recover(enc)
+		if err != nil {
+			return nil, fmt.Errorf("harness: image %s: %w", entry.Name, err)
+		}
+		wantCols, wantRows := attack.GroundTruthFlags(blocks)
+		correct, total := 0, 0
+		for b := range blocks {
+			for k := 0; k < 8; k++ {
+				if res.ConstCols[b][k] == wantCols[b][k] {
+					correct++
+				}
+				if res.ConstRows[b][k] == wantRows[b][k] {
+					correct++
+				}
+				total += 2
+			}
+		}
+		if err := res.Score(entry.Image); err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Result{
+			Name:            entry.Name,
+			TakenBranches:   res.TakenBranches,
+			FlagAccuracy:    float64(correct) / float64(total),
+			EdgeCorrelation: res.EdgeCorrelation,
+			Recovered:       res.Recovered,
+		})
+	}
+	return out, nil
+}
+
+// AESEvalResult is the §9 evaluation outcome.
+type AESEvalResult struct {
+	Trials        int
+	ByteSuccesses int
+	TotalBytes    int
+	SuccessRate   float64
+	KeyRecovered  bool
+}
+
+// AESLeakEval reproduces the §9 evaluation: over `trials` oracle queries at
+// random early-exit iterations, compare the stolen reduced-round ciphertext
+// bytes against ground truth; then recover the full key from skip-loop
+// leaks. Noise keeps the success rate realistically below 100%.
+func AESLeakEval(trials int, noise float64, seed int64) (*AESEvalResult, error) {
+	m := cpu.New(cpu.Options{Seed: seed, Noise: noise})
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	a, err := attack.NewAESAttack(m, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.RecoverControlFlow(); err != nil {
+		return nil, err
+	}
+	res := &AESEvalResult{Trials: trials}
+	rng := newRng(uint64(seed) * 977)
+	for t := 0; t < trials; t++ {
+		var pt aes.Block
+		for i := range pt {
+			pt[i] = byte(rng.next())
+		}
+		n := int(rng.next()%9) + 0 // iterations 0..8
+		leak, ok, err := a.LeakReducedRound(pt, n)
+		if err != nil {
+			return nil, err
+		}
+		want, err := a.GroundTruthReduced(pt, n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 16; i++ {
+			res.TotalBytes++
+			if ok[i] && leak[i] == want[i] {
+				res.ByteSuccesses++
+			}
+		}
+	}
+	res.SuccessRate = float64(res.ByteSuccesses) / float64(res.TotalBytes)
+	recKey, _, err := a.RecoverKey(64)
+	if err == nil && recKey == aes.Block(key) {
+		res.KeyRecovered = true
+	}
+	return res, nil
+}
+
+// SyscallBranchCounts reproduces §7.1: the taken-branch counts a syscall's
+// entry and exit paths contribute to the user-visible PHR.
+func SyscallBranchCounts() (entry, exit int, err error) {
+	return victim.SyscallEntryBranches, victim.SyscallExitBranches, nil
+}
+
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func randomReg(size int, seed int64) *phr.Reg {
+	r := phr.New(size)
+	g := newRng(uint64(seed)*2654435761 + 5)
+	for i := 0; i < size; i++ {
+		r.SetDoublet(i, phr.Doublet(g.next()&3))
+	}
+	return r
+}

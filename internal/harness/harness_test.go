@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"Core i9-13900KS", "Core i9-12900", "Core i7-6770HQ", "194", "93"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestObs2CounterWidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	rows, bits, err := Obs2CounterWidth(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("m=%-3d mispredicts/period=%.2f", r.M, r.MispredictPerPeriod)
+	}
+	if bits != 3 {
+		t.Fatalf("inferred counter width %d, want 3 (Observation 2)", bits)
+	}
+}
+
+func TestFig4Rates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	rows, err := Fig4ReadDoublet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("doublet %d true=%d rates=%v", r.Doublet, r.True, r.Rates)
+		for x := 0; x < 4; x++ {
+			if x == int(r.True) {
+				if r.Rates[x] < 0.3 {
+					t.Errorf("doublet %d: true candidate rate %.2f, want ~0.5", r.Doublet, r.Rates[x])
+				}
+			} else if r.Rates[x] > 0.2 {
+				t.Errorf("doublet %d: wrong candidate %d rate %.2f, want ~0", r.Doublet, x, r.Rates[x])
+			}
+		}
+	}
+}
+
+func TestReadPHRRandomEval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	const trials = 5
+	ok, err := ReadPHRRandomEval(trials, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != trials {
+		t.Fatalf("%d/%d random PHR values read back", ok, trials)
+	}
+}
+
+func TestExtendedReadEval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	rows, err := ExtendedReadEval([]int{40, 150, 220}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("taken=%d exact=%v", r.TakenBranches, r.Exact)
+		if !r.Exact {
+			t.Errorf("case with %d taken branches not recovered exactly", r.TakenBranches)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long mode only")
+	}
+	res, err := Fig6PathfinderAES(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoopIterations != 9 {
+		t.Fatalf("loop iterations %d, want 9 (Figure 6)", res.LoopIterations)
+	}
+	if len(res.BlockSequence) < 4 {
+		t.Fatalf("block sequence too short: %v", res.BlockSequence)
+	}
+}
+
+func TestSyscallBranchCounts(t *testing.T) {
+	entry, exit, err := SyscallBranchCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry != 23 || exit != 7 {
+		t.Fatalf("entry=%d exit=%d, want 23/7 (§7.1)", entry, exit)
+	}
+}

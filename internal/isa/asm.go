@@ -1,0 +1,301 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assembler builds a Program in two passes: emission records instructions
+// and placement directives; Assemble assigns addresses and resolves labels.
+//
+// The cursor starts at address 0x1000 and advances one byte per
+// instruction. Org moves it forward to an absolute address; Align moves it
+// forward to the next address congruent to offset modulo bound. Moving the
+// cursor backwards or emitting two instructions at one address is an error,
+// reported by Assemble.
+type Assembler struct {
+	instrs  []Instr           // Addr filled during Assemble
+	orgs    map[int]uint64    // instruction index -> absolute address
+	aligns  map[int][2]uint64 // instruction index -> {bound, offset}
+	labels  map[int][]string  // instruction index -> labels bound to it
+	sizes   []uint64          // per-instruction encoded size
+	stride  uint64            // current instruction size
+	varying bool              // x86-like variable sizes
+	errs    []error
+	start   uint64
+}
+
+// DefaultBase is the cursor start address.
+const DefaultBase = 0x1000
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{
+		orgs:   make(map[int]uint64),
+		aligns: make(map[int][2]uint64),
+		labels: make(map[int][]string),
+		start:  DefaultBase,
+		stride: 1,
+	}
+}
+
+// Stride sets the encoded size of subsequently emitted instructions.
+// The default is 1 byte. Attack gadgets use the default (their placement
+// is fully Align-controlled); victim code uses VariableStride to emulate
+// the byte-granular, multi-byte instruction encoding of x86, which is what
+// gives real branch addresses their footprint entropy.
+func (a *Assembler) Stride(n uint64) {
+	if n == 0 {
+		a.errf("isa: zero stride")
+		return
+	}
+	a.stride, a.varying = n, false
+}
+
+// VariableStride makes subsequent instructions occupy a deterministic
+// pseudo-random 2..6 bytes, approximating compiled x86 code density.
+func (a *Assembler) VariableStride() {
+	a.stride, a.varying = 0, true
+}
+
+func (a *Assembler) errf(format string, args ...any) {
+	a.errs = append(a.errs, fmt.Errorf(format, args...))
+}
+
+// Org places the next emitted instruction at the absolute address addr.
+func (a *Assembler) Org(addr uint64) {
+	a.orgs[len(a.instrs)] = addr
+}
+
+// Align places the next emitted instruction at the smallest address >= the
+// current cursor with addr % bound == offset. Bound must be a power of two
+// larger than offset.
+func (a *Assembler) Align(bound, offset uint64) {
+	if bound == 0 || bound&(bound-1) != 0 || offset >= bound {
+		a.errf("isa: bad alignment bound=%#x offset=%#x", bound, offset)
+		return
+	}
+	a.aligns[len(a.instrs)] = [2]uint64{bound, offset}
+}
+
+// Label binds a name to the next emitted instruction's address.
+func (a *Assembler) Label(name string) {
+	a.labels[len(a.instrs)] = append(a.labels[len(a.instrs)], name)
+}
+
+func (a *Assembler) emit(in Instr) {
+	size := a.stride
+	if a.varying {
+		i := uint64(len(a.instrs))
+		size = 2 + (i*2654435761+0x9e37)%5 // 2..6 bytes, deterministic
+	}
+	a.instrs = append(a.instrs, in)
+	a.sizes = append(a.sizes, size)
+}
+
+// Nop emits a no-op.
+func (a *Assembler) Nop() { a.emit(Instr{Op: NOP}) }
+
+// Halt stops the machine.
+func (a *Assembler) Halt() { a.emit(Instr{Op: HALT}) }
+
+// MovI sets rd to an immediate.
+func (a *Assembler) MovI(rd Reg, imm int64) { a.emit(Instr{Op: MOVI, Rd: rd, Imm: imm}) }
+
+// Mov copies rs to rd.
+func (a *Assembler) Mov(rd, rs Reg) { a.emit(Instr{Op: MOV, Rd: rd, Rs: rs}) }
+
+// Add emits rd = rs + rt.
+func (a *Assembler) Add(rd, rs, rt Reg) { a.emit(Instr{Op: ADD, Rd: rd, Rs: rs, Rt: rt}) }
+
+// AddI emits rd = rs + imm.
+func (a *Assembler) AddI(rd, rs Reg, imm int64) { a.emit(Instr{Op: ADDI, Rd: rd, Rs: rs, Imm: imm}) }
+
+// Sub emits rd = rs - rt.
+func (a *Assembler) Sub(rd, rs, rt Reg) { a.emit(Instr{Op: SUB, Rd: rd, Rs: rs, Rt: rt}) }
+
+// And emits rd = rs & rt.
+func (a *Assembler) And(rd, rs, rt Reg) { a.emit(Instr{Op: AND, Rd: rd, Rs: rs, Rt: rt}) }
+
+// Or emits rd = rs | rt.
+func (a *Assembler) Or(rd, rs, rt Reg) { a.emit(Instr{Op: OR, Rd: rd, Rs: rs, Rt: rt}) }
+
+// Xor emits rd = rs ^ rt.
+func (a *Assembler) Xor(rd, rs, rt Reg) { a.emit(Instr{Op: XOR, Rd: rd, Rs: rs, Rt: rt}) }
+
+// XorI emits rd = rs ^ imm.
+func (a *Assembler) XorI(rd, rs Reg, imm int64) { a.emit(Instr{Op: XORI, Rd: rd, Rs: rs, Imm: imm}) }
+
+// ShlI emits rd = rs << imm.
+func (a *Assembler) ShlI(rd, rs Reg, imm int64) { a.emit(Instr{Op: SHLI, Rd: rd, Rs: rs, Imm: imm}) }
+
+// ShrI emits rd = rs >> imm.
+func (a *Assembler) ShrI(rd, rs Reg, imm int64) { a.emit(Instr{Op: SHRI, Rd: rd, Rs: rs, Imm: imm}) }
+
+// Mul emits rd = rs * rt.
+func (a *Assembler) Mul(rd, rs, rt Reg) { a.emit(Instr{Op: MUL, Rd: rd, Rs: rs, Rt: rt}) }
+
+// Ld emits rd = mem64[rs+imm].
+func (a *Assembler) Ld(rd, rs Reg, imm int64) { a.emit(Instr{Op: LD, Rd: rd, Rs: rs, Imm: imm}) }
+
+// St emits mem64[rs+imm] = rt.
+func (a *Assembler) St(rs Reg, imm int64, rt Reg) { a.emit(Instr{Op: ST, Rs: rs, Imm: imm, Rt: rt}) }
+
+// LdB emits rd = mem8[rs+imm].
+func (a *Assembler) LdB(rd, rs Reg, imm int64) { a.emit(Instr{Op: LDB, Rd: rd, Rs: rs, Imm: imm}) }
+
+// StB emits mem8[rs+imm] = low byte of rt.
+func (a *Assembler) StB(rs Reg, imm int64, rt Reg) { a.emit(Instr{Op: STB, Rs: rs, Imm: imm, Rt: rt}) }
+
+// Br emits a conditional branch to a label.
+func (a *Assembler) Br(c Cond, rs, rt Reg, label string) {
+	a.emit(Instr{Op: BR, Cond: c, Rs: rs, Rt: rt, Sym: label})
+}
+
+// Brz branches to label when rs == 0 (compares against R31, which calling
+// convention reserves as zero; the assembler does not enforce that).
+func (a *Assembler) Brz(rs Reg, label string) { a.Br(EQ, rs, Reg(31), label) }
+
+// Jmp emits an unconditional direct jump to a label.
+func (a *Assembler) Jmp(label string) { a.emit(Instr{Op: JMP, Sym: label}) }
+
+// Call emits a call to a label.
+func (a *Assembler) Call(label string) { a.emit(Instr{Op: CALL, Sym: label}) }
+
+// Ret returns to the caller.
+func (a *Assembler) Ret() { a.emit(Instr{Op: RET}) }
+
+// Jr jumps to the address in rs.
+func (a *Assembler) Jr(rs Reg) { a.emit(Instr{Op: JR, Rs: rs}) }
+
+// Clflush evicts mem[rs+imm] from the cache.
+func (a *Assembler) Clflush(rs Reg, imm int64) { a.emit(Instr{Op: CLFLUSH, Rs: rs, Imm: imm}) }
+
+// TimedLd emits rd = load latency of mem[rs+imm] (and performs the load).
+func (a *Assembler) TimedLd(rd, rs Reg, imm int64) {
+	a.emit(Instr{Op: TIMEDLD, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Rand emits rd = next value of the CPU's deterministic random stream.
+func (a *Assembler) Rand(rd Reg) { a.emit(Instr{Op: RAND, Rd: rd}) }
+
+// RdCycle emits rd = cycle counter.
+func (a *Assembler) RdCycle(rd Reg) { a.emit(Instr{Op: RDCYCLE, Rd: rd}) }
+
+// VLd loads 16 bytes into vd.
+func (a *Assembler) VLd(vd VReg, rs Reg, imm int64) {
+	a.emit(Instr{Op: VLD, Vd: vd, Rs: rs, Imm: imm})
+}
+
+// VSt stores vd to memory.
+func (a *Assembler) VSt(rs Reg, imm int64, vd VReg) {
+	a.emit(Instr{Op: VST, Vd: vd, Rs: rs, Imm: imm})
+}
+
+// VXor xors 16 bytes of memory into vd.
+func (a *Assembler) VXor(vd VReg, rs Reg, imm int64) {
+	a.emit(Instr{Op: VXOR, Vd: vd, Rs: rs, Imm: imm})
+}
+
+// AesEnc emits one AES round on vd with the round key at mem[rs+imm].
+func (a *Assembler) AesEnc(vd VReg, rs Reg, imm int64) {
+	a.emit(Instr{Op: AESENC, Vd: vd, Rs: rs, Imm: imm})
+}
+
+// AesEncLast emits the final AES round on vd.
+func (a *Assembler) AesEncLast(vd VReg, rs Reg, imm int64) {
+	a.emit(Instr{Op: AESENCLAST, Vd: vd, Rs: rs, Imm: imm})
+}
+
+// Syscall emits a system call to kernel stub imm.
+func (a *Assembler) Syscall(num int64) { a.emit(Instr{Op: SYSCALL, Imm: num}) }
+
+// EEnter emits an SGX enclave entry to enclave stub imm.
+func (a *Assembler) EEnter(num int64) { a.emit(Instr{Op: EENTER, Imm: num}) }
+
+// Ibpb emits an indirect branch predictor barrier.
+func (a *Assembler) Ibpb() { a.emit(Instr{Op: IBPB}) }
+
+// Assemble assigns addresses, resolves labels and returns the program.
+func (a *Assembler) Assemble() (*Program, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	if len(a.instrs) == 0 {
+		return nil, fmt.Errorf("isa: empty program")
+	}
+	p := &Program{
+		Instrs:  make([]Instr, len(a.instrs)),
+		Symbols: make(map[string]uint64),
+		byAddr:  make(map[uint64]int, len(a.instrs)),
+	}
+	copy(p.Instrs, a.instrs)
+
+	cursor := a.start
+	for i := range p.Instrs {
+		if addr, ok := a.orgs[i]; ok {
+			if addr < cursor {
+				return nil, fmt.Errorf("isa: org %#x moves cursor backwards from %#x", addr, cursor)
+			}
+			cursor = addr
+		}
+		if al, ok := a.aligns[i]; ok {
+			bound, off := al[0], al[1]
+			next := cursor&^(bound-1) | off
+			if next < cursor {
+				next += bound
+			}
+			cursor = next
+		}
+		for _, name := range a.labels[i] {
+			if _, dup := p.Symbols[name]; dup {
+				return nil, fmt.Errorf("isa: duplicate label %q", name)
+			}
+			p.Symbols[name] = cursor
+		}
+		p.Instrs[i].Addr = cursor
+		if _, dup := p.byAddr[cursor]; dup {
+			return nil, fmt.Errorf("isa: two instructions at %#x", cursor)
+		}
+		p.byAddr[cursor] = i
+		cursor += a.sizes[i]
+	}
+	// Trailing labels (bound past the last instruction) point one past the
+	// end; they are valid jump targets only if something is later placed
+	// there, so reject them to catch builder bugs early.
+	if names := a.labels[len(a.instrs)]; len(names) > 0 {
+		return nil, fmt.Errorf("isa: label %q has no instruction", names[0])
+	}
+
+	// Resolve control-transfer symbols.
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Sym == "" {
+			continue
+		}
+		switch in.Op {
+		case BR, JMP, CALL:
+			addr, ok := p.Symbols[in.Sym]
+			if !ok {
+				return nil, fmt.Errorf("isa: undefined label %q at %#x", in.Sym, in.Addr)
+			}
+			in.Target = addr
+		}
+	}
+	return p, nil
+}
+
+// SortedSymbols returns label names ordered by address, for listings.
+func (p *Program) SortedSymbols() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.Symbols[names[i]] != p.Symbols[names[j]] {
+			return p.Symbols[names[i]] < p.Symbols[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,309 @@
+// Package isa defines the instruction set of the simulated machine and a
+// two-pass assembler for building programs.
+//
+// The ISA is deliberately small and RISC-like, with two properties the
+// Pathfinder attacks depend on:
+//
+//   - Instructions are byte-addressed and one byte long, and the assembler
+//     lets code be placed at arbitrary addresses (Org/Align). Branch
+//     *addresses* and branch *targets* are therefore controllable down to
+//     the individual bits that form the PHR branch footprint, mirroring the
+//     control an attacker has over x86 code layout.
+//
+//   - Code placement is sparse: falling off an instruction continues with
+//     the next instruction in program order even across an address gap, so
+//     placing every gadget branch at a 64 KiB boundary costs nothing. The
+//     address is predictor-visible metadata; program order is the
+//     architectural sequence.
+//
+// Scalar registers R0..R31 hold uint64; vector registers V0..V7 hold 128
+// bits for the AES-NI-style instructions.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg names a scalar register, 0..31.
+type Reg uint8
+
+// VReg names a 128-bit vector register, 0..7.
+type VReg uint8
+
+// NumRegs and NumVRegs are the register file sizes.
+const (
+	NumRegs  = 32
+	NumVRegs = 8
+)
+
+// Convenient register aliases.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+)
+
+// Vector register aliases.
+const (
+	V0 VReg = iota
+	V1
+	V2
+	V3
+	V4
+	V5
+	V6
+	V7
+)
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	NOP Op = iota
+	HALT
+	MOVI // Rd = Imm
+	MOV  // Rd = Rs
+	ADD  // Rd = Rs + Rt
+	ADDI // Rd = Rs + Imm
+	SUB  // Rd = Rs - Rt
+	AND  // Rd = Rs & Rt
+	OR   // Rd = Rs | Rt
+	XOR  // Rd = Rs ^ Rt
+	XORI // Rd = Rs ^ Imm
+	SHLI // Rd = Rs << Imm
+	SHRI // Rd = Rs >> Imm
+	MUL  // Rd = Rs * Rt
+	LD   // Rd = mem64[Rs + Imm]
+	ST   // mem64[Rs + Imm] = Rt
+	LDB  // Rd = mem8[Rs + Imm]
+	STB  // mem8[Rs + Imm] = Rt (low byte)
+	BR   // if Cond(Rs, Rt): goto Target
+	JMP  // goto Target (unconditional direct)
+	CALL // push return, goto Target
+	RET  // pop return, goto it (indirect)
+	JR   // goto Rs (indirect)
+	CLFLUSH
+	TIMEDLD // Rd = access latency of mem[Rs + Imm] (performs the load)
+	RAND    // Rd = deterministic pseudo-random uint64 from the CPU stream
+	RDCYCLE // Rd = current cycle counter
+	VLD     // Vd = mem128[Rs + Imm]
+	VST     // mem128[Rs + Imm] = Vs
+	VXOR    // Vd ^= mem128[Rs + Imm]
+	AESENC  // Vd = AESENC(Vd, mem128[Rs + Imm])   (one AES round)
+	AESENCLAST
+	SYSCALL // enter kernel stub Imm, then return here
+	EENTER  // enter SGX enclave stub Imm, then return here
+	IBPB    // indirect branch predictor barrier
+	opCount
+)
+
+var opNames = [...]string{
+	NOP: "nop", HALT: "halt", MOVI: "movi", MOV: "mov", ADD: "add",
+	ADDI: "addi", SUB: "sub", AND: "and", OR: "or", XOR: "xor", XORI: "xori",
+	SHLI: "shli", SHRI: "shri", MUL: "mul", LD: "ld", ST: "st", LDB: "ldb",
+	STB: "stb", BR: "br", JMP: "jmp", CALL: "call", RET: "ret", JR: "jr",
+	CLFLUSH: "clflush", TIMEDLD: "timedld", RAND: "rand", RDCYCLE: "rdcycle",
+	VLD: "vld", VST: "vst", VXOR: "vxor", AESENC: "aesenc",
+	AESENCLAST: "aesenclast", SYSCALL: "syscall", EENTER: "eenter",
+	IBPB: "ibpb",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cond is a branch condition over (Rs, Rt).
+type Cond uint8
+
+// Branch conditions.
+const (
+	EQ Cond = iota // Rs == Rt
+	NE
+	LT // signed <
+	GE // signed >=
+	LTU
+	GEU
+)
+
+var condNames = [...]string{EQ: "eq", NE: "ne", LT: "lt", GE: "ge", LTU: "ltu", GEU: "geu"}
+
+// String returns the condition mnemonic.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Eval evaluates the condition on two operand values.
+func (c Cond) Eval(a, b uint64) bool {
+	switch c {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return int64(a) < int64(b)
+	case GE:
+		return int64(a) >= int64(b)
+	case LTU:
+		return a < b
+	case GEU:
+		return a >= b
+	}
+	panic(fmt.Sprintf("isa: bad condition %d", c))
+}
+
+// Instr is one decoded instruction. Addr is its byte address; Target is the
+// resolved address of a direct control transfer.
+type Instr struct {
+	Addr   uint64
+	Op     Op
+	Cond   Cond
+	Rd     Reg
+	Rs     Reg
+	Rt     Reg
+	Vd     VReg
+	Imm    int64
+	Target uint64 // resolved target for BR/JMP/CALL
+	Sym    string // unresolved target label (pre-assembly) / debug name
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in *Instr) IsCondBranch() bool { return in.Op == BR }
+
+// IsUncondDirect reports whether the instruction is an unconditional direct
+// control transfer (always-taken branch with a static target).
+func (in *Instr) IsUncondDirect() bool { return in.Op == JMP || in.Op == CALL }
+
+// IsIndirect reports whether the instruction transfers control through a
+// register or stack value.
+func (in *Instr) IsIndirect() bool { return in.Op == RET || in.Op == JR }
+
+// IsControl reports whether the instruction can redirect control flow.
+func (in *Instr) IsControl() bool {
+	return in.IsCondBranch() || in.IsUncondDirect() || in.IsIndirect()
+}
+
+// String renders the instruction for disassembly listings.
+func (in *Instr) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%#010x: %-10s", in.Addr, in.Op.String())
+	switch in.Op {
+	case MOVI:
+		fmt.Fprintf(&b, "r%d, %d", in.Rd, in.Imm)
+	case MOV:
+		fmt.Fprintf(&b, "r%d, r%d", in.Rd, in.Rs)
+	case ADD, SUB, AND, OR, XOR, MUL:
+		fmt.Fprintf(&b, "r%d, r%d, r%d", in.Rd, in.Rs, in.Rt)
+	case ADDI, XORI, SHLI, SHRI:
+		fmt.Fprintf(&b, "r%d, r%d, %d", in.Rd, in.Rs, in.Imm)
+	case LD, LDB, TIMEDLD:
+		fmt.Fprintf(&b, "r%d, [r%d%+d]", in.Rd, in.Rs, in.Imm)
+	case ST, STB:
+		fmt.Fprintf(&b, "[r%d%+d], r%d", in.Rs, in.Imm, in.Rt)
+	case BR:
+		fmt.Fprintf(&b, "%s r%d, r%d -> %#x", in.Cond, in.Rs, in.Rt, in.Target)
+	case JMP, CALL:
+		fmt.Fprintf(&b, "%#x", in.Target)
+	case JR:
+		fmt.Fprintf(&b, "r%d", in.Rs)
+	case CLFLUSH:
+		fmt.Fprintf(&b, "[r%d%+d]", in.Rs, in.Imm)
+	case RAND, RDCYCLE:
+		fmt.Fprintf(&b, "r%d", in.Rd)
+	case VLD, VXOR, AESENC, AESENCLAST:
+		fmt.Fprintf(&b, "v%d, [r%d%+d]", in.Vd, in.Rs, in.Imm)
+	case VST:
+		fmt.Fprintf(&b, "[r%d%+d], v%d", in.Rs, in.Imm, in.Vd)
+	case SYSCALL, EENTER:
+		fmt.Fprintf(&b, "%d", in.Imm)
+	}
+	if in.Sym != "" {
+		fmt.Fprintf(&b, "    ; %s", in.Sym)
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Program is an assembled instruction sequence. Instructions appear in
+// program (architectural) order; addresses may be sparse. Fallthrough from
+// Instrs[i] continues at Instrs[i+1].
+type Program struct {
+	Instrs  []Instr
+	Symbols map[string]uint64
+
+	byAddr map[uint64]int
+}
+
+// IndexOf maps an instruction address to its program-order index.
+func (p *Program) IndexOf(addr uint64) (int, bool) {
+	i, ok := p.byAddr[addr]
+	return i, ok
+}
+
+// At returns the instruction at the given address.
+func (p *Program) At(addr uint64) (*Instr, bool) {
+	if i, ok := p.byAddr[addr]; ok {
+		return &p.Instrs[i], true
+	}
+	return nil, false
+}
+
+// SymbolAddr resolves a label to its address.
+func (p *Program) SymbolAddr(name string) (uint64, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}
+
+// MustSymbol resolves a label or panics; for tests and example binaries.
+func (p *Program) MustSymbol(name string) uint64 {
+	a, ok := p.Symbols[name]
+	if !ok {
+		panic("isa: unknown symbol " + name)
+	}
+	return a
+}
+
+// NameFor returns the label declared exactly at addr, if any.
+func (p *Program) NameFor(addr uint64) string {
+	for name, a := range p.Symbols {
+		if a == addr {
+			return name
+		}
+	}
+	return ""
+}
+
+// Disassemble renders the whole program.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if name := p.NameFor(in.Addr); name != "" {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		b.WriteString("  ")
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package jpeg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// magic identifies the container of this codec's bitstream.
+var magic = [4]byte{'P', 'F', 'J', '1'}
+
+// Encode compresses an 8-bit grayscale image (row-major pix, w×h) at the
+// given quality into a self-describing bitstream. Images are padded to
+// 8-pixel multiples by edge replication.
+func Encode(pix []byte, w, h, quality int) ([]byte, error) {
+	if w <= 0 || h <= 0 || len(pix) != w*h {
+		return nil, fmt.Errorf("jpeg: bad image dimensions %dx%d for %d pixels", w, h, len(pix))
+	}
+	qt, err := QualityTable(quality)
+	if err != nil {
+		return nil, err
+	}
+	bw, bh := (w+7)/8, (h+7)/8
+	out := make([]byte, 0, w*h/4+16)
+	out = append(out, magic[:]...)
+	var hdr [9]byte
+	binary.BigEndian.PutUint16(hdr[0:], uint16(w))
+	binary.BigEndian.PutUint16(hdr[2:], uint16(h))
+	hdr[4] = byte(quality)
+	out = append(out, hdr[:5]...)
+
+	wr := &bitWriter{}
+	prevDC := int32(0)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			var samples Block
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					sx, sy := bx*8+x, by*8+y
+					if sx >= w {
+						sx = w - 1
+					}
+					if sy >= h {
+						sy = h - 1
+					}
+					samples[y*8+x] = int32(pix[sy*w+sx]) - 128
+				}
+			}
+			zz := ZigZag(qt.Quantize(FDCT(samples)))
+			prevDC, err = encodeBlock(wr, zz, prevDC)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return append(out, wr.flush()...), nil
+}
+
+// Header describes an encoded image.
+type Header struct {
+	Width, Height, Quality int
+	BlocksW, BlocksH       int
+}
+
+func parseHeader(data []byte) (Header, []byte, error) {
+	if len(data) < 9 || [4]byte(data[:4]) != magic {
+		return Header{}, nil, fmt.Errorf("jpeg: bad magic")
+	}
+	h := Header{
+		Width:   int(binary.BigEndian.Uint16(data[4:])),
+		Height:  int(binary.BigEndian.Uint16(data[6:])),
+		Quality: int(data[8]),
+	}
+	if h.Width == 0 || h.Height == 0 {
+		return Header{}, nil, fmt.Errorf("jpeg: zero dimensions")
+	}
+	h.BlocksW, h.BlocksH = (h.Width+7)/8, (h.Height+7)/8
+	return h, data[9:], nil
+}
+
+// DecodeBlocks entropy-decodes and dequantizes every coefficient block —
+// the decoder state right before the IDCT stage, which is what the victim
+// program consumes.
+func DecodeBlocks(data []byte) (Header, []Block, error) {
+	hdr, payload, err := parseHeader(data)
+	if err != nil {
+		return hdr, nil, err
+	}
+	qt, err := QualityTable(hdr.Quality)
+	if err != nil {
+		return hdr, nil, err
+	}
+	rd := &bitReader{buf: payload}
+	blocks := make([]Block, 0, hdr.BlocksW*hdr.BlocksH)
+	prevDC := int32(0)
+	for i := 0; i < hdr.BlocksW*hdr.BlocksH; i++ {
+		var zz Block
+		zz, prevDC, err = decodeBlock(rd, prevDC)
+		if err != nil {
+			return hdr, nil, fmt.Errorf("jpeg: block %d: %w", i, err)
+		}
+		blocks = append(blocks, qt.Dequantize(UnZigZag(zz)))
+	}
+	return hdr, blocks, nil
+}
+
+// idct1 performs a 1-D 8-point inverse DCT with the Listing-2 fast path:
+// when elements 1..7 are zero the output is the constant in[0]/(2*sqrt 2).
+func idct1(in *[8]float64, out *[8]float64) (constant bool) {
+	constant = true
+	for k := 1; k < 8; k++ {
+		if in[k] != 0 {
+			constant = false
+			break
+		}
+	}
+	if constant {
+		v := in[0] / (2 * math.Sqrt2)
+		for k := range out {
+			out[k] = v
+		}
+		return true
+	}
+	for x := 0; x < 8; x++ {
+		var sum float64
+		for u := 0; u < 8; u++ {
+			sum += alpha(u) * in[u] * cosTable[x][u]
+		}
+		out[x] = sum / 2
+	}
+	return false
+}
+
+// IDCTBlock reconstructs samples from a dequantized block using the
+// two-pass column/row structure of the libjpeg IDCT. Following Listing 2
+// of the paper, both passes test the *coefficient matrix* for the constant
+// fast path: pass 1 skips the column transform when rows 1..7 of a column
+// are zero, and pass 2's reported predicate is the symmetric row check.
+// The returned flags are exactly the decisions the victim program's
+// branches take — the §8 leak.
+func IDCTBlock(b *Block) (out Block, constCols, constRows [8]bool) {
+	var ws [8][8]float64 // workspace after the column pass
+	for c := 0; c < 8; c++ {
+		var col, res [8]float64
+		for r := 0; r < 8; r++ {
+			col[r] = float64(b[r*8+c])
+		}
+		constCols[c] = idct1(&col, &res)
+		for r := 0; r < 8; r++ {
+			ws[r][c] = res[r]
+		}
+	}
+	for r := 0; r < 8; r++ {
+		constRows[r] = ConstantRow(b, r)
+		var res [8]float64
+		idct1(&ws[r], &res)
+		for c := 0; c < 8; c++ {
+			out[r*8+c] = int32(math.Round(res[c]))
+		}
+	}
+	return out, constCols, constRows
+}
+
+// Decode reconstructs the grayscale image.
+func Decode(data []byte) ([]byte, int, int, error) {
+	hdr, blocks, err := DecodeBlocks(data)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	pix := make([]byte, hdr.Width*hdr.Height)
+	for bi, b := range blocks {
+		bx, by := bi%hdr.BlocksW, bi/hdr.BlocksW
+		samples, _, _ := IDCTBlock(&b)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				sx, sy := bx*8+x, by*8+y
+				if sx >= hdr.Width || sy >= hdr.Height {
+					continue
+				}
+				v := samples[y*8+x] + 128
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				pix[sy*hdr.Width+sx] = byte(v)
+			}
+		}
+	}
+	return pix, hdr.Width, hdr.Height, nil
+}

@@ -1,0 +1,109 @@
+// Package jpeg is a from-scratch baseline JPEG-style codec for 8-bit
+// grayscale images: forward/inverse DCT, quality-scaled quantization,
+// zigzag ordering and Huffman entropy coding over a custom bitstream.
+//
+// It is the substrate for the §8 image-recovery attack: the decoder's IDCT
+// stage carries the constant-row/column fast path of Listing 2, and the
+// victim package compiles exactly that control flow to the simulated ISA.
+package jpeg
+
+import "math"
+
+// BlockSize is the DCT block edge.
+const BlockSize = 8
+
+// Block is an 8×8 coefficient or sample block in row-major order.
+type Block [BlockSize * BlockSize]int32
+
+var cosTable [BlockSize][BlockSize]float64
+
+func init() {
+	for x := 0; x < BlockSize; x++ {
+		for u := 0; u < BlockSize; u++ {
+			cosTable[x][u] = math.Cos((2*float64(x) + 1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func alpha(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// FDCT transforms level-shifted samples (−128..127) into DCT coefficients.
+func FDCT(in Block) Block {
+	var out Block
+	for v := 0; v < BlockSize; v++ {
+		for u := 0; u < BlockSize; u++ {
+			var sum float64
+			for y := 0; y < BlockSize; y++ {
+				for x := 0; x < BlockSize; x++ {
+					sum += float64(in[y*BlockSize+x]) * cosTable[x][u] * cosTable[y][v]
+				}
+			}
+			out[v*BlockSize+u] = int32(math.Round(sum * alpha(u) * alpha(v) / 4))
+		}
+	}
+	return out
+}
+
+// IDCT reconstructs level-shifted samples from DCT coefficients. It is the
+// reference ("complex computation") path; ConstantColumns/ConstantRows
+// report where a conforming decoder takes the Listing-2 fast path instead.
+func IDCT(in Block) Block {
+	var out Block
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			var sum float64
+			for v := 0; v < BlockSize; v++ {
+				for u := 0; u < BlockSize; u++ {
+					sum += alpha(u) * alpha(v) * float64(in[v*BlockSize+u]) * cosTable[x][u] * cosTable[y][v]
+				}
+			}
+			out[y*BlockSize+x] = int32(math.Round(sum / 4))
+		}
+	}
+	return out
+}
+
+// ConstantColumn reports whether column c of the coefficient block has all
+// zero entries except possibly the first (rows 1..7 zero): the fast-path
+// condition of the column pass in Listing 2.
+func ConstantColumn(b *Block, c int) bool {
+	for r := 1; r < BlockSize; r++ {
+		if b[r*BlockSize+c] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstantRow reports whether row r has all zero entries except possibly
+// the first (columns 1..7 zero): the row-pass fast-path condition.
+func ConstantRow(b *Block, r int) bool {
+	for c := 1; c < BlockSize; c++ {
+		if b[r*BlockSize+c] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstantCount returns the number of constant columns plus constant rows
+// (0..16) — the per-block complexity measure the §8 reconstruction uses.
+func ConstantCount(b *Block) int {
+	n := 0
+	for c := 0; c < BlockSize; c++ {
+		if ConstantColumn(b, c) {
+			n++
+		}
+	}
+	for r := 0; r < BlockSize; r++ {
+		if ConstantRow(b, r) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+package jpeg
+
+import "fmt"
+
+// Canonical Huffman coding with the JPEG Annex-K luminance tables: DC
+// difference categories and AC (run,size) symbols with EOB/ZRL escapes.
+
+// bitWriter packs MSB-first bits.
+type bitWriter struct {
+	buf  []byte
+	acc  uint32
+	nacc uint
+}
+
+func (w *bitWriter) write(code uint32, n uint) {
+	for n > 0 {
+		n--
+		w.acc = w.acc<<1 | (code>>n)&1
+		w.nacc++
+		if w.nacc == 8 {
+			w.buf = append(w.buf, byte(w.acc))
+			w.acc, w.nacc = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nacc)))
+		w.acc, w.nacc = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader unpacks MSB-first bits.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	acc  uint32
+	nacc uint
+}
+
+func (r *bitReader) bit() (uint32, error) {
+	if r.nacc == 0 {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("jpeg: bitstream exhausted")
+		}
+		r.acc = uint32(r.buf[r.pos])
+		r.pos++
+		r.nacc = 8
+	}
+	r.nacc--
+	return (r.acc >> r.nacc) & 1, nil
+}
+
+func (r *bitReader) bits(n uint) (uint32, error) {
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		b, err := r.bit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// huffTable is a canonical Huffman code built from a JPEG (BITS, HUFFVAL)
+// specification.
+type huffTable struct {
+	codes map[byte]struct {
+		code uint32
+		len  uint
+	}
+	// canonical decode arrays indexed by code length 1..16
+	minCode [17]int32
+	maxCode [17]int32 // -1 when no codes of that length
+	valPtr  [17]int
+	vals    []byte
+}
+
+func newHuffTable(bits [16]int, vals []byte) *huffTable {
+	t := &huffTable{
+		codes: make(map[byte]struct {
+			code uint32
+			len  uint
+		}),
+		vals: vals,
+	}
+	code := uint32(0)
+	k := 0
+	for l := 1; l <= 16; l++ {
+		t.valPtr[l] = k
+		t.minCode[l] = int32(code)
+		for i := 0; i < bits[l-1]; i++ {
+			t.codes[vals[k]] = struct {
+				code uint32
+				len  uint
+			}{code, uint(l)}
+			code++
+			k++
+		}
+		if bits[l-1] > 0 {
+			t.maxCode[l] = int32(code) - 1
+		} else {
+			t.maxCode[l] = -1
+		}
+		code <<= 1
+	}
+	return t
+}
+
+func (t *huffTable) encode(w *bitWriter, sym byte) error {
+	c, ok := t.codes[sym]
+	if !ok {
+		return fmt.Errorf("jpeg: symbol %#x not in Huffman table", sym)
+	}
+	w.write(c.code, c.len)
+	return nil
+}
+
+func (t *huffTable) decode(r *bitReader) (byte, error) {
+	code := int32(0)
+	for l := 1; l <= 16; l++ {
+		b, err := r.bit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | int32(b)
+		if t.maxCode[l] >= 0 && code <= t.maxCode[l] {
+			return t.vals[t.valPtr[l]+int(code-t.minCode[l])], nil
+		}
+	}
+	return 0, fmt.Errorf("jpeg: invalid Huffman code")
+}
+
+// Annex K.3.3.1: luminance DC difference categories.
+var dcLumTable = newHuffTable(
+	[16]int{0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0},
+	[]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+)
+
+// Annex K.3.3.2: luminance AC (run,size) symbols.
+var acLumTable = newHuffTable(
+	[16]int{0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 125},
+	[]byte{
+		0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+		0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+		0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08,
+		0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52, 0xd1, 0xf0,
+		0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16,
+		0x17, 0x18, 0x19, 0x1a, 0x25, 0x26, 0x27, 0x28,
+		0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+		0x3a, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+		0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+		0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+		0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+		0x7a, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+		0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+		0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7,
+		0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+		0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5,
+		0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4,
+		0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2,
+		0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea,
+		0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8,
+		0xf9, 0xfa,
+	},
+)
+
+// category returns the JPEG magnitude category (bit size) of v and the
+// category-many magnitude bits encoding it (one's-complement for negative
+// values, per F.1.2.1).
+func category(v int32) (size uint, bits uint32) {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	for a != 0 {
+		size++
+		a >>= 1
+	}
+	if v >= 0 {
+		return size, uint32(v)
+	}
+	return size, uint32(v + (1 << size) - 1)
+}
+
+// extend inverts category: magnitude bits back to a signed value.
+func extend(bits uint32, size uint) int32 {
+	if size == 0 {
+		return 0
+	}
+	v := int32(bits)
+	if v < 1<<(size-1) {
+		v -= 1<<size - 1
+	}
+	return v
+}
+
+// encodeBlock entropy-codes one zigzag-ordered quantized block; prevDC is
+// the previous block's DC value for differential coding.
+func encodeBlock(w *bitWriter, zz Block, prevDC int32) (int32, error) {
+	diff := zz[0] - prevDC
+	size, bits := category(diff)
+	if size > 11 {
+		return 0, fmt.Errorf("jpeg: DC difference %d too large", diff)
+	}
+	if err := dcLumTable.encode(w, byte(size)); err != nil {
+		return 0, err
+	}
+	w.write(bits, size)
+
+	run := 0
+	for k := 1; k < 64; k++ {
+		if zz[k] == 0 {
+			run++
+			continue
+		}
+		for run >= 16 {
+			if err := acLumTable.encode(w, 0xf0); err != nil { // ZRL
+				return 0, err
+			}
+			run -= 16
+		}
+		size, bits := category(zz[k])
+		if size > 10 {
+			return 0, fmt.Errorf("jpeg: AC coefficient %d too large", zz[k])
+		}
+		if err := acLumTable.encode(w, byte(run<<4)|byte(size)); err != nil {
+			return 0, err
+		}
+		w.write(bits, size)
+		run = 0
+	}
+	if run > 0 {
+		if err := acLumTable.encode(w, 0x00); err != nil { // EOB
+			return 0, err
+		}
+	}
+	return zz[0], nil
+}
+
+// decodeBlock inverts encodeBlock, returning the zigzag-ordered block.
+func decodeBlock(r *bitReader, prevDC int32) (Block, int32, error) {
+	var zz Block
+	sizeSym, err := dcLumTable.decode(r)
+	if err != nil {
+		return zz, 0, err
+	}
+	bits, err := r.bits(uint(sizeSym))
+	if err != nil {
+		return zz, 0, err
+	}
+	zz[0] = prevDC + extend(bits, uint(sizeSym))
+	for k := 1; k < 64; {
+		sym, err := acLumTable.decode(r)
+		if err != nil {
+			return zz, 0, err
+		}
+		if sym == 0x00 { // EOB
+			break
+		}
+		if sym == 0xf0 { // ZRL
+			k += 16
+			continue
+		}
+		run := int(sym >> 4)
+		size := uint(sym & 0xf)
+		k += run
+		if k >= 64 {
+			return zz, 0, fmt.Errorf("jpeg: AC run overflows block")
+		}
+		bits, err := r.bits(size)
+		if err != nil {
+			return zz, 0, err
+		}
+		zz[k] = extend(bits, size)
+		k++
+	}
+	return zz, zz[0], nil
+}

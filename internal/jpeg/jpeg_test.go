@@ -1,0 +1,341 @@
+package jpeg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBlock(rng *rand.Rand, max int32) Block {
+	var b Block
+	for i := range b {
+		b[i] = rng.Int31n(2*max+1) - max
+	}
+	return b
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var in Block
+		for i := range in {
+			in[i] = rng.Int31n(256) - 128
+		}
+		out := IDCT(FDCT(in))
+		for i := range in {
+			if d := in[i] - out[i]; d < -1 || d > 1 {
+				t.Fatalf("trial %d idx %d: %d -> %d", trial, i, in[i], out[i])
+			}
+		}
+	}
+}
+
+func TestDCTDCOnly(t *testing.T) {
+	var in Block
+	for i := range in {
+		in[i] = 64 // flat block
+	}
+	c := FDCT(in)
+	if c[0] != 512 { // 8*64 = DC * 8 with our normalisation: 64*8 = 512
+		t.Fatalf("DC coefficient %d, want 512", c[0])
+	}
+	for i := 1; i < 64; i++ {
+		if c[i] != 0 {
+			t.Fatalf("AC coefficient %d nonzero: %d", i, c[i])
+		}
+	}
+}
+
+func TestQualityTable(t *testing.T) {
+	if _, err := QualityTable(0); err == nil {
+		t.Fatal("quality 0 accepted")
+	}
+	if _, err := QualityTable(101); err == nil {
+		t.Fatal("quality 101 accepted")
+	}
+	q50, _ := QualityTable(50)
+	for i, v := range stdLuminance {
+		if q50[i] != v {
+			t.Fatal("quality 50 must be the unscaled Annex-K table")
+		}
+	}
+	q90, _ := QualityTable(90)
+	q10, _ := QualityTable(10)
+	for i := range q90 {
+		if q90[i] > q50[i] || q10[i] < q50[i] {
+			t.Fatal("quality scaling not monotonic")
+		}
+		if q90[i] < 1 || q10[i] > 255 {
+			t.Fatal("quantizer out of range")
+		}
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	qt, _ := QualityTable(75)
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randBlock(rng, 1000)
+		deq := qt.Dequantize(qt.Quantize(b))
+		for i := range b {
+			d := b[i] - deq[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > qt[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigZagPermutation(t *testing.T) {
+	var b Block
+	for i := range b {
+		b[i] = int32(i)
+	}
+	if UnZigZag(ZigZag(b)) != b {
+		t.Fatal("zigzag not a permutation inverse")
+	}
+	z := ZigZag(b)
+	// First few entries of the standard scan.
+	want := []int32{0, 1, 8, 16, 9, 2}
+	for i, w := range want {
+		if z[i] != w {
+			t.Fatalf("zigzag[%d] = %d, want %d", i, z[i], w)
+		}
+	}
+}
+
+func TestCategoryExtend(t *testing.T) {
+	for v := int32(-2047); v <= 2047; v++ {
+		size, bits := category(v)
+		if got := extend(bits, size); got != v {
+			t.Fatalf("category/extend mismatch for %d: got %d", v, got)
+		}
+	}
+	if s, _ := category(0); s != 0 {
+		t.Fatal("category(0) must be 0")
+	}
+}
+
+func TestHuffmanBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var zz Block
+		// Sparse blocks, like real quantized data.
+		for i := 0; i < 64; i++ {
+			if rng.Intn(4) == 0 {
+				zz[i] = rng.Int31n(200) - 100
+			}
+		}
+		prev := rng.Int31n(100) - 50
+		w := &bitWriter{}
+		dc, err := encodeBlock(w, zz, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc != zz[0] {
+			t.Fatal("encodeBlock must return the block DC")
+		}
+		r := &bitReader{buf: w.flush()}
+		got, gotDC, err := decodeBlock(r, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != zz || gotDC != zz[0] {
+			t.Fatalf("trial %d: block mismatch", trial)
+		}
+	}
+}
+
+func TestBitIO(t *testing.T) {
+	w := &bitWriter{}
+	w.write(0b101, 3)
+	w.write(0b0110011, 7)
+	w.write(0xffff, 16)
+	buf := w.flush()
+	r := &bitReader{buf: buf}
+	if v, _ := r.bits(3); v != 0b101 {
+		t.Fatalf("bits(3) = %b", v)
+	}
+	if v, _ := r.bits(7); v != 0b0110011 {
+		t.Fatalf("bits(7) = %b", v)
+	}
+	if v, _ := r.bits(16); v != 0xffff {
+		t.Fatalf("bits(16) = %x", v)
+	}
+	if _, err := r.bits(16); err == nil {
+		t.Fatal("reading past the end must fail")
+	}
+}
+
+func makeTestImage(w, h int, f func(x, y int) byte) []byte {
+	pix := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pix[y*w+x] = f(x, y)
+		}
+	}
+	return pix
+}
+
+func TestCodecRoundTripQuality(t *testing.T) {
+	const w, h = 48, 32
+	pix := makeTestImage(w, h, func(x, y int) byte {
+		return byte(128 + 100*math.Sin(float64(x)/7)*math.Cos(float64(y)/5))
+	})
+	for _, q := range []int{30, 60, 90} {
+		enc, err := Encode(pix, w, h, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, gw, gh, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gw != w || gh != h {
+			t.Fatalf("dimensions %dx%d", gw, gh)
+		}
+		var mse float64
+		for i := range pix {
+			d := float64(pix[i]) - float64(dec[i])
+			mse += d * d
+		}
+		mse /= float64(len(pix))
+		psnr := 10 * math.Log10(255*255/mse)
+		if psnr < 25 {
+			t.Fatalf("quality %d: PSNR %.1f dB too low", q, psnr)
+		}
+	}
+}
+
+func TestCodecFlatImageIsTiny(t *testing.T) {
+	const w, h = 64, 64
+	pix := makeTestImage(w, h, func(x, y int) byte { return 200 })
+	enc, err := Encode(pix, w, h, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > 9+w*h/32 {
+		t.Fatalf("flat image encoded to %d bytes", len(enc))
+	}
+	dec, _, _, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if d := int(dec[i]) - 200; d < -3 || d > 3 {
+			t.Fatalf("flat image pixel %d decoded to %d", i, dec[i])
+		}
+	}
+}
+
+func TestDecodeBlocksConstancy(t *testing.T) {
+	// A flat image must decode to blocks whose columns and rows are all
+	// constant; a noisy one mostly not.
+	const w, h = 16, 16
+	flat, _ := Encode(makeTestImage(w, h, func(x, y int) byte { return 99 }), w, h, 75)
+	_, blocks, err := DecodeBlocks(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocks {
+		if got := ConstantCount(&blocks[i]); got != 16 {
+			t.Fatalf("flat block %d: constant count %d, want 16", i, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	noisy, _ := Encode(makeTestImage(w, h, func(x, y int) byte { return byte(rng.Intn(256)) }), w, h, 95)
+	_, nblocks, err := DecodeBlocks(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range nblocks {
+		total += ConstantCount(&nblocks[i])
+	}
+	if total > 8 {
+		t.Fatalf("noisy blocks report %d constant rows/cols", total)
+	}
+}
+
+func TestIDCTBlockMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		b := randBlock(rng, 300)
+		fast, _, _ := IDCTBlock(&b)
+		ref := IDCT(b)
+		for i := range fast {
+			if d := fast[i] - ref[i]; d < -1 || d > 1 {
+				t.Fatalf("trial %d idx %d: fast %d ref %d", trial, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestIDCTBlockFlagsMatchPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		b := randBlock(rng, 10) // small values: frequent zeros
+		// Zero a couple of columns and rows deliberately.
+		zc, zr := rng.Intn(8), rng.Intn(8)
+		for k := 1; k < 8; k++ {
+			b[k*8+zc] = 0
+			b[zr*8+k] = 0
+		}
+		_, cols, rows := IDCTBlock(&b)
+		for c := 0; c < 8; c++ {
+			if cols[c] != ConstantColumn(&b, c) {
+				t.Fatalf("col %d flag mismatch", c)
+			}
+		}
+		for r := 0; r < 8; r++ {
+			if rows[r] != ConstantRow(&b, r) {
+				t.Fatalf("row %d flag mismatch", r)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, _, err := Decode([]byte("bogus")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Encode(make([]byte, 10), 3, 4, 75); err == nil {
+		t.Fatal("bad dimensions accepted")
+	}
+	if _, err := Encode(make([]byte, 12), 3, 4, 0); err == nil {
+		t.Fatal("bad quality accepted")
+	}
+	// Truncated payload.
+	pix := makeTestImage(16, 16, func(x, y int) byte { return byte(x * y) })
+	enc, _ := Encode(pix, 16, 16, 75)
+	if _, _, _, err := Decode(enc[:len(enc)-4]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func BenchmarkEncode64(b *testing.B) {
+	pix := makeTestImage(64, 64, func(x, y int) byte { return byte(x ^ y) })
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(pix, 64, 64, 75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode64(b *testing.B) {
+	pix := makeTestImage(64, 64, func(x, y int) byte { return byte(x ^ y) })
+	enc, _ := Encode(pix, 64, 64, 75)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package jpeg
+
+import "fmt"
+
+// stdLuminance is the Annex-K luminance quantization table, row-major.
+var stdLuminance = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// QuantTable is a positive 8×8 divisor table.
+type QuantTable [64]int32
+
+// QualityTable scales the standard luminance table with the libjpeg
+// quality mapping (1..100; 50 is the unscaled table).
+func QualityTable(quality int) (QuantTable, error) {
+	if quality < 1 || quality > 100 {
+		return QuantTable{}, fmt.Errorf("jpeg: quality %d out of range [1,100]", quality)
+	}
+	var scale int32
+	if quality < 50 {
+		scale = int32(5000 / quality)
+	} else {
+		scale = int32(200 - 2*quality)
+	}
+	var q QuantTable
+	for i, v := range stdLuminance {
+		s := (v*scale + 50) / 100
+		if s < 1 {
+			s = 1
+		}
+		if s > 255 {
+			s = 255
+		}
+		q[i] = s
+	}
+	return q, nil
+}
+
+// Quantize divides coefficients by the table with rounding toward zero
+// bias-corrected as in libjpeg.
+func (q *QuantTable) Quantize(b Block) Block {
+	var out Block
+	for i := range b {
+		v := b[i]
+		d := q[i]
+		if v >= 0 {
+			out[i] = (v + d/2) / d
+		} else {
+			out[i] = -((-v + d/2) / d)
+		}
+	}
+	return out
+}
+
+// Dequantize multiplies quantized coefficients back.
+func (q *QuantTable) Dequantize(b Block) Block {
+	var out Block
+	for i := range b {
+		out[i] = b[i] * q[i]
+	}
+	return out
+}
+
+// zigzag[i] is the row-major index of the i-th coefficient in zigzag order.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// ZigZag reorders a row-major block into zigzag scan order.
+func ZigZag(b Block) Block {
+	var out Block
+	for i, src := range zigzag {
+		out[i] = b[src]
+	}
+	return out
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(b Block) Block {
+	var out Block
+	for i, dst := range zigzag {
+		out[dst] = b[i]
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+// Package media provides the secret-image test set for the §8 image
+// recovery attack: deterministic synthetic grayscale images spanning the
+// complexity range of the paper's evaluation (QR codes, logos, photographs,
+// captchas, ...), plus the edge-map reference and similarity metrics used
+// to score recovered images.
+package media
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Gray is an 8-bit grayscale image.
+type Gray struct {
+	W, H int
+	Pix  []byte // row-major, len W*H
+}
+
+// NewGray allocates a black image.
+func NewGray(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (g *Gray) At(x, y int) byte { return g.Pix[y*g.W+x] }
+
+// Set writes the pixel at (x, y).
+func (g *Gray) Set(x, y int, v byte) { g.Pix[y*g.W+x] = v }
+
+// Fill paints every pixel.
+func (g *Gray) Fill(f func(x, y int) byte) *Gray {
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			g.Set(x, y, f(x, y))
+		}
+	}
+	return g
+}
+
+// ASCII renders the image with a luminance ramp, downsampling by step.
+func (g *Gray) ASCII(step int) string {
+	if step < 1 {
+		step = 1
+	}
+	ramp := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	for y := 0; y < g.H; y += step {
+		for x := 0; x < g.W; x += step {
+			b.WriteByte(ramp[int(g.At(x, y))*len(ramp)/256%len(ramp)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// rng is the deterministic generator used by the synthetic images.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// dither adds a ±d deterministic perturbation; it models sensor noise and
+// anti-aliasing, and keeps long runs of identical JPEG blocks (which push
+// the PHR into its >window invariant-flow limitation) from occurring.
+func dither(g *Gray, seed uint64, d int) *Gray {
+	r := rng{s: seed}
+	for i := range g.Pix {
+		v := int(g.Pix[i]) + r.intn(2*d+1) - d
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		g.Pix[i] = byte(v)
+	}
+	return g
+}
+
+// QRLike draws a pseudo-random module grid with finder squares — the
+// paper's scannable-QR example, at thumbnail scale.
+func QRLike(w, h int, seed uint64) *Gray {
+	g := NewGray(w, h)
+	r := rng{s: seed*2654435761 + 17}
+	mod := 4
+	for y := 0; y < h; y += mod {
+		for x := 0; x < w; x += mod {
+			v := byte(255)
+			if r.intn(2) == 0 {
+				v = 0
+			}
+			for dy := 0; dy < mod && y+dy < h; dy++ {
+				for dx := 0; dx < mod && x+dx < w; dx++ {
+					g.Set(x+dx, y+dy, v)
+				}
+			}
+		}
+	}
+	// Finder patterns in three corners.
+	finder := func(cx, cy int) {
+		for dy := 0; dy < 7; dy++ {
+			for dx := 0; dx < 7; dx++ {
+				x, y := cx+dx, cy+dy
+				if x >= w || y >= h {
+					continue
+				}
+				edge := dx == 0 || dy == 0 || dx == 6 || dy == 6
+				core := dx >= 2 && dx <= 4 && dy >= 2 && dy <= 4
+				if edge || core {
+					g.Set(x, y, 0)
+				} else {
+					g.Set(x, y, 255)
+				}
+			}
+		}
+	}
+	finder(0, 0)
+	finder(w-7, 0)
+	finder(0, h-7)
+	return dither(g, seed, 3)
+}
+
+// Logo draws a ring and a diagonal bar on a light background.
+func Logo(w, h int, seed uint64) *Gray {
+	cx, cy := float64(w)/2, float64(h)/2
+	rad := math.Min(cx, cy) * 0.7
+	g := NewGray(w, h).Fill(func(x, y int) byte {
+		dx, dy := float64(x)-cx, float64(y)-cy
+		d := math.Hypot(dx, dy)
+		if math.Abs(d-rad) < rad*0.25 {
+			return 30
+		}
+		if math.Abs(dx-dy) < 2.5 {
+			return 60
+		}
+		return 230
+	})
+	return dither(g, seed, 3)
+}
+
+// Photo synthesises a smooth value-noise "photograph".
+func Photo(w, h int, seed uint64) *Gray {
+	r := rng{s: seed ^ 0xabcdef}
+	const grid = 8
+	gw, gh := w/grid+2, h/grid+2
+	lattice := make([]float64, gw*gh)
+	for i := range lattice {
+		lattice[i] = float64(r.intn(256))
+	}
+	lerp := func(a, b, t float64) float64 { return a + (b-a)*t }
+	g := NewGray(w, h).Fill(func(x, y int) byte {
+		fx, fy := float64(x)/grid, float64(y)/grid
+		ix, iy := int(fx), int(fy)
+		tx, ty := fx-float64(ix), fy-float64(iy)
+		v00 := lattice[iy*gw+ix]
+		v10 := lattice[iy*gw+ix+1]
+		v01 := lattice[(iy+1)*gw+ix]
+		v11 := lattice[(iy+1)*gw+ix+1]
+		return byte(lerp(lerp(v00, v10, tx), lerp(v01, v11, tx), ty))
+	})
+	return dither(g, seed, 4)
+}
+
+// Captcha draws wavy digit-like strokes over a noisy background.
+func Captcha(w, h int, seed uint64) *Gray {
+	r := rng{s: seed + 99}
+	g := NewGray(w, h).Fill(func(x, y int) byte { return byte(200 + r.intn(40)) })
+	strokes := 3 + r.intn(3)
+	for s := 0; s < strokes; s++ {
+		phase := float64(r.intn(628)) / 100
+		amp := float64(h) / 5
+		base := float64(h)/2 + float64(r.intn(h/3)) - float64(h)/6
+		for x := 0; x < w; x++ {
+			y := int(base + amp*math.Sin(float64(x)/4+phase))
+			for dy := -1; dy <= 1; dy++ {
+				if y+dy >= 0 && y+dy < h {
+					g.Set(x, y+dy, 20)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Checkerboard alternates tiles.
+func Checkerboard(w, h, tile int, seed uint64) *Gray {
+	g := NewGray(w, h).Fill(func(x, y int) byte {
+		if (x/tile+y/tile)%2 == 0 {
+			return 240
+		}
+		return 15
+	})
+	return dither(g, seed, 3)
+}
+
+// Gradient ramps diagonally.
+func Gradient(w, h int, seed uint64) *Gray {
+	g := NewGray(w, h).Fill(func(x, y int) byte {
+		return byte(255 * (x + y) / (w + h - 2))
+	})
+	return dither(g, seed, 2)
+}
+
+// Text draws horizontal bar-code-like glyph strokes.
+func Text(w, h int, seed uint64) *Gray {
+	r := rng{s: seed * 31}
+	g := NewGray(w, h).Fill(func(x, y int) byte { return 245 })
+	rows := h / 8
+	for row := 0; row < rows; row++ {
+		y0 := row*8 + 2
+		x := 1
+		for x < w-2 {
+			runLen := 2 + r.intn(5)
+			if r.intn(3) > 0 {
+				for dx := 0; dx < runLen && x+dx < w-1; dx++ {
+					for dy := 0; dy < 4 && y0+dy < h; dy++ {
+						g.Set(x+dx, y0+dy, 25)
+					}
+				}
+			}
+			x += runLen + 1
+		}
+	}
+	return dither(g, seed, 2)
+}
+
+// TestSet returns the named evaluation images — the stand-in for the
+// paper's 15-image set (§8) at the given edge size.
+func TestSet(size int) []struct {
+	Name  string
+	Image *Gray
+} {
+	mk := func(name string, g *Gray) struct {
+		Name  string
+		Image *Gray
+	} {
+		return struct {
+			Name  string
+			Image *Gray
+		}{name, g}
+	}
+	out := []struct {
+		Name  string
+		Image *Gray
+	}{
+		mk("qr-1", QRLike(size, size, 1)),
+		mk("qr-2", QRLike(size, size, 2)),
+		mk("logo-1", Logo(size, size, 3)),
+		mk("logo-2", Logo(size, size, 4)),
+		mk("photo-1", Photo(size, size, 5)),
+		mk("photo-2", Photo(size, size, 6)),
+		mk("photo-3", Photo(size, size, 7)),
+		mk("captcha-1", Captcha(size, size, 8)),
+		mk("captcha-2", Captcha(size, size, 9)),
+		mk("checker-1", Checkerboard(size, size, 8, 10)),
+		mk("checker-2", Checkerboard(size, size, 4, 11)),
+		mk("gradient-1", Gradient(size, size, 12)),
+		mk("gradient-2", Gradient(size, size, 13)),
+		mk("text-1", Text(size, size, 14)),
+		mk("text-2", Text(size, size, 15)),
+	}
+	return out
+}
+
+// EdgeMap computes a Sobel gradient-magnitude image — the reference the
+// paper compares recovered images against ("frequently exhibits a high
+// similarity to the results of edge detection").
+func EdgeMap(g *Gray) *Gray {
+	out := NewGray(g.W, g.H)
+	at := func(x, y int) int {
+		if x < 0 {
+			x = 0
+		}
+		if y < 0 {
+			y = 0
+		}
+		if x >= g.W {
+			x = g.W - 1
+		}
+		if y >= g.H {
+			y = g.H - 1
+		}
+		return int(g.At(x, y))
+	}
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			gx := -at(x-1, y-1) - 2*at(x-1, y) - at(x-1, y+1) +
+				at(x+1, y-1) + 2*at(x+1, y) + at(x+1, y+1)
+			gy := -at(x-1, y-1) - 2*at(x, y-1) - at(x+1, y-1) +
+				at(x-1, y+1) + 2*at(x, y+1) + at(x+1, y+1)
+			m := math.Hypot(float64(gx), float64(gy)) / 4
+			if m > 255 {
+				m = 255
+			}
+			out.Set(x, y, byte(m))
+		}
+	}
+	return out
+}
+
+// BlockMean downsamples an image to one value per 8×8 block.
+func BlockMean(g *Gray) []float64 {
+	bw, bh := (g.W+7)/8, (g.H+7)/8
+	out := make([]float64, bw*bh)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			var sum, n float64
+			for y := by * 8; y < (by+1)*8 && y < g.H; y++ {
+				for x := bx * 8; x < (bx+1)*8 && x < g.W; x++ {
+					sum += float64(g.At(x, y))
+					n++
+				}
+			}
+			out[by*bw+bx] = sum / n
+		}
+	}
+	return out
+}
+
+// Pearson returns the correlation coefficient of two equal-length series.
+// It returns 0 when either series is constant.
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("media: series length mismatch %d vs %d", len(a), len(b))
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, nil
+	}
+	return cov / math.Sqrt(va*vb), nil
+}

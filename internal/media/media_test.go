@@ -1,0 +1,135 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrayBasics(t *testing.T) {
+	g := NewGray(8, 4)
+	g.Set(3, 2, 200)
+	if g.At(3, 2) != 200 {
+		t.Fatal("Set/At")
+	}
+	g.Fill(func(x, y int) byte { return byte(x + y) })
+	if g.At(7, 3) != 10 {
+		t.Fatal("Fill")
+	}
+	if len(g.ASCII(1)) == 0 {
+		t.Fatal("ASCII empty")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := []func(seed uint64) *Gray{
+		func(s uint64) *Gray { return QRLike(24, 24, s) },
+		func(s uint64) *Gray { return Logo(24, 24, s) },
+		func(s uint64) *Gray { return Photo(24, 24, s) },
+		func(s uint64) *Gray { return Captcha(24, 24, s) },
+		func(s uint64) *Gray { return Checkerboard(24, 24, 8, s) },
+		func(s uint64) *Gray { return Gradient(24, 24, s) },
+		func(s uint64) *Gray { return Text(24, 24, s) },
+	}
+	for i, gen := range gens {
+		a, b := gen(7), gen(7)
+		for p := range a.Pix {
+			if a.Pix[p] != b.Pix[p] {
+				t.Fatalf("generator %d not deterministic", i)
+			}
+		}
+		c := gen(8)
+		diff := 0
+		for p := range a.Pix {
+			if a.Pix[p] != c.Pix[p] {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Fatalf("generator %d ignores its seed", i)
+		}
+	}
+}
+
+func TestTestSetShape(t *testing.T) {
+	set := TestSet(16)
+	if len(set) != 15 {
+		t.Fatalf("test set has %d images, want 15 (§8)", len(set))
+	}
+	seen := map[string]bool{}
+	for _, e := range set {
+		if seen[e.Name] {
+			t.Fatalf("duplicate image name %s", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Image.W != 16 || e.Image.H != 16 {
+			t.Fatalf("image %s has wrong size", e.Name)
+		}
+	}
+}
+
+func TestEdgeMap(t *testing.T) {
+	// A vertical step edge produces a bright vertical line.
+	g := NewGray(16, 16).Fill(func(x, y int) byte {
+		if x < 8 {
+			return 0
+		}
+		return 255
+	})
+	e := EdgeMap(g)
+	if e.At(8, 8) < 100 {
+		t.Fatalf("edge magnitude at the step: %d", e.At(8, 8))
+	}
+	if e.At(2, 8) != 0 || e.At(14, 8) != 0 {
+		t.Fatal("flat regions must have zero gradient")
+	}
+}
+
+func TestBlockMean(t *testing.T) {
+	g := NewGray(16, 8).Fill(func(x, y int) byte {
+		if x < 8 {
+			return 10
+		}
+		return 210
+	})
+	means := BlockMean(g)
+	if len(means) != 2 {
+		t.Fatalf("want 2 blocks, got %d", len(means))
+	}
+	if means[0] != 10 || means[1] != 210 {
+		t.Fatalf("block means %v", means)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if r, _ := Pearson(a, a); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("self correlation %f", r)
+	}
+	b := []float64{4, 3, 2, 1}
+	if r, _ := Pearson(a, b); math.Abs(r+1) > 1e-9 {
+		t.Fatalf("anti correlation %f", r)
+	}
+	if r, _ := Pearson(a, []float64{5, 5, 5, 5}); r != 0 {
+		t.Fatalf("constant series correlation %f", r)
+	}
+	if _, err := Pearson(a, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := quick.Check(func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw)) // pixel-scale data, the documented domain
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		r, err := Pearson(xs, xs)
+		if err != nil {
+			return false
+		}
+		return r == 0 || math.Abs(r-1) < 1e-6
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,427 @@
+package pathfinder
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/isa"
+	"pathfinder/internal/phr"
+)
+
+// Step is one recovered branch event, in execution order.
+type Step struct {
+	Addr        uint64
+	Target      uint64 // meaningful when Taken
+	Taken       bool
+	Conditional bool
+	Kind        EdgeKind // for taken steps
+}
+
+func (s Step) String() string {
+	dir := "T"
+	if !s.Taken {
+		dir = "N"
+	}
+	if s.Conditional {
+		return fmt.Sprintf("%#x:%s", s.Addr, dir)
+	}
+	return fmt.Sprintf("%#x:%s->%#x", s.Addr, s.Kind, s.Target)
+}
+
+// Path is one execution history consistent with the observed PHR.
+type Path struct {
+	Steps []Step
+	// Complete is true when the path reaches the entry with the whole known
+	// history window accounted for (an all-zero remainder, matching the
+	// cleared-PHR start of the capture protocol).
+	Complete bool
+}
+
+// Outcomes returns the ordered conditional-branch outcomes of the path —
+// the per-instance taken/not-taken stream the paper highlights as
+// unavailable to PHT-only attacks.
+func (p Path) Outcomes() []Step {
+	var out []Step
+	for _, s := range p.Steps {
+		if s.Conditional {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// VisitCount returns how many times the branch at addr executed (any
+// direction) along the path.
+func (p Path) VisitCount(addr uint64) int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Addr == addr {
+			n++
+		}
+	}
+	return n
+}
+
+// TakenCount returns how many times the branch at addr was taken.
+func (p Path) TakenCount(addr uint64) int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Addr == addr && s.Taken {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockSequence maps the path to the basic blocks visited between entry and
+// final, collapsing consecutive duplicates — the Figure 6 view. Use
+// Path.VisitCount / TakenCount for loop trip counts.
+func (p Path) BlockSequence(c *CFG, entry, final uint64) []int {
+	var seq []int
+	push := func(addr uint64) {
+		if b, ok := c.BlockAt(addr); ok {
+			if len(seq) == 0 || seq[len(seq)-1] != b.ID {
+				seq = append(seq, b.ID)
+			}
+		}
+	}
+	push(entry)
+	for _, s := range p.Steps {
+		push(s.Addr)
+		if s.Taken {
+			push(s.Target)
+		}
+	}
+	push(final)
+	return seq
+}
+
+func (p Path) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "path(%d steps, complete=%v):", len(p.Steps), p.Complete)
+	for _, s := range p.Steps {
+		b.WriteByte(' ')
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Spec describes one path-recovery problem.
+type Spec struct {
+	// Observed is the PHR window recovered by Read_PHR (doublet 0 most
+	// recent).
+	Observed *phr.Reg
+	// Ext holds doublets beyond the window from Extended_Read_PHR:
+	// Ext[0] is the first doublet shifted out (history position Size),
+	// Ext[1] the next older one, and so on.
+	Ext []phr.Doublet
+	// Entry is the victim's entry address; recovery stops there.
+	Entry uint64
+	// Final is the address at which execution ended: the instruction after
+	// the last executed one (a return pad, HALT, or the final RET itself).
+	Final uint64
+	// MaxNodes caps the search (default 4M states).
+	MaxNodes int
+	// MaxPaths caps how many paths are returned (default 16).
+	MaxPaths int
+	// MaxReversals, when positive, stops each search branch after that many
+	// taken-branch reversals and emits the (incomplete) suffix. The
+	// Extended Read PHR driver uses this as a bounded lookahead.
+	MaxReversals int
+}
+
+// Node is one deduplicated backward-search state: the working register
+// after R reversals, positioned at an instruction. States reached along
+// different histories merge here, turning the search tree into a DAG and
+// keeping systematically ambiguous programs (repeated blocks, colliding
+// footprints) tractable.
+type Node struct {
+	Addr uint64   // instruction address of this state
+	Reg  *phr.Reg // PHR value at this execution point
+	R    int      // reversals between here and the final state
+	// Succs lead forward in time toward the final state, annotated with
+	// the branch event between the nodes (HasStep false = plain
+	// fallthrough). A node has at most two successors, and then only at a
+	// conditional branch: its taken and not-taken continuations.
+	Succs []DAGEdge
+	// Preds lead backward in time: every observation-consistent way this
+	// state could have been reached.
+	Preds []PredEdge
+	// Complete marks a node at the entry with a verified zero start.
+	Complete bool
+	// Alive marks nodes from which the backward walk can still reach a
+	// truncation point or a verified entry; dead branches are search
+	// hypotheses that ran out of consistent predecessors.
+	Alive bool
+
+	idx       int
+	truncated bool
+}
+
+// DAGEdge is a forward edge of the search DAG.
+type DAGEdge struct {
+	To      *Node
+	Step    Step
+	HasStep bool
+}
+
+// PredEdge is a backward edge of the search DAG.
+type PredEdge struct {
+	From    *Node // the earlier state
+	Step    Step
+	HasStep bool
+}
+
+// DAG is the full result of a backward search: every observation-consistent
+// execution suffix, shared-substructure-compressed. Terminals are the
+// verified entry states (complete recoveries); Deepest is the best
+// truncated state when no terminal exists.
+type DAG struct {
+	Root      *Node // the final state the search started from
+	Terminals []*Node
+	Deepest   *Node
+}
+
+type stateKey struct {
+	idx int
+	reg [7]uint64
+	r   int
+}
+
+type searcher struct {
+	c     *CFG
+	spec  Spec
+	nodes map[stateKey]*Node
+	queue []*Node
+
+	terminals []*Node // complete entry states
+	deepest   *Node   // dead-end state with the most reversals
+}
+
+// Search recovers the execution paths consistent with the observed PHR.
+// Most programs yield exactly one complete path (§6); crafted ambiguity,
+// footprint collisions or exhausted history windows can yield several or
+// incomplete ones.
+func (c *CFG) Search(spec Spec) ([]Path, error) {
+	if spec.MaxPaths == 0 {
+		spec.MaxPaths = 16
+	}
+	dag, err := c.SearchDAG(spec)
+	if err != nil {
+		return nil, err
+	}
+	s := &searcher{spec: spec}
+	if len(dag.Terminals) > 0 {
+		return s.reconstruct(dag.Terminals, true), nil
+	}
+	if dag.Deepest != nil {
+		return s.reconstruct([]*Node{dag.Deepest}, false), nil
+	}
+	return nil, nil
+}
+
+// SearchDAG runs the backward search and returns the full state DAG, for
+// callers (like Extended Read PHR) that resolve ambiguity with additional
+// side-channel measurements rather than path enumeration.
+func (c *CFG) SearchDAG(spec Spec) (*DAG, error) {
+	if spec.Observed == nil {
+		return nil, fmt.Errorf("pathfinder: Spec.Observed required")
+	}
+	if spec.MaxNodes == 0 {
+		spec.MaxNodes = 4 << 20
+	}
+	if spec.MaxPaths == 0 {
+		spec.MaxPaths = 16
+	}
+	s := &searcher{c: c, spec: spec, nodes: make(map[stateKey]*Node)}
+	idx, ok := c.Prog.IndexOf(spec.Final)
+	if !ok {
+		return nil, fmt.Errorf("pathfinder: final position %#x is not an instruction", spec.Final)
+	}
+	root := &Node{Addr: spec.Final, idx: idx, Reg: spec.Observed.Clone()}
+	s.nodes[stateKey{idx: idx, reg: root.Reg.Words()}] = root
+	s.queue = append(s.queue, root)
+	for qi := 0; qi < len(s.queue); qi++ {
+		if len(s.nodes) > spec.MaxNodes {
+			return nil, fmt.Errorf("pathfinder: search exceeded %d states", spec.MaxNodes)
+		}
+		s.expand(s.queue[qi])
+	}
+	s.markAlive()
+	return &DAG{Root: root, Terminals: s.terminals, Deepest: s.deepest}, nil
+}
+
+// known returns how many doublets of the working register are still
+// trustworthy after r reversals.
+func (s *searcher) known(r int) int {
+	n := s.spec.Observed.Size()
+	over := r - len(s.spec.Ext)
+	if over > 0 {
+		n -= over
+	}
+	return n
+}
+
+// zeroKnown reports whether the working register is consistent with the
+// cleared-PHR start after r reversals. Position p of the register is
+// trustworthy unless it was refilled by a reversal whose shifted-out
+// doublet is genuinely unknown: refill r' lands at position size-r+r', is
+// oracle-verified for r' < len(Ext), and is *provably zero under this
+// path hypothesis* once its history position exceeds the last branch's
+// footprint reach (positions >= FootprintDoublets). Only the window
+// [size-r+len(Ext), FootprintDoublets) is unverifiable; the Extended Read
+// driver keeps that window empty before accepting a path.
+func (s *searcher) zeroKnown(reg *phr.Reg, r int) bool {
+	n := s.spec.Observed.Size()
+	lo := n - r + len(s.spec.Ext) // first untrusted refill position
+	for p := 0; p < n; p++ {
+		if p >= lo && p < phr.FootprintDoublets {
+			continue // genuinely unknown refill; not checkable
+		}
+		if reg.Doublet(p) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// link records that predecessor state (idx, reg, r) leads to node via step,
+// creating and enqueueing the predecessor when first seen.
+func (s *searcher) link(node *Node, idx int, reg *phr.Reg, r int, step Step, hasStep bool) {
+	key := stateKey{idx: idx, reg: reg.Words(), r: r}
+	pred, ok := s.nodes[key]
+	if !ok {
+		pred = &Node{Addr: s.c.Prog.Instrs[idx].Addr, idx: idx, Reg: reg, R: r}
+		s.nodes[key] = pred
+		pos := pred.Addr
+		if pos == s.spec.Entry {
+			// A path is complete only when every refill it used was
+			// verified: refills beyond Ext are sound only where the history
+			// position provably precedes the first taken branch (cleared
+			// PHR), bounding the reversal count.
+			verifiable := r <= len(s.spec.Ext)+s.spec.Observed.Size()-phr.FootprintDoublets
+			if verifiable && s.zeroKnown(reg, r) {
+				pred.Complete = true
+				s.terminals = append(s.terminals, pred)
+			}
+		}
+		if !pred.Complete {
+			s.queue = append(s.queue, pred)
+		}
+	}
+	pred.Succs = append(pred.Succs, DAGEdge{To: node, Step: step, HasStep: hasStep})
+	node.Preds = append(node.Preds, PredEdge{From: pred, Step: step, HasStep: hasStep})
+}
+
+// expand enumerates the possible predecessors of a state.
+func (s *searcher) expand(node *Node) {
+	r := node.R
+	if s.known(r) <= 0 || (s.spec.MaxReversals > 0 && r >= s.spec.MaxReversals) {
+		// History exhausted or lookahead bound: candidate truncation point.
+		node.truncated = true
+		if s.deepest == nil || r > s.deepest.R {
+			s.deepest = node
+		}
+		return
+	}
+	pos := node.Addr
+
+	// Arrival by a taken branch.
+	for _, e := range s.c.edgesTo[pos] {
+		if phr.Doublet(e.Footprint&3) != node.Reg.Doublet(0) {
+			continue // the paper's lowest-doublet pruning
+		}
+		fromIdx, ok := s.c.Prog.IndexOf(e.From)
+		if !ok {
+			continue
+		}
+		next := node.Reg.Clone()
+		var top phr.Doublet
+		if r < len(s.spec.Ext) {
+			top = s.spec.Ext[r]
+		}
+		next.ReverseUpdate(e.Footprint, top)
+		s.link(node, fromIdx, next, r+1, Step{
+			Addr: e.From, Target: pos, Taken: true,
+			Conditional: e.Kind == EdgeCondTaken, Kind: e.Kind,
+		}, true)
+	}
+
+	// Arrival by a SYSCALL/EENTER transfer (not PHR-visible).
+	for _, from := range s.c.transfersTo[pos] {
+		if idx, ok := s.c.Prog.IndexOf(from); ok {
+			s.link(node, idx, node.Reg, r, Step{}, false)
+		}
+	}
+
+	// Arrival by falling through from the previous instruction.
+	if node.idx > 0 {
+		prev := &s.c.Prog.Instrs[node.idx-1]
+		switch prev.Op {
+		case isa.JMP, isa.CALL, isa.RET, isa.JR, isa.HALT, isa.SYSCALL, isa.EENTER:
+			// cannot fall through
+		case isa.BR:
+			s.link(node, node.idx-1, node.Reg, r, Step{Addr: prev.Addr, Taken: false, Conditional: true}, true)
+		default:
+			s.link(node, node.idx-1, node.Reg, r, Step{}, false)
+		}
+	}
+}
+
+// markAlive flags every node that can reach a truncation point or a
+// complete entry state by walking predecessors, by propagating aliveness
+// forward along successor edges from those anchor nodes.
+func (s *searcher) markAlive() {
+	var stack []*Node
+	for _, n := range s.nodes {
+		if n.truncated || n.Complete {
+			n.Alive = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Succs {
+			if !e.To.Alive {
+				e.To.Alive = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+}
+
+// reconstruct enumerates forward paths from the given start nodes through
+// the successor DAG, up to MaxPaths.
+func (s *searcher) reconstruct(starts []*Node, complete bool) []Path {
+	var out []Path
+	var steps []Step
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if len(out) >= s.spec.MaxPaths {
+			return
+		}
+		if len(n.Succs) == 0 {
+			cp := make([]Step, len(steps))
+			copy(cp, steps)
+			out = append(out, Path{Steps: cp, Complete: complete})
+			return
+		}
+		for _, e := range n.Succs {
+			if e.HasStep {
+				steps = append(steps, e.Step)
+			}
+			walk(e.To)
+			if e.HasStep {
+				steps = steps[:len(steps)-1]
+			}
+		}
+	}
+	for _, st := range starts {
+		if len(out) >= s.spec.MaxPaths {
+			break
+		}
+		walk(st)
+	}
+	return out
+}

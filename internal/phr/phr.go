@@ -1,0 +1,354 @@
+// Package phr models the Path History Register (PHR) of the conditional
+// branch predictor in modern Intel CPUs, as reverse engineered by Half&Half
+// (Yavarzadeh et al., S&P 2023) and used by Pathfinder (ASPLOS 2024).
+//
+// The PHR records the history of the last N taken branches (N = 194 on
+// Alder/Raptor Lake, 93 on Skylake), conditional or unconditional. A taken
+// branch updates the PHR in two steps: a leftward shift by two bits, then an
+// XOR of a 16-bit "branch footprint" derived from the branch address and its
+// target address into the low 16 bits:
+//
+//	PHR_new = (PHR_old << 2) ^ footprint
+//
+// Because the shift distance is two bits, even and odd bit positions never
+// mix, and the PHR is best understood as a shift register of N two-bit
+// "doublets". Doublet(0) is the least significant (most recent) doublet.
+//
+// Internally the register is bit-packed into 64-bit words: attack workloads
+// execute hundreds of millions of predicted branches, and the PHT index/tag
+// folds over this register are the hot path of the whole simulator.
+package phr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Doublet is a two-bit PHR element. Valid values are 0..3.
+type Doublet = uint8
+
+// FootprintDoublets is the number of doublets occupied by a branch
+// footprint (16 bits = 8 doublets).
+const FootprintDoublets = 8
+
+// Footprint computes the 16-bit branch footprint from a branch instruction
+// address and its target address, following the bit layout of Figure 2 of
+// the Pathfinder paper. Sixteen bits of the branch address (B0..B15, bits
+// 15:0) and six bits of the target address (T0..T5, bits 5:0) are combined;
+// positions are listed from bit 15 down to bit 0:
+//
+//	B12 B13 B5 B6 B7 B8 B9 B10 B0^T2 B1^T3 B2^T4 B11^T5 B14 B15 B3^T0 B4^T1
+//
+// Consequences used throughout the attack primitives:
+//   - a branch whose address has its low 16 bits zero and whose target has
+//     its low 6 bits zero has a zero footprint (pure PHR shift), and
+//   - doublet 0 of the footprint (bits 1:0) is (B3^T0, B4^T1), so with an
+//     otherwise-zero branch, target bits T0 and T1 choose doublet 0 freely.
+func Footprint(branchAddr, targetAddr uint64) uint16 {
+	b := func(i uint) uint16 { return uint16(branchAddr>>i) & 1 }
+	t := func(i uint) uint16 { return uint16(targetAddr>>i) & 1 }
+	var f uint16
+	f |= b(12) << 15
+	f |= b(13) << 14
+	f |= b(5) << 13
+	f |= b(6) << 12
+	f |= b(7) << 11
+	f |= b(8) << 10
+	f |= b(9) << 9
+	f |= b(10) << 8
+	f |= (b(0) ^ t(2)) << 7
+	f |= (b(1) ^ t(3)) << 6
+	f |= (b(2) ^ t(4)) << 5
+	f |= (b(11) ^ t(5)) << 4
+	f |= b(14) << 3
+	f |= b(15) << 2
+	f |= (b(3) ^ t(0)) << 1
+	f |= (b(4) ^ t(1)) << 0
+	return f
+}
+
+// maxWords covers 194 doublets = 388 bits.
+const maxWords = 7
+
+// Reg is a PHR of a fixed doublet length. The zero value is not usable; use
+// New. Clone gives an independent copy; Equal compares contents.
+type Reg struct {
+	w    [maxWords]uint64
+	size int    // doublets
+	gen  uint64 // bumped on every mutation; lets predictors memoize folds
+}
+
+// New returns an all-zero PHR with capacity for size doublets.
+// Size must be at least FootprintDoublets and at most 194 * 2.
+func New(size int) *Reg {
+	if size < FootprintDoublets || 2*size > 64*maxWords {
+		panic(fmt.Sprintf("phr: unsupported size %d", size))
+	}
+	return &Reg{size: size}
+}
+
+// Size returns the PHR length in doublets.
+func (r *Reg) Size() int { return r.size }
+
+// Gen returns a counter that changes on every mutation of the register.
+// Predictor structures use (pointer, Gen) pairs to memoize fold results.
+func (r *Reg) Gen() uint64 { return r.gen }
+
+// words returns the number of 64-bit words in use.
+func (r *Reg) words() int { return (2*r.size + 63) / 64 }
+
+// mask clears bits at and above 2*size in the top word.
+func (r *Reg) mask() {
+	bits := 2 * r.size
+	top := bits / 64
+	rem := uint(bits % 64)
+	if rem != 0 {
+		r.w[top] &= 1<<rem - 1
+		top++
+	}
+	for i := top; i < maxWords; i++ {
+		r.w[i] = 0
+	}
+}
+
+// Doublet returns doublet i (0 = most recent). It panics if i is out of
+// range, mirroring slice semantics.
+func (r *Reg) Doublet(i int) Doublet {
+	if i < 0 || i >= r.size {
+		panic(fmt.Sprintf("phr: doublet %d out of range [0,%d)", i, r.size))
+	}
+	b := 2 * uint(i)
+	return Doublet(r.w[b/64]>>(b%64)) & 3
+}
+
+// SetDoublet sets doublet i to v (low two bits used).
+func (r *Reg) SetDoublet(i int, v Doublet) {
+	if i < 0 || i >= r.size {
+		panic(fmt.Sprintf("phr: doublet %d out of range [0,%d)", i, r.size))
+	}
+	b := 2 * uint(i)
+	r.w[b/64] = r.w[b/64]&^(3<<(b%64)) | uint64(v&3)<<(b%64)
+	r.gen++
+}
+
+// Clear resets the PHR to all zeros, the state produced by shifting in Size
+// zero-footprint taken branches.
+func (r *Reg) Clear() {
+	r.w = [maxWords]uint64{}
+	r.gen++
+}
+
+// Shift shifts the PHR left by n doublets, discarding the n oldest doublets
+// and zero-filling the newest positions. Shift(Size()) is equivalent to
+// Clear. n must be non-negative.
+func (r *Reg) Shift(n int) {
+	if n < 0 {
+		panic("phr: negative shift")
+	}
+	if n >= r.size {
+		r.Clear()
+		return
+	}
+	bits := 2 * uint(n)
+	wordShift := int(bits / 64)
+	bitShift := bits % 64
+	nw := r.words()
+	for i := nw - 1; i >= 0; i-- {
+		var v uint64
+		if i-wordShift >= 0 {
+			v = r.w[i-wordShift] << bitShift
+			if bitShift != 0 && i-wordShift-1 >= 0 {
+				v |= r.w[i-wordShift-1] >> (64 - bitShift)
+			}
+		}
+		r.w[i] = v
+	}
+	r.mask()
+	r.gen++
+}
+
+// Update applies one taken-branch update: shift left one doublet, then XOR
+// the footprint into the low 8 doublets.
+func (r *Reg) Update(footprint uint16) {
+	nw := r.words()
+	for i := nw - 1; i > 0; i-- {
+		r.w[i] = r.w[i]<<2 | r.w[i-1]>>62
+	}
+	r.w[0] = r.w[0]<<2 ^ uint64(footprint)
+	r.mask()
+	r.gen++
+}
+
+// UpdateBranch is shorthand for Update(Footprint(branchAddr, targetAddr)).
+func (r *Reg) UpdateBranch(branchAddr, targetAddr uint64) {
+	r.Update(Footprint(branchAddr, targetAddr))
+}
+
+// ReverseUpdate undoes one Update with the given footprint. The doublet that
+// was shifted out of the top during the forward update cannot be recovered
+// from the register itself; the caller supplies it as top (use 0 when
+// unknown and track the ambiguity separately).
+func (r *Reg) ReverseUpdate(footprint uint16, top Doublet) {
+	r.w[0] ^= uint64(footprint)
+	nw := r.words()
+	for i := 0; i < nw-1; i++ {
+		r.w[i] = r.w[i]>>2 | r.w[i+1]<<62
+	}
+	r.w[nw-1] >>= 2
+	r.gen++
+	r.mask()
+	r.SetDoublet(r.size-1, top)
+}
+
+// Clone returns an independent copy of the PHR.
+func (r *Reg) Clone() *Reg {
+	c := *r
+	return &c
+}
+
+// CopyFrom overwrites this PHR with the contents of src. Both registers
+// must have the same size.
+func (r *Reg) CopyFrom(src *Reg) {
+	if r.size != src.size {
+		panic(fmt.Sprintf("phr: size mismatch %d != %d", r.size, src.size))
+	}
+	r.w = src.w
+	r.gen++
+}
+
+// Equal reports whether two PHRs have identical size and contents.
+func (r *Reg) Equal(o *Reg) bool {
+	return r.size == o.size && r.w == o.w
+}
+
+// IsZero reports whether every doublet is zero.
+func (r *Reg) IsZero() bool {
+	return r.w == [maxWords]uint64{}
+}
+
+// Words returns the packed bit representation, a comparable value usable
+// as a map key for registers of equal size.
+func (r *Reg) Words() [7]uint64 { return r.w }
+
+// Doublets returns a copy of the doublet contents, index 0 most recent.
+func (r *Reg) Doublets() []Doublet {
+	out := make([]Doublet, r.size)
+	for i := range out {
+		out[i] = r.Doublet(i)
+	}
+	return out
+}
+
+// SetDoublets loads the PHR from a doublet slice (index 0 most recent).
+// Extra input doublets are ignored; missing ones are zero-filled.
+func (r *Reg) SetDoublets(ds []Doublet) {
+	r.w = [maxWords]uint64{}
+	for i := 0; i < r.size && i < len(ds); i++ {
+		b := 2 * uint(i)
+		r.w[b/64] |= uint64(ds[i]&3) << (b % 64)
+	}
+	r.gen++
+}
+
+// Fold XOR-folds the lowest histLen doublets of the PHR into a value of the
+// given bit width: the packed 2*histLen-bit history is split into width-bit
+// chunks (LSB first) that are XORed together. This is the history
+// compression used to index the pattern history tables.
+//
+// The exact folding polynomial of Intel's hardware is not public; any fold
+// with good mixing preserves the collision properties the attacks rely on
+// (identical (PC, PHR) pairs collide, different PHRs almost never do). See
+// DESIGN.md §1.
+func (r *Reg) Fold(histLen, width int) uint32 {
+	if histLen > r.size {
+		histLen = r.size
+	}
+	if width <= 0 || width > 32 {
+		panic("phr: fold width out of range")
+	}
+	bits := 2 * histLen
+	if width == 8 {
+		// Fast path for the index folds: XOR of all bytes.
+		var acc uint64
+		full := bits / 64
+		for i := 0; i < full; i++ {
+			acc ^= r.w[i]
+		}
+		if rem := uint(bits % 64); rem != 0 {
+			acc ^= r.w[full] & (1<<rem - 1)
+		}
+		acc ^= acc >> 32
+		acc ^= acc >> 16
+		acc ^= acc >> 8
+		return uint32(acc) & 0xff
+	}
+	mask := uint32(1)<<width - 1
+	var acc uint32
+	for o := 0; o < bits; o += width {
+		acc ^= r.extract(o, width, bits) & mask
+	}
+	return acc & mask
+}
+
+// extract returns up to 32 bits starting at bit offset o, clipped at limit.
+func (r *Reg) extract(o, n, limit int) uint32 {
+	if o+n > limit {
+		n = limit - o
+	}
+	w := o / 64
+	sh := uint(o % 64)
+	v := r.w[w] >> sh
+	if sh+uint(n) > 64 && w+1 < maxWords {
+		v |= r.w[w+1] << (64 - sh)
+	}
+	return uint32(v) & uint32(1<<uint(n)-1)
+}
+
+// FoldMix is like Fold but rotates the accumulator by three bits between
+// chunks. The rotation makes the tag fold linearly independent from the
+// plain index fold over the same history window, so (index, tag) pairs
+// carry close to their nominal combined entropy. Hardware similarly uses
+// two distinct hash functions for index and tag.
+func (r *Reg) FoldMix(histLen, width int) uint32 {
+	if histLen > r.size {
+		histLen = r.size
+	}
+	if width <= 2 || width > 32 {
+		panic("phr: fold width out of range")
+	}
+	bits := 2 * histLen
+	mask := uint32(1)<<width - 1
+	var acc uint32
+	for o := 0; o < bits; o += width {
+		acc = ((acc<<3 | acc>>(uint(width)-3)) & mask) ^ (r.extract(o, width, bits) & mask)
+	}
+	return acc & mask
+}
+
+// String renders the PHR as doublets from most significant (oldest) to
+// least significant (most recent). Runs of zeros are compressed.
+func (r *Reg) String() string {
+	var sb strings.Builder
+	sb.WriteString("PHR[")
+	zeros := 0
+	for i := r.size - 1; i >= 0; i-- {
+		v := r.Doublet(i)
+		if v == 0 {
+			zeros++
+			continue
+		}
+		if zeros > 0 {
+			fmt.Fprintf(&sb, "0*%d ", zeros)
+			zeros = 0
+		}
+		fmt.Fprintf(&sb, "%d", v)
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+	}
+	if zeros > 0 {
+		fmt.Fprintf(&sb, "0*%d", zeros)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}

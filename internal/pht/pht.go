@@ -1,0 +1,253 @@
+// Package pht implements the pattern history tables (PHTs) of the Intel
+// conditional branch predictor as reconstructed by Half&Half and Pathfinder
+// (Figure 3 of the paper): a base predictor indexed by the low 13 bits of
+// the branch PC, and three 512-set × 4-way tagged tables indexed by a 9-bit
+// function of folded path history (PHR) and PC bit 5, with tags formed from
+// a longer fold of the PHR combined with the PC.
+//
+// Every entry carries a 3-bit saturating counter (Observation 2 of the
+// paper) predicting taken when the counter is in the upper half.
+//
+// Only *conditional* branches read and update the PHTs; unconditional
+// branches update the PHR but never touch these tables. That asymmetry is
+// load-bearing for the attacks (e.g. Shift_PHR/Write_PHR macros built from
+// unconditional branches leave the PHTs untouched, and 194+ consecutive
+// unconditional branches defeat Extended Read PHR).
+package pht
+
+import (
+	"fmt"
+
+	"pathfinder/internal/phr"
+)
+
+// CounterBits is the saturating-counter width (Observation 2).
+const CounterBits = 3
+
+// CounterMax is the largest counter value.
+const CounterMax = 1<<CounterBits - 1
+
+// Counter is an n-bit saturating counter. Values 0..CounterMax; values in
+// the upper half predict taken.
+type Counter uint8
+
+// Taken reports the counter's prediction.
+func (c Counter) Taken() bool { return c >= 1<<(CounterBits-1) }
+
+// Update returns the counter after observing one branch outcome.
+func (c Counter) Update(taken bool) Counter {
+	if taken {
+		if c < CounterMax {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// WeakFor returns the weakest counter state that still predicts the given
+// direction; new tagged entries are initialised to it.
+func WeakFor(taken bool) Counter {
+	if taken {
+		return 1 << (CounterBits - 1)
+	}
+	return 1<<(CounterBits-1) - 1
+}
+
+// BaseIndexBits is the PC width indexing the base predictor (PC[12:0]).
+const BaseIndexBits = 13
+
+// BaseTable is the PC-indexed base (local) predictor, Table 0 in Figure 3.
+type BaseTable struct {
+	ctr []Counter
+}
+
+// NewBase returns a base predictor with all counters at the weak not-taken
+// boundary value.
+func NewBase() *BaseTable {
+	b := &BaseTable{ctr: make([]Counter, 1<<BaseIndexBits)}
+	for i := range b.ctr {
+		b.ctr[i] = WeakFor(false)
+	}
+	return b
+}
+
+// Index maps a branch PC to its base-table slot.
+func (b *BaseTable) Index(pc uint64) uint32 {
+	return uint32(pc) & (1<<BaseIndexBits - 1)
+}
+
+// Predict returns the base prediction for pc.
+func (b *BaseTable) Predict(pc uint64) bool { return b.ctr[b.Index(pc)].Taken() }
+
+// Counter returns the raw counter for pc, for tests and Read PHT probes.
+func (b *BaseTable) Counter(pc uint64) Counter { return b.ctr[b.Index(pc)] }
+
+// Update trains the base counter for pc with one outcome.
+func (b *BaseTable) Update(pc uint64, taken bool) {
+	i := b.Index(pc)
+	b.ctr[i] = b.ctr[i].Update(taken)
+}
+
+// Reset returns every counter to the weak not-taken state (used by the
+// mitigation experiments; on hardware this costs ~100k branches, §10.2).
+func (b *BaseTable) Reset() {
+	for i := range b.ctr {
+		b.ctr[i] = WeakFor(false)
+	}
+}
+
+// Tagged-table geometry from Figure 3.
+const (
+	Sets      = 512
+	Ways      = 4
+	IndexBits = 9  // 8 folded-history bits + PC[5]
+	TagBits   = 12 // fold of PHR mixed with PC low bits
+	UsefulMax = 3  // 2-bit usefulness counter for replacement
+)
+
+// Entry is one way of a tagged table.
+type Entry struct {
+	Valid  bool
+	Tag    uint32
+	Ctr    Counter
+	Useful uint8
+}
+
+// TaggedTable is one of the history-indexed components (Tables 1-3 in
+// Figure 3). HistLen is the number of PHR doublets folded into its index
+// and tag: 34, 66 and 194 on Alder/Raptor Lake.
+type TaggedTable struct {
+	HistLen int
+	sets    [Sets][Ways]Entry
+
+	// Fold memoization: predictors look up the same (pc, history) several
+	// times per branch (predict, update, allocate); the folds dominate the
+	// simulator's hot path.
+	memoReg *phr.Reg
+	memoGen uint64
+	memoPC  uint64
+	memoIdx uint32
+	memoTag uint32
+	memoOK  bool
+}
+
+// NewTagged returns an empty tagged table over histLen doublets of history.
+func NewTagged(histLen int) *TaggedTable {
+	if histLen <= 0 {
+		panic(fmt.Sprintf("pht: non-positive history length %d", histLen))
+	}
+	return &TaggedTable{HistLen: histLen}
+}
+
+// Index computes the 9-bit set index: eight bits of folded history plus
+// PC bit 5 (Figure 3). Only PC bits 15:0 ever participate in tagged-table
+// addressing, which is what lets an attacker branch at a different page
+// alias a victim branch with equal low address bits.
+func (t *TaggedTable) Index(pc uint64, h *phr.Reg) uint32 {
+	fold := h.Fold(t.HistLen, 8)
+	return fold | (uint32(pc>>5)&1)<<8
+}
+
+// Tag computes the entry tag from a longer history fold mixed with the low
+// PC bits.
+func (t *TaggedTable) Tag(pc uint64, h *phr.Reg) uint32 {
+	fold := h.FoldMix(t.HistLen, TagBits)
+	p := uint32(pc) & 0xffff
+	return (fold ^ p ^ p>>7) & (1<<TagBits - 1)
+}
+
+// locate returns the (index, tag) pair for (pc, h), memoizing the folds.
+func (t *TaggedTable) locate(pc uint64, h *phr.Reg) (uint32, uint32) {
+	if t.memoOK && t.memoReg == h && t.memoGen == h.Gen() && t.memoPC == pc {
+		return t.memoIdx, t.memoTag
+	}
+	idx, tag := t.Index(pc, h), t.Tag(pc, h)
+	t.memoReg, t.memoGen, t.memoPC = h, h.Gen(), pc
+	t.memoIdx, t.memoTag, t.memoOK = idx, tag, true
+	return idx, tag
+}
+
+// Lookup finds the entry matching (pc, h). It returns the entry pointer and
+// true on a tag hit.
+func (t *TaggedTable) Lookup(pc uint64, h *phr.Reg) (*Entry, bool) {
+	idx, tag := t.locate(pc, h)
+	set := &t.sets[idx&(Sets-1)]
+	for w := range set {
+		if set[w].Valid && set[w].Tag == tag {
+			return &set[w], true
+		}
+	}
+	return nil, false
+}
+
+// Allocate inserts a fresh weak entry for (pc, h) in the given direction.
+// It prefers an invalid way, then a way with Useful==0 (lowest index wins,
+// keeping the model deterministic). If every way is useful it decrements
+// all usefulness counters and allocates nothing, per TAGE replacement.
+// It reports whether an entry was inserted.
+func (t *TaggedTable) Allocate(pc uint64, h *phr.Reg, taken bool) bool {
+	idx, tag := t.locate(pc, h)
+	set := &t.sets[idx&(Sets-1)]
+	victim := -1
+	for w := range set {
+		if !set[w].Valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		for w := range set {
+			if set[w].Useful == 0 {
+				victim = w
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		for w := range set {
+			if set[w].Useful > 0 {
+				set[w].Useful--
+			}
+		}
+		return false
+	}
+	set[victim] = Entry{Valid: true, Tag: tag, Ctr: WeakFor(taken)}
+	return true
+}
+
+// DecayUseful halves every usefulness counter — the periodic TAGE aging
+// that keeps long-lived entries evictable.
+func (t *TaggedTable) DecayUseful() {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w].Useful >>= 1
+		}
+	}
+}
+
+// Reset invalidates every entry (PHT flush mitigation, §10.2).
+func (t *TaggedTable) Reset() {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w] = Entry{}
+		}
+	}
+}
+
+// Occupancy returns the number of valid entries, for diagnostics and the
+// mitigation-cost experiments.
+func (t *TaggedTable) Occupancy() int {
+	n := 0
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			if t.sets[s][w].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

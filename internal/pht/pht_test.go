@@ -1,0 +1,246 @@
+package pht
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathfinder/internal/phr"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := Counter(0)
+	for i := 0; i < 20; i++ {
+		c = c.Update(true)
+	}
+	if c != CounterMax {
+		t.Fatalf("counter saturated at %d, want %d", c, CounterMax)
+	}
+	for i := 0; i < 20; i++ {
+		c = c.Update(false)
+	}
+	if c != 0 {
+		t.Fatalf("counter floor %d, want 0", c)
+	}
+}
+
+func TestCounterThreshold(t *testing.T) {
+	// 3-bit counter: 0..3 predict not-taken, 4..7 predict taken.
+	for v := Counter(0); v <= CounterMax; v++ {
+		want := v >= 4
+		if v.Taken() != want {
+			t.Errorf("Counter(%d).Taken() = %v, want %v", v, v.Taken(), want)
+		}
+	}
+}
+
+func TestCounterStepsToFlip(t *testing.T) {
+	// From strong not-taken, exactly 4 taken updates are needed before the
+	// counter predicts taken -- the basis of the Read PHT probe decoding
+	// ("4 mispredictions indicates strongly not-taken").
+	c := Counter(0)
+	steps := 0
+	for !c.Taken() {
+		c = c.Update(true)
+		steps++
+	}
+	if steps != 4 {
+		t.Fatalf("flips after %d steps, want 4", steps)
+	}
+}
+
+func TestWeakFor(t *testing.T) {
+	if !WeakFor(true).Taken() || WeakFor(false).Taken() {
+		t.Fatal("WeakFor direction wrong")
+	}
+	if WeakFor(true).Update(false).Taken() || !WeakFor(false).Update(true).Taken() {
+		t.Fatal("WeakFor not weak")
+	}
+}
+
+func TestBaseAliasing(t *testing.T) {
+	b := NewBase()
+	// Two PCs equal in the low 13 bits share a base entry (BranchScope-style
+	// aliasing); differing low bits do not.
+	pcA := uint64(0x0000_1abc)
+	pcB := uint64(0xffff_3abc) // same low 13 bits (0x1abc & 0x1fff == 0x1abc)
+	if b.Index(pcA) != b.Index(pcB) {
+		t.Fatalf("expected base collision: %#x vs %#x", b.Index(pcA), b.Index(pcB))
+	}
+	for i := 0; i < 8; i++ {
+		b.Update(pcA, true)
+	}
+	if !b.Predict(pcB) {
+		t.Fatal("aliased PC did not observe training")
+	}
+	if b.Predict(0x0abd) {
+		t.Fatal("unrelated PC affected")
+	}
+}
+
+func TestTaggedAliasingLow16(t *testing.T) {
+	tt := NewTagged(194)
+	h := phr.New(194)
+	h.SetDoublet(3, 2)
+	h.SetDoublet(100, 1)
+	// Attacker at a different page but same low 16 bits must produce the
+	// same index and tag -- the aliasing requirement of the attacks (§5).
+	pcV := uint64(0x0040_ac40)
+	pcA := uint64(0x0050_ac40)
+	if tt.Index(pcV, h) != tt.Index(pcA, h) || tt.Tag(pcV, h) != tt.Tag(pcA, h) {
+		t.Fatal("low-16-bit aliasing broken")
+	}
+}
+
+func TestTaggedPHRSensitivity(t *testing.T) {
+	tt := NewTagged(194)
+	pc := uint64(0xac40)
+	a := phr.New(194)
+	b := phr.New(194)
+	b.SetDoublet(193, 1) // differ only in the topmost doublet
+	if tt.Index(pc, a) == tt.Index(pc, b) && tt.Tag(pc, a) == tt.Tag(pc, b) {
+		t.Fatal("table 3 must distinguish PHRs differing at doublet 193")
+	}
+	short := NewTagged(34)
+	if short.Index(pc, a) != short.Index(pc, b) || short.Tag(pc, a) != short.Tag(pc, b) {
+		t.Fatal("table 1 must NOT see doublet 193 (only 34 doublets folded)")
+	}
+}
+
+func TestAllocateLookupRoundTrip(t *testing.T) {
+	tt := NewTagged(66)
+	h := phr.New(194)
+	h.SetDoublet(0, 3)
+	pc := uint64(0x1234)
+	if _, hit := tt.Lookup(pc, h); hit {
+		t.Fatal("hit in empty table")
+	}
+	if !tt.Allocate(pc, h, true) {
+		t.Fatal("allocation failed in empty table")
+	}
+	e, hit := tt.Lookup(pc, h)
+	if !hit {
+		t.Fatal("miss after allocate")
+	}
+	if !e.Ctr.Taken() || e.Ctr != WeakFor(true) {
+		t.Fatalf("new entry counter %d, want weak taken", e.Ctr)
+	}
+	// Mutating through the returned pointer is visible on re-lookup.
+	e.Ctr = e.Ctr.Update(true)
+	e2, _ := tt.Lookup(pc, h)
+	if e2.Ctr != WeakFor(true)+1 {
+		t.Fatal("entry mutation lost")
+	}
+}
+
+func TestAllocateReplacement(t *testing.T) {
+	tt := NewTagged(34)
+	h := phr.New(194)
+	// Fill all four ways of one set with useful entries by varying PC bits
+	// that change the tag but not the index (index uses only folded history
+	// and PC[5]).
+	idx := tt.Index(0, h)
+	filled := 0
+	for pc := uint64(0); filled < Ways && pc < 1<<16; pc += 0x40 { // keep PC[5]=0
+		if tt.Index(pc, h) != idx {
+			continue
+		}
+		if _, hit := tt.Lookup(pc, h); hit {
+			continue
+		}
+		if tt.Allocate(pc, h, false) {
+			e, _ := tt.Lookup(pc, h)
+			e.Useful = 2
+			filled++
+		}
+	}
+	if filled != Ways {
+		t.Skipf("could not fill set (filled %d)", filled)
+	}
+	// All ways useful: allocation must fail once and age the set.
+	if tt.Allocate(0x9000, h, true) {
+		t.Fatal("allocation should fail when all ways useful")
+	}
+	if tt.Allocate(0x9000, h, true) {
+		t.Fatal("still one aging round away")
+	}
+	if !tt.Allocate(0x9000, h, true) {
+		t.Fatal("allocation should succeed after usefulness decay")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	tt := NewTagged(194)
+	h := phr.New(194)
+	tt.Allocate(0x40, h, true)
+	if tt.Occupancy() != 1 {
+		t.Fatal("occupancy")
+	}
+	tt.Reset()
+	if tt.Occupancy() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	b := NewBase()
+	b.Update(0x40, true)
+	b.Update(0x40, true)
+	b.Reset()
+	if b.Counter(0x40) != WeakFor(false) {
+		t.Fatal("base reset")
+	}
+}
+
+func TestIndexTagWidths(t *testing.T) {
+	tt := NewTagged(194)
+	if err := quick.Check(func(pc uint64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := phr.New(194)
+		for i := 0; i < 194; i++ {
+			h.SetDoublet(i, uint8(rng.Intn(4)))
+		}
+		return tt.Index(pc, h) < 1<<IndexBits && tt.Tag(pc, h) < 1<<TagBits
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagCollisionRate(t *testing.T) {
+	// Random distinct PHRs should essentially never produce the same
+	// (index, tag) pair for the full-history table: the property that makes
+	// the Extended Read PHR test unambiguous.
+	tt := NewTagged(194)
+	rng := rand.New(rand.NewSource(7))
+	pc := uint64(0xac40)
+	type key struct{ i, t uint32 }
+	seen := map[key]bool{}
+	collisions := 0
+	const trials = 5000
+	for n := 0; n < trials; n++ {
+		h := phr.New(194)
+		for i := 0; i < 194; i++ {
+			h.SetDoublet(i, uint8(rng.Intn(4)))
+		}
+		k := key{tt.Index(pc, h), tt.Tag(pc, h)}
+		if seen[k] {
+			collisions++
+		}
+		seen[k] = true
+	}
+	// 21 bits of (index,tag) over 5000 draws: expect a few birthday
+	// collisions, but far below 1%.
+	if collisions > trials/100 {
+		t.Fatalf("%d/%d tag collisions, hash too weak", collisions, trials)
+	}
+}
+
+func BenchmarkTaggedLookup(b *testing.B) {
+	tt := NewTagged(194)
+	h := phr.New(194)
+	for i := 0; i < 194; i++ {
+		h.SetDoublet(i, uint8(i&3))
+	}
+	tt.Allocate(0xac40, h, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tt.Lookup(0xac40, h)
+	}
+}

@@ -1,0 +1,108 @@
+package victim
+
+import (
+	"fmt"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/isa"
+	"pathfinder/internal/jpeg"
+)
+
+// IDCTCoefBase is where the decoder's dequantized coefficient blocks live:
+// block b's element (r, c) is the int64 at IDCTCoefBase + (b*64 + r*8+c)*8.
+// In the threat model the victim process has already entropy-decoded the
+// secret image; the IDCT stage's control flow is what leaks (§8).
+const IDCTCoefBase = 0x0040_0000
+
+// IDCTCheckLabels returns the labels of the 14 zero-check branches: 7 per
+// pass, pass 0 (columns) then pass 1 (rows), k = 1..7 each.
+func IDCTCheckLabels() (cols, rows [7]string) {
+	for k := 1; k <= 7; k++ {
+		cols[k-1] = fmt.Sprintf("idct_colchk%d", k)
+		rows[k-1] = fmt.Sprintf("idct_rowchk%d", k)
+	}
+	return cols, rows
+}
+
+// IDCTVictim compiles the Listing-2 control flow over nblocks coefficient
+// blocks: two passes per block, each iterating 8 columns/rows with the
+// seven-term short-circuit zero check choosing the simple or complex
+// computation. Branch directions depend only on the secret coefficients.
+func IDCTVictim(nblocks int, coef []jpeg.Block) core.Victim {
+	return core.Victim{
+		Entry: "idct_entry",
+		Emit:  func(a *isa.Assembler) { emitIDCT(a, nblocks) },
+		Setup: func(m *cpu.Machine) { InstallCoefficients(m, coef) },
+	}
+}
+
+// InstallCoefficients writes the dequantized blocks into victim memory.
+func InstallCoefficients(m *cpu.Machine, coef []jpeg.Block) {
+	for b := range coef {
+		for i, v := range coef[b] {
+			m.Mem.Write64(IDCTCoefBase+uint64((b*64+i)*8), uint64(int64(v)))
+		}
+	}
+}
+
+// Register use: R1 blk, R2 nblocks, R3 block base, R5 col/row index,
+// R6 element pointer, R7 loaded coefficient, R12 zero, R13 constant 8.
+func emitIDCT(a *isa.Assembler, nblocks int) {
+	a.VariableStride() // x86-like code density gives branch footprints entropy
+	a.Label("idct_entry")
+	a.MovI(isa.R1, 0)
+	a.MovI(isa.R2, int64(nblocks))
+	a.MovI(isa.R12, 0)
+	a.MovI(isa.R13, 8)
+	a.MovI(isa.R14, IDCTCoefBase)
+	a.Label("idct_blkloop")
+	a.ShlI(isa.R3, isa.R1, 9) // 64 coefficients * 8 bytes
+	a.Add(isa.R3, isa.R14, isa.R3)
+
+	// Pass 1: columns. Element (r, c) at offset r*64 + c*8.
+	a.MovI(isa.R5, 0)
+	a.Label("idct_colloop")
+	a.ShlI(isa.R6, isa.R5, 3)
+	a.Add(isa.R6, isa.R3, isa.R6) // &coef[0][c]
+	for k := 1; k <= 7; k++ {
+		a.Ld(isa.R7, isa.R6, int64(64*k))
+		a.Label(fmt.Sprintf("idct_colchk%d", k))
+		a.Br(isa.NE, isa.R7, isa.R12, "idct_colcomplex")
+	}
+	// Simple computation: the column is constant.
+	a.AddI(isa.R8, isa.R8, 1)
+	a.Jmp("idct_colnext")
+	a.Label("idct_colcomplex")
+	a.AddI(isa.R9, isa.R9, 1)
+	a.AddI(isa.R9, isa.R9, 1)
+	a.Label("idct_colnext")
+	a.AddI(isa.R5, isa.R5, 1)
+	a.Label("idct_colback")
+	a.Br(isa.LT, isa.R5, isa.R13, "idct_colloop")
+
+	// Pass 2: rows. Element (r, c) at offset r*64 + c*8.
+	a.MovI(isa.R5, 0)
+	a.Label("idct_rowloop")
+	a.ShlI(isa.R6, isa.R5, 6)
+	a.Add(isa.R6, isa.R3, isa.R6) // &coef[r][0]
+	for k := 1; k <= 7; k++ {
+		a.Ld(isa.R7, isa.R6, int64(8*k))
+		a.Label(fmt.Sprintf("idct_rowchk%d", k))
+		a.Br(isa.NE, isa.R7, isa.R12, "idct_rowcomplex")
+	}
+	a.AddI(isa.R8, isa.R8, 1)
+	a.Jmp("idct_rownext")
+	a.Label("idct_rowcomplex")
+	a.AddI(isa.R9, isa.R9, 1)
+	a.AddI(isa.R9, isa.R9, 1)
+	a.Label("idct_rownext")
+	a.AddI(isa.R5, isa.R5, 1)
+	a.Label("idct_rowback")
+	a.Br(isa.LT, isa.R5, isa.R13, "idct_rowloop")
+
+	a.AddI(isa.R1, isa.R1, 1)
+	a.Label("idct_blkback")
+	a.Br(isa.LT, isa.R1, isa.R2, "idct_blkloop")
+	a.Ret()
+}

@@ -1,0 +1,127 @@
+package victim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/isa"
+)
+
+// MicroDataAddr holds the data-dependent inputs of the microbenchmark
+// victims.
+const MicroDataAddr = 0x00e0_0000
+
+// PatternedLoop returns a victim running `trips` loop iterations whose body
+// branches on a per-iteration data byte — the workhorse for the §5
+// Extended Read PHR evaluation (victims with a chosen number of taken
+// branches and non-degenerate histories).
+func PatternedLoop(trips int, pattern []byte) core.Victim {
+	return core.Victim{
+		Entry: "pl_entry",
+		Emit: func(a *isa.Assembler) {
+			a.VariableStride()
+			a.Label("pl_entry")
+			a.MovI(isa.R1, 0)
+			a.MovI(isa.R2, int64(trips))
+			a.MovI(isa.R5, MicroDataAddr)
+			a.MovI(isa.R6, 1)
+			a.Label("pl_loop")
+			a.Add(isa.R3, isa.R5, isa.R1)
+			a.LdB(isa.R4, isa.R3, 0)
+			a.Label("pl_bit")
+			a.Br(isa.EQ, isa.R4, isa.R6, "pl_one")
+			a.Nop()
+			a.Jmp("pl_join")
+			a.Label("pl_one")
+			a.Nop()
+			a.Label("pl_join")
+			a.AddI(isa.R1, isa.R1, 1)
+			a.Label("pl_back")
+			a.Br(isa.LT, isa.R1, isa.R2, "pl_loop")
+			a.Ret()
+		},
+		Setup: func(m *cpu.Machine) { m.Mem.WriteBytes(MicroDataAddr, pattern) },
+	}
+}
+
+// RandomPattern builds a deterministic pseudo-random bit pattern.
+func RandomPattern(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(rng.Intn(2))
+	}
+	return p
+}
+
+// RandomCFG returns a victim with a randomly generated control-flow
+// structure — the "well-designed microbenchmarks, including challenging
+// scenarios such as varying loop iterations, nested loops, and complex
+// control flow graphs" of the §6 Pathfinder evaluation. The structure and
+// the data it branches on are both derived from the seed; TotalData bytes
+// at MicroDataAddr drive the data-dependent decisions.
+func RandomCFG(seed int64, segments int) core.Victim {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	kinds := make([]int, segments)
+	params := make([]int, segments)
+	for i := range kinds {
+		kinds[i] = rng.Intn(3)
+		params[i] = 1 + rng.Intn(4)
+	}
+	return core.Victim{
+		Entry: "rc_entry",
+		Emit: func(a *isa.Assembler) {
+			a.VariableStride()
+			a.Label("rc_entry")
+			a.MovI(isa.R10, MicroDataAddr)
+			a.MovI(isa.R11, 0) // data cursor
+			a.MovI(isa.R12, 1)
+			for i, kind := range kinds {
+				switch kind {
+				case 0: // if/else on a data bit
+					a.Add(isa.R3, isa.R10, isa.R11)
+					a.LdB(isa.R4, isa.R3, 0)
+					a.AddI(isa.R11, isa.R11, 1)
+					a.And(isa.R4, isa.R4, isa.R12)
+					a.Br(isa.EQ, isa.R4, isa.R12, fmt.Sprintf("rc_t%d", i))
+					a.Nop()
+					a.Jmp(fmt.Sprintf("rc_j%d", i))
+					a.Label(fmt.Sprintf("rc_t%d", i))
+					a.Nop()
+					a.Label(fmt.Sprintf("rc_j%d", i))
+				case 1: // loop with a data-dependent trip count 1..4
+					a.Add(isa.R3, isa.R10, isa.R11)
+					a.LdB(isa.R4, isa.R3, 0)
+					a.AddI(isa.R11, isa.R11, 1)
+					a.MovI(isa.R5, 3)
+					a.And(isa.R4, isa.R4, isa.R5)
+					a.AddI(isa.R4, isa.R4, 1)
+					a.MovI(isa.R6, 0)
+					a.Label(fmt.Sprintf("rc_l%d", i))
+					a.AddI(isa.R6, isa.R6, 1)
+					a.Br(isa.LT, isa.R6, isa.R4, fmt.Sprintf("rc_l%d", i))
+				default: // nested fixed loop
+					n := params[i]
+					a.MovI(isa.R6, 0)
+					a.MovI(isa.R7, int64(n))
+					a.Label(fmt.Sprintf("rc_o%d", i))
+					a.MovI(isa.R8, 0)
+					a.Label(fmt.Sprintf("rc_i%d", i))
+					a.AddI(isa.R8, isa.R8, 1)
+					a.MovI(isa.R9, 2)
+					a.Br(isa.LT, isa.R8, isa.R9, fmt.Sprintf("rc_i%d", i))
+					a.AddI(isa.R6, isa.R6, 1)
+					a.Br(isa.LT, isa.R6, isa.R7, fmt.Sprintf("rc_o%d", i))
+				}
+			}
+			a.Ret()
+		},
+		Setup: func(m *cpu.Machine) { m.Mem.WriteBytes(MicroDataAddr, data) },
+	}
+}

@@ -1,0 +1,75 @@
+package victim
+
+import (
+	"fmt"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/isa"
+)
+
+// Kernel and enclave stubs for the §7 attack-surface analysis. The paper
+// measures that syscall entry introduces ~23 branch outcomes into the PHR
+// and exit ~7 (§7.1); the stubs reproduce those counts with chains of taken
+// jumps around a caller-selected payload.
+const (
+	SyscallEntryBranches = 23
+	SyscallExitBranches  = 7 // includes the stub's final RET
+)
+
+// EmitKernelStub emits a syscall handler labelled `label` whose entry path
+// executes SyscallEntryBranches-1 taken branches, then the payload, then
+// SyscallExitBranches-1 more taken branches and a RET. Combined with the
+// RET itself the PHR sees exactly the paper's entry/exit branch counts
+// (the SYSCALL transfer, like Intel's, is not PHR-visible).
+func EmitKernelStub(a *isa.Assembler, label string, payload func(a *isa.Assembler)) {
+	a.Label(label)
+	for i := 0; i < SyscallEntryBranches-1; i++ {
+		a.Jmp(fmt.Sprintf("%s_e%d", label, i))
+		a.Label(fmt.Sprintf("%s_e%d", label, i))
+	}
+	a.Jmp(label + "_body")
+	a.Label(label + "_body")
+	if payload != nil {
+		payload(a)
+	}
+	for i := 0; i < SyscallExitBranches-2; i++ {
+		a.Jmp(fmt.Sprintf("%s_x%d", label, i))
+		a.Label(fmt.Sprintf("%s_x%d", label, i))
+	}
+	a.Jmp(label + "_ret")
+	a.Label(label + "_ret")
+	a.Ret()
+}
+
+// EmitEnclaveStub emits an SGX enclave entry with a payload; enclave
+// transition code is shorter than the kernel's.
+func EmitEnclaveStub(a *isa.Assembler, label string, payload func(a *isa.Assembler)) {
+	a.Label(label)
+	a.Jmp(label + "_body")
+	a.Label(label + "_body")
+	if payload != nil {
+		payload(a)
+	}
+	a.Ret()
+}
+
+// SecretBitVictim builds a victim whose single conditional branch direction
+// equals a secret bit stored at addr — the minimal cross-boundary leak
+// target used by the Table 2 experiments. The branch is placed at pcLow in
+// its 64 KiB frame so attacker aliases are easy to form.
+func SecretBitVictim(addr uint64, pcLow uint64) core.Victim {
+	return core.Victim{
+		Entry: "sbit_entry",
+		Emit: func(a *isa.Assembler) {
+			a.Label("sbit_entry")
+			a.MovI(isa.R1, int64(addr))
+			a.LdB(isa.R2, isa.R1, 0)
+			a.MovI(isa.R3, 1)
+			a.Align(0x1_0000, pcLow)
+			a.Label("sbit_branch")
+			a.Br(isa.EQ, isa.R2, isa.R3, "sbit_after")
+			a.Label("sbit_after")
+			a.Ret()
+		},
+	}
+}
