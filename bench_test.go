@@ -8,6 +8,7 @@ package repro
 // are the reproduction targets. See EXPERIMENTS.md for recorded outputs.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -64,20 +65,20 @@ func BenchmarkObs1_PHRStructure(b *testing.B) {
 // BenchmarkObs2_CounterWidth reproduces the saturating-counter experiment.
 func BenchmarkObs2_CounterWidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, bits, err := harness.Obs2CounterWidth(12)
+		rep, err := harness.Obs2CounterWidth(context.Background(), harness.Options{}, 12)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if bits != 3 {
-			b.Fatalf("inferred %d-bit counters, want 3", bits)
+		if rep.CounterBits != 3 {
+			b.Fatalf("inferred %d-bit counters, want 3", rep.CounterBits)
 		}
-		b.ReportMetric(float64(bits), "counter-bits")
+		b.ReportMetric(float64(rep.CounterBits), "counter-bits")
 		once(b, func() {
 			fmt.Printf("\n--- Observation 2 (T^m N^m mispredictions per period) ---\n")
-			for _, r := range rows {
+			for _, r := range rep.Points {
 				fmt.Printf("m=%-3d %.2f\n", r.M, r.MispredictPerPeriod)
 			}
-			fmt.Printf("plateau => %d-bit saturating counters\n", bits)
+			fmt.Printf("plateau => %d-bit saturating counters\n", rep.CounterBits)
 		})
 	}
 }
@@ -98,13 +99,13 @@ func BenchmarkFig2_Footprint(b *testing.B) {
 // BenchmarkFig4_ReadDoublet reproduces the Figure 4 candidate-rate matrix.
 func BenchmarkFig4_ReadDoublet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig4ReadDoublet(4)
+		rep, err := harness.Fig4ReadDoublet(context.Background(), harness.Options{}, 4)
 		if err != nil {
 			b.Fatal(err)
 		}
 		once(b, func() {
 			fmt.Printf("\n--- Figure 4 (test-branch misprediction rate per candidate X) ---\n")
-			for _, r := range rows {
+			for _, r := range rep.Rows {
 				fmt.Printf("doublet %d: X=0:%.2f X=1:%.2f X=2:%.2f X=3:%.2f  (true P=%d)\n",
 					r.Doublet, r.Rates[0], r.Rates[1], r.Rates[2], r.Rates[3], r.True)
 			}
@@ -117,13 +118,13 @@ func BenchmarkFig4_ReadDoublet(b *testing.B) {
 func BenchmarkReadPHR_RandomValues(b *testing.B) {
 	const trials, doublets = 8, 48
 	for i := 0; i < b.N; i++ {
-		ok, err := harness.ReadPHRRandomEval(trials, doublets, int64(i))
+		rep, err := harness.ReadPHRRandomEval(context.Background(), harness.Options{Seed: int64(i)}, trials, doublets)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(ok)/float64(trials), "success-rate")
+		b.ReportMetric(float64(rep.Successes)/float64(trials), "success-rate")
 		once(b, func() {
-			fmt.Printf("\n--- §4.2 Read PHR evaluation ---\n%d/%d random PHR values read back exactly (first %d doublets)\n", ok, trials, doublets)
+			fmt.Printf("\n--- §4.2 Read PHR evaluation ---\n%d/%d random PHR values read back exactly (first %d doublets)\n", rep.Successes, trials, doublets)
 		})
 	}
 }
@@ -162,20 +163,20 @@ func BenchmarkPHT_ReadWrite(b *testing.B) {
 func BenchmarkFig5_ExtendedReadPHR(b *testing.B) {
 	trips := []int{60, 150, 250, 400}
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.ExtendedReadEval(trips, int64(13+i))
+		rep, err := harness.ExtendedReadEval(context.Background(), harness.Options{Seed: int64(13 + i)}, trips)
 		if err != nil {
 			b.Fatal(err)
 		}
 		exact := 0
-		for _, r := range rows {
+		for _, r := range rep.Cases {
 			if r.Exact {
 				exact++
 			}
 		}
-		b.ReportMetric(float64(exact)/float64(len(rows)), "exact-rate")
+		b.ReportMetric(float64(exact)/float64(len(rep.Cases)), "exact-rate")
 		once(b, func() {
 			fmt.Printf("\n--- §5 Extended Read PHR evaluation ---\n")
-			for _, r := range rows {
+			for _, r := range rep.Cases {
 				fmt.Printf("taken branches %-5d exact recovery: %v\n", r.TakenBranches, r.Exact)
 			}
 		})
@@ -185,7 +186,7 @@ func BenchmarkFig5_ExtendedReadPHR(b *testing.B) {
 // BenchmarkFig6_PathfinderAES reproduces the Figure 6 CFG recovery.
 func BenchmarkFig6_PathfinderAES(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Fig6PathfinderAES(int64(17 + i))
+		res, err := harness.Fig6PathfinderAES(context.Background(), harness.Options{Seed: int64(17 + i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,19 +256,19 @@ func BenchmarkSyscallBranchCounts(b *testing.B) {
 // full 15-image set.
 func BenchmarkFig7_ImageRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.Fig7ImageRecovery(24, 60, 3, int64(29))
+		rep, err := harness.Fig7ImageRecovery(context.Background(), harness.Options{}, 24, 60, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
 		var acc float64
-		for _, r := range rows {
+		for _, r := range rep.Images {
 			acc += r.FlagAccuracy
 		}
-		b.ReportMetric(acc/float64(len(rows)), "flag-accuracy")
+		b.ReportMetric(acc/float64(len(rep.Images)), "flag-accuracy")
 		once(b, func() {
 			fmt.Printf("\n--- Figure 7 / §8 image recovery (24x24 thumbnails; cmd/imagerecover runs the full set) ---\n")
 			fmt.Printf("%-12s %-16s %-14s %s\n", "image", "taken branches", "flag accuracy", "edge corr")
-			for _, r := range rows {
+			for _, r := range rep.Images {
 				fmt.Printf("%-12s %-16d %-14.3f %.2f\n", r.Name, r.TakenBranches, r.FlagAccuracy, r.EdgeCorrelation)
 			}
 		})
@@ -279,7 +280,7 @@ func BenchmarkFig7_ImageRecovery(b *testing.B) {
 // recovery (paper: 98.43% average byte success).
 func BenchmarkAES_KeyRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.AESLeakEval(120, 0.015, int64(31+i))
+		res, err := harness.AESLeakEval(context.Background(), harness.Options{Seed: int64(31 + i)}, 120, 0.015)
 		if err != nil {
 			b.Fatal(err)
 		}

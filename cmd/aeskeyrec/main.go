@@ -3,25 +3,38 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pathfinder/internal/harness"
 )
 
 func main() {
-	trials := flag.Int("trials", 120, "oracle queries at random early-exit rounds")
-	noise := flag.Float64("noise", 0.015, "probability a transient window collapses")
-	seed := flag.Int64("seed", 31, "deterministic seed")
-	flag.Parse()
-
-	res, err := harness.AESLeakEval(*trials, *noise, *seed)
-	if err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("stolen reduced-round ciphertext bytes matching ground truth: %d/%d (%.2f%%)\n",
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aeskeyrec", flag.ContinueOnError)
+	trials := fs.Int("trials", 120, "oracle queries at random early-exit rounds")
+	noise := fs.Float64("noise", 0.015, "probability a transient window collapses")
+	seed := fs.Int64("seed", 31, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	res, err := harness.AESLeakEval(ctx, harness.Options{Seed: *seed}, *trials, *noise)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "stolen reduced-round ciphertext bytes matching ground truth: %d/%d (%.2f%%)\n",
 		res.ByteSuccesses, res.TotalBytes, 100*res.SuccessRate)
-	fmt.Printf("paper reports 98.43%% on hardware\n")
-	fmt.Printf("full AES-128 key recovered from skip-loop leaks: %v\n", res.KeyRecovered)
+	fmt.Fprintf(out, "paper reports 98.43%% on hardware\n")
+	fmt.Fprintf(out, "full AES-128 key recovered from skip-loop leaks: %v\n", res.KeyRecovered)
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-trials", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "stolen reduced-round ciphertext bytes") {
+		t.Fatalf("missing theft summary:\n%s", got)
+	}
+	if !strings.Contains(got, "full AES-128 key recovered from skip-loop leaks: true") {
+		t.Fatalf("key recovery failed:\n%s", got)
+	}
+}

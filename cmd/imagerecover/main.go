@@ -4,33 +4,46 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pathfinder/internal/harness"
 	"pathfinder/internal/media"
 )
 
 func main() {
-	size := flag.Int("size", 16, "secret image edge length in pixels")
-	quality := flag.Int("quality", 60, "JPEG quality 1..100")
-	images := flag.Int("images", 15, "how many of the 15 test images to attack")
-	seed := flag.Int64("seed", 29, "deterministic seed")
-	show := flag.Bool("show", false, "print ASCII art per image")
-	flag.Parse()
-
-	rows, err := harness.Fig7ImageRecovery(*size, *quality, *images, *seed)
-	if err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-12s %-16s %-14s %s\n", "image", "taken branches", "flag accuracy", "edge corr")
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("imagerecover", flag.ContinueOnError)
+	size := fs.Int("size", 16, "secret image edge length in pixels")
+	quality := fs.Int("quality", 60, "JPEG quality 1..100")
+	images := fs.Int("images", 15, "how many of the 15 test images to attack")
+	seed := fs.Int64("seed", 29, "deterministic seed")
+	show := fs.Bool("show", false, "print ASCII art per image")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := harness.Fig7ImageRecovery(ctx, harness.Options{Seed: *seed}, *size, *quality, *images)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-12s %-16s %-14s %s\n", "image", "taken branches", "flag accuracy", "edge corr")
 	set := media.TestSet(*size)
-	for i, r := range rows {
-		fmt.Printf("%-12s %-16d %-14.3f %.2f\n", r.Name, r.TakenBranches, r.FlagAccuracy, r.EdgeCorrelation)
+	for i, r := range rep.Images {
+		fmt.Fprintf(out, "%-12s %-16d %-14.3f %.2f\n", r.Name, r.TakenBranches, r.FlagAccuracy, r.EdgeCorrelation)
 		if *show {
-			fmt.Printf("\noriginal:\n%s\nrecovered complexity map:\n%s\n",
+			fmt.Fprintf(out, "\noriginal:\n%s\nrecovered complexity map:\n%s\n",
 				set[i].Image.ASCII(1), r.Recovered.ASCII(1))
 		}
 	}
+	return nil
 }

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-size", "16", "-images", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "flag accuracy") || !strings.Contains(got, "edge corr") {
+		t.Fatalf("missing Figure 7 table:\n%s", got)
+	}
+}

@@ -4,9 +4,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/cpu"
@@ -16,21 +19,30 @@ import (
 )
 
 func main() {
-	kind := flag.String("victim", "loop", "victim program: loop | randomcfg | aes")
-	trips := flag.Int("trips", 120, "loop trip count (loop victim)")
-	segments := flag.Int("segments", 8, "structure size (randomcfg victim)")
-	seed := flag.Int64("seed", 1, "deterministic seed")
-	flag.Parse()
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pathfinder", flag.ContinueOnError)
+	kind := fs.String("victim", "loop", "victim program: loop | randomcfg | aes")
+	trips := fs.Int("trips", 120, "loop trip count (loop victim)")
+	segments := fs.Int("segments", 8, "structure size (randomcfg victim)")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *kind == "aes" {
-		res, err := harness.Fig6PathfinderAES(*seed)
+		res, err := harness.Fig6PathfinderAES(ctx, harness.Options{Seed: *seed})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("recovered runtime CFG (Figure 6):\n%s\n", res.CFGDump)
-		fmt.Printf("block sequence: %v\n", res.BlockSequence)
-		fmt.Printf("aesenc loop executes %d times\n", res.LoopIterations)
-		return
+		fmt.Fprintf(out, "recovered runtime CFG (Figure 6):\n%s\n", res.CFGDump)
+		fmt.Fprintf(out, "block sequence: %v\n", res.BlockSequence)
+		fmt.Fprintf(out, "aesenc loop executes %d times\n", res.LoopIterations)
+		return nil
 	}
 
 	var v core.Victim
@@ -40,28 +52,29 @@ func main() {
 	case "randomcfg":
 		v = victim.RandomCFG(*seed, *segments)
 	default:
-		log.Fatalf("unknown victim %q", *kind)
+		return fmt.Errorf("unknown victim %q", *kind)
 	}
 	m := cpu.New(cpu.Options{Seed: *seed})
 	rec, err := core.ExtendedReadPHR(m, v, core.ExtendedOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("recovered %d steps (complete=%v), %d extension doublets, %d oracle probes\n",
+	fmt.Fprintf(out, "recovered %d steps (complete=%v), %d extension doublets, %d oracle probes\n",
 		len(rec.Path.Steps), rec.Path.Complete, len(rec.Ext), rec.Probes)
 	cfg, err := pathfinder.Build(rec.CaptureProgram)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("block sequence: %v\n", rec.Path.BlockSequence(cfg, rec.Entry, rec.Final))
-	fmt.Println("conditional branch outcomes (execution order):")
+	fmt.Fprintf(out, "block sequence: %v\n", rec.Path.BlockSequence(cfg, rec.Entry, rec.Final))
+	fmt.Fprintln(out, "conditional branch outcomes (execution order):")
 	line := 0
 	for _, s := range rec.Path.Outcomes() {
-		fmt.Printf(" %s", s)
+		fmt.Fprintf(out, " %s", s)
 		line++
 		if line%8 == 0 {
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
+	return nil
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunLoopVictim(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-victim", "loop", "-trips", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "recovered") || !strings.Contains(got, "block sequence:") {
+		t.Fatalf("unexpected output:\n%s", got)
+	}
+}
+
+func TestRunRandomCFGVictim(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-victim", "randomcfg", "-segments", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "complete=true") {
+		t.Fatalf("recovery incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownVictim(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-victim", "nope"}, &out); err == nil {
+		t.Fatal("unknown victim accepted")
+	}
+}

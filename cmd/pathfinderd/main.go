@@ -1,0 +1,83 @@
+// Command pathfinderd serves the experiment-orchestration API: a worker
+// pool of simulators drains a bounded job queue, and an HTTP/JSON surface
+// submits jobs, runs µarch sweeps, reports results, and exposes metrics.
+//
+//	pathfinderd -addr :8321 -workers 4
+//	curl -s localhost:8321/v1/experiments
+//	curl -s -XPOST localhost:8321/v1/jobs -d '{"experiment":"fig4","params":{"seed":7}}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathfinder/internal/service"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pathfinderd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8321", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 256, "bounded job-queue depth")
+	jobTimeout := fs.Duration("job-timeout", 2*time.Minute, "default per-job timeout")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Minute, "max wait for in-flight jobs on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger := slog.New(slog.NewTextHandler(out, nil))
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *jobTimeout,
+		Logger:         logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "pathfinderd listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Info("signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(out, "pathfinderd drained and stopped")
+	return nil
+}

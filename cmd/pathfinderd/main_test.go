@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read daemon output while run is writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonSmoke boots the daemon on an ephemeral port, submits a job
+// through the real HTTP surface, then verifies graceful shutdown.
+func TestDaemonSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out) }()
+
+	addrRE := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		cancel()
+		t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+	}
+	defer cancel()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiment":"fig4","params":{"doublets":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+
+	jobDeadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err = http.Get(base + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var got struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.State == "done" {
+			break
+		}
+		if got.State == "failed" || got.State == "cancelled" {
+			t.Fatalf("job ended %s: %s", got.State, body)
+		}
+		if time.Now().After(jobDeadline) {
+			t.Fatalf("job stuck in state %s", got.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// SIGTERM path: cancelling the root context must drain and exit nil.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; output:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained and stopped") {
+		t.Fatalf("missing drain confirmation; output:\n%s", out.String())
+	}
+}

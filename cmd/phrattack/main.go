@@ -4,9 +4,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/cpu"
@@ -15,44 +18,54 @@ import (
 )
 
 func main() {
-	trials := flag.Int("trials", 3, "random PHR write/read round trips")
-	doublets := flag.Int("doublets", 48, "doublets verified per trial")
-	seed := flag.Int64("seed", 1, "deterministic seed")
-	flag.Parse()
-
-	fmt.Println("--- Write_PHR / Read_PHR round trips (§4.2 evaluation) ---")
-	ok, err := harness.ReadPHRRandomEval(*trials, *doublets, *seed)
-	if err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d/%d random PHR values read back exactly (first %d doublets)\n\n", ok, *trials, *doublets)
+}
 
-	fmt.Println("--- Figure 4 signature (50% iff X == P) ---")
-	rows, err := harness.Fig4ReadDoublet(4)
-	if err != nil {
-		log.Fatal(err)
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("phrattack", flag.ContinueOnError)
+	trials := fs.Int("trials", 3, "random PHR write/read round trips")
+	doublets := fs.Int("doublets", 48, "doublets verified per trial")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	for _, r := range rows {
-		fmt.Printf("doublet %d: X=0:%.2f X=1:%.2f X=2:%.2f X=3:%.2f  (true P=%d)\n",
+
+	fmt.Fprintln(out, "--- Write_PHR / Read_PHR round trips (§4.2 evaluation) ---")
+	rep, err := harness.ReadPHRRandomEval(ctx, harness.Options{Seed: *seed}, *trials, *doublets)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d/%d random PHR values read back exactly (first %d doublets)\n\n", rep.Successes, *trials, *doublets)
+
+	fmt.Fprintln(out, "--- Figure 4 signature (50% iff X == P) ---")
+	fig4, err := harness.Fig4ReadDoublet(ctx, harness.Options{}, 4)
+	if err != nil {
+		return err
+	}
+	for _, r := range fig4.Rows {
+		fmt.Fprintf(out, "doublet %d: X=0:%.2f X=1:%.2f X=2:%.2f X=3:%.2f  (true P=%d)\n",
 			r.Doublet, r.Rates[0], r.Rates[1], r.Rates[2], r.Rates[3], r.True)
 	}
 
-	fmt.Println("\n--- Write_PHT / Read_PHT counter round trip (§4.3/4.4) ---")
+	fmt.Fprintln(out, "\n--- Write_PHT / Read_PHT counter round trip (§4.3/4.4) ---")
 	m := cpu.New(cpu.Options{Seed: *seed})
 	reg := phr.New(m.Arch().PHRSize)
 	reg.SetDoublet(5, 3)
 	pc := uint64(0x00cd_9c80)
 	if err := core.WritePHT(m, pc, reg, false); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for k := 1; k <= 3; k++ {
 		if _, err := core.RunAliased(m, pc, reg, []bool{true}); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	mis, err := core.ReadPHT(m, pc, reg, 4)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("primed strongly-not-taken; after 3 taken instances the probe mispredicts %d/4 times\n", mis)
+	fmt.Fprintf(out, "primed strongly-not-taken; after 3 taken instances the probe mispredicts %d/4 times\n", mis)
+	return nil
 }

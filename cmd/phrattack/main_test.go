@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-trials", "1", "-doublets", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1/1 random PHR values read back exactly") {
+		t.Fatalf("PHR round trip failed:\n%s", got)
+	}
+	if !strings.Contains(got, "Figure 4 signature") || !strings.Contains(got, "doublet 0:") {
+		t.Fatalf("missing Figure 4 section:\n%s", got)
+	}
+	if !strings.Contains(got, "mispredicts") {
+		t.Fatalf("missing PHT round-trip section:\n%s", got)
+	}
+}

@@ -113,15 +113,30 @@ func (s BranchStat) MispredictRate() float64 {
 	return float64(s.Mispredicted) / float64(s.Executed)
 }
 
-// Counters are machine-wide event counts since the last ResetStats.
+// Counters are machine-wide event counts since the last ResetStats. The
+// JSON form is consumed by the experiment-orchestration service, which
+// aggregates counters across every machine a job builds.
 type Counters struct {
-	Instructions    uint64
-	Cycles          uint64
-	CondBranches    uint64
-	TakenBranches   uint64 // all taken branches, conditional or not
-	Mispredicts     uint64
-	TransientInstrs uint64
-	Runs            uint64
+	Instructions    uint64 `json:"instructions"`
+	Cycles          uint64 `json:"cycles"`
+	CondBranches    uint64 `json:"cond_branches"`
+	TakenBranches   uint64 `json:"taken_branches"` // all taken branches, conditional or not
+	Mispredicts     uint64 `json:"mispredicts"`
+	TransientInstrs uint64 `json:"transient_instrs"`
+	Runs            uint64 `json:"runs"`
+}
+
+// Add accumulates o into c. Harness drivers build many short-lived machines
+// per experiment; Add lets them report one aggregate to callers (the service
+// layer feeds these into its /metrics exposition).
+func (c *Counters) Add(o Counters) {
+	c.Instructions += o.Instructions
+	c.Cycles += o.Cycles
+	c.CondBranches += o.CondBranches
+	c.TakenBranches += o.TakenBranches
+	c.Mispredicts += o.Mispredicts
+	c.TransientInstrs += o.TransientInstrs
+	c.Runs += o.Runs
 }
 
 // Options configure a Machine.

@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestDriversHonorCancellation verifies every long-running driver unwinds
+// with ctx.Err() when its context is already cancelled.
+func TestDriversHonorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"obs2", func() error { _, err := Obs2CounterWidth(ctx, Options{}, 12); return err }},
+		{"fig4", func() error { _, err := Fig4ReadDoublet(ctx, Options{}, 4); return err }},
+		{"readphr", func() error { _, err := ReadPHRRandomEval(ctx, Options{}, 2, 16); return err }},
+		{"fig5", func() error { _, err := ExtendedReadEval(ctx, Options{}, []int{40}); return err }},
+		{"fig6", func() error { _, err := Fig6PathfinderAES(ctx, Options{}); return err }},
+		{"fig7", func() error { _, err := Fig7ImageRecovery(ctx, Options{}, 16, 60, 1); return err }},
+		{"aes", func() error { _, err := AESLeakEval(ctx, Options{}, 8, 0); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.call(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", tc.name, err)
+		}
+	}
+}

@@ -1,10 +1,18 @@
 // Package harness drives the paper's evaluation: one function per table or
-// figure, returning structured results plus formatted rows matching what
-// the paper reports. The bench suite at the repository root and the cmd/
-// binaries are thin wrappers around these drivers.
+// figure, returning structured, JSON-serializable results plus aggregated
+// simulator counters. The bench suite at the repository root, the cmd/
+// binaries and the pathfinderd job service are thin wrappers around these
+// drivers.
+//
+// Every driver takes a context.Context — long-running experiment loops
+// check it between iterations and return ctx.Err() on cancellation — and an
+// Options value selecting the modeled microarchitecture and the base seed.
+// The zero Options reproduces each driver's historical behaviour (Alder
+// Lake, the per-driver default seed), so recorded golden results don't move.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,6 +29,39 @@ import (
 	"pathfinder/internal/victim"
 )
 
+// Historical per-driver seeds, applied when Options.Seed is zero. They match
+// the constants the drivers hard-coded (Obs2, Fig4) or the default the CLIs
+// and benches passed before seeds became caller-supplied.
+const (
+	DefaultObs2Seed    = 100
+	DefaultFig4Seed    = 7
+	DefaultReadPHRSeed = 1
+	DefaultFig5Seed    = 13
+	DefaultFig6Seed    = 17
+	DefaultFig7Seed    = 29
+	DefaultAESSeed     = 31
+)
+
+// Options configure a driver run. The zero value preserves historical
+// behaviour: the Alder Lake microarchitecture and the driver's default seed.
+type Options struct {
+	Arch bpu.Config // modeled microarchitecture; zero value means Alder Lake
+	Seed int64      // base seed; 0 selects the driver's historical default
+}
+
+// seed resolves the base seed against the driver's historical default.
+func (o Options) seed(def int64) int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return def
+}
+
+// cpu builds machine options for one run at the given derived seed.
+func (o Options) cpu(seed int64) cpu.Options {
+	return cpu.Options{Arch: o.Arch, Seed: seed}
+}
+
 // Table1 renders the target-processor table.
 func Table1() string {
 	var b strings.Builder
@@ -33,20 +74,32 @@ func Table1() string {
 
 // Obs2Result is one point of the counter-width experiment.
 type Obs2Result struct {
-	M                   int
-	MispredictPerPeriod float64
+	M                   int     `json:"m"`
+	MispredictPerPeriod float64 `json:"mispredicts_per_period"`
+}
+
+// Obs2Report is the full counter-width experiment outcome.
+type Obs2Report struct {
+	Points      []Obs2Result `json:"points"`
+	CounterBits int          `json:"counter_bits"`
+	Stats       cpu.Counters `json:"stats"`
 }
 
 // Obs2CounterWidth reproduces Observation 2: a branch with the repeating
 // pattern T^m N^m at a fixed all-zero PHR is executed through the aliased
 // harness; the per-period misprediction count plateaus once m exceeds the
-// counter's saturation range, at m = 2^n - 1 for n-bit counters.
-func Obs2CounterWidth(maxM int) ([]Obs2Result, int, error) {
-	var out []Obs2Result
+// counter's saturation range, at m = 2^n - 1 for n-bit counters. The machine
+// for pattern length m is seeded with base+m (base defaults to 100).
+func Obs2CounterWidth(ctx context.Context, opts Options, maxM int) (*Obs2Report, error) {
+	rep := &Obs2Report{}
+	base := opts.seed(DefaultObs2Seed)
 	plateauAt := -1
 	var prev float64 = -1
 	for m := 1; m <= maxM; m++ {
-		mach := cpu.New(cpu.Options{Seed: int64(100 + m)})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		mach := cpu.New(opts.cpu(base + int64(m)))
 		reg := phr.New(mach.Arch().PHRSize)
 		const periods = 24
 		var outcomes []bool
@@ -60,17 +113,19 @@ func Obs2CounterWidth(maxM int) ([]Obs2Result, int, error) {
 		}
 		mis, err := core.RunAliased(mach, 0x00ab_3c40, reg, outcomes)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		// Skip the first warm-up periods.
 		warm := 4
-		machWarm := cpu.New(cpu.Options{Seed: int64(100 + m)})
+		machWarm := cpu.New(opts.cpu(base + int64(m)))
 		misWarm, err := core.RunAliased(machWarm, 0x00ab_3c40, reg, outcomes[:2*m*warm])
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
+		rep.Stats.Add(mach.Stats())
+		rep.Stats.Add(machWarm.Stats())
 		rate := float64(mis-misWarm) / float64(periods-warm)
-		out = append(out, Obs2Result{M: m, MispredictPerPeriod: rate})
+		rep.Points = append(rep.Points, Obs2Result{M: m, MispredictPerPeriod: rate})
 		if prev >= 0 && rate == prev && plateauAt < 0 {
 			plateauAt = m - 1
 		}
@@ -79,60 +134,84 @@ func Obs2CounterWidth(maxM int) ([]Obs2Result, int, error) {
 		}
 		prev = rate
 	}
-	bits := 0
 	if plateauAt > 0 {
 		for v := plateauAt + 1; v > 1; v >>= 1 {
-			bits++
+			rep.CounterBits++
 		}
 	}
-	return out, bits, nil
+	return rep, nil
 }
 
 // Fig4Result holds the four candidate misprediction rates for one doublet.
 type Fig4Result struct {
-	Doublet int
-	Rates   [4]float64
-	True    phr.Doublet
+	Doublet int         `json:"doublet"`
+	Rates   [4]float64  `json:"rates"`
+	True    phr.Doublet `json:"true"`
+}
+
+// Fig4Report is the full Figure 4 candidate-rate matrix.
+type Fig4Report struct {
+	Rows  []Fig4Result `json:"rows"`
+	Stats cpu.Counters `json:"stats"`
 }
 
 // Fig4ReadDoublet reproduces Figure 4: the train/test misprediction rates
 // for all four candidate values of the first few PHR doublets of a victim.
-func Fig4ReadDoublet(doublets int) ([]Fig4Result, error) {
-	m := cpu.New(cpu.Options{Seed: 7})
-	pattern := victim.RandomPattern(24, 7)
+func Fig4ReadDoublet(ctx context.Context, opts Options, doublets int) (*Fig4Report, error) {
+	seed := opts.seed(DefaultFig4Seed)
+	m := cpu.New(opts.cpu(seed))
+	pattern := victim.RandomPattern(24, seed)
 	v := victim.PatternedLoop(24, pattern)
 	truth, err := core.CaptureVictimPHR(m, v)
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig4Result
+	rep := &Fig4Report{}
 	known := phr.New(m.Arch().PHRSize)
 	for k := 0; k < doublets; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rates, err := core.DoubletCandidateRates(m, v, known, k, 48)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Fig4Result{Doublet: k, Rates: rates, True: truth.Doublet(k)})
+		rep.Rows = append(rep.Rows, Fig4Result{Doublet: k, Rates: rates, True: truth.Doublet(k)})
 		known.SetDoublet(k, truth.Doublet(k))
 	}
-	return out, nil
+	rep.Stats.Add(m.Stats())
+	return rep, nil
+}
+
+// ReadPHRReport is the §4.2 random read/write round-trip outcome.
+type ReadPHRReport struct {
+	Trials    int          `json:"trials"`
+	Doublets  int          `json:"doublets"`
+	Successes int          `json:"successes"`
+	Stats     cpu.Counters `json:"stats"`
 }
 
 // ReadPHRRandomEval reproduces the §4.2 evaluation: write random PHR values
 // through a PHR-writing victim and read them back, reporting successes.
-func ReadPHRRandomEval(trials, doublets int, seed int64) (successes int, err error) {
+func ReadPHRRandomEval(ctx context.Context, opts Options, trials, doublets int) (*ReadPHRReport, error) {
+	seed := opts.seed(DefaultReadPHRSeed)
+	rep := &ReadPHRReport{Trials: trials, Doublets: doublets}
 	for t := 0; t < trials; t++ {
-		m := cpu.New(cpu.Options{Seed: seed + int64(t)})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m := cpu.New(opts.cpu(seed + int64(t)))
 		val := randomReg(m.Arch().PHRSize, seed*31+int64(t))
 		v := phrWriterVictim(val)
 		truth, err := core.CaptureVictimPHR(m, v)
 		if err != nil {
-			return successes, err
+			return nil, err
 		}
 		got, err := core.ReadPHR(m, v, core.ReadPHROptions{MaxDoublets: doublets})
 		if err != nil {
-			return successes, err
+			return nil, err
 		}
+		rep.Stats.Add(m.Stats())
 		ok := true
 		for k := 0; k < doublets; k++ {
 			if got.Doublet(k) != truth.Doublet(k) {
@@ -141,34 +220,46 @@ func ReadPHRRandomEval(trials, doublets int, seed int64) (successes int, err err
 			}
 		}
 		if ok {
-			successes++
+			rep.Successes++
 		}
 	}
-	return successes, nil
+	return rep, nil
 }
 
 // ExtendedEvalResult is one §5 evaluation case.
 type ExtendedEvalResult struct {
-	TakenBranches int
-	Exact         bool
+	TakenBranches int  `json:"taken_branches"`
+	Exact         bool `json:"exact"`
+}
+
+// ExtendedReport is the full §5 evaluation outcome.
+type ExtendedReport struct {
+	Cases []ExtendedEvalResult `json:"cases"`
+	Stats cpu.Counters         `json:"stats"`
 }
 
 // ExtendedReadEval reproduces the §5 evaluation: victims with varying
 // numbers of taken branches (within and beyond the PHR window) have their
 // entire control-flow history recovered and compared against ground truth.
-func ExtendedReadEval(trips []int, seed int64) ([]ExtendedEvalResult, error) {
-	var out []ExtendedEvalResult
+func ExtendedReadEval(ctx context.Context, opts Options, trips []int) (*ExtendedReport, error) {
+	seed := opts.seed(DefaultFig5Seed)
+	rep := &ExtendedReport{}
 	for i, n := range trips {
-		m := cpu.New(cpu.Options{Seed: seed + int64(i)})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m := cpu.New(opts.cpu(seed + int64(i)))
 		v := victim.PatternedLoop(n, victim.RandomPattern(n, seed+int64(7*i)))
 		rec, err := core.ExtendedReadPHR(m, v, core.ExtendedOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("harness: trips=%d: %w", n, err)
 		}
-		truth, taken, err := traceCapture(seed+int64(i), v)
+		truth, taken, stats, err := traceCapture(opts, seed+int64(i), v)
 		if err != nil {
 			return nil, err
 		}
+		rep.Stats.Add(m.Stats())
+		rep.Stats.Add(stats)
 		exact := rec.Path.Complete && len(truth) == countTaken(rec.Path)
 		if exact {
 			j := 0
@@ -183,15 +274,15 @@ func ExtendedReadEval(trips []int, seed int64) ([]ExtendedEvalResult, error) {
 				j++
 			}
 		}
-		out = append(out, ExtendedEvalResult{TakenBranches: taken, Exact: exact})
+		rep.Cases = append(rep.Cases, ExtendedEvalResult{TakenBranches: taken, Exact: exact})
 	}
-	return out, nil
+	return rep, nil
 }
 
 // traceCapture ground-truths the capture run's taken branches (minus the
 // clear chain).
-func traceCapture(seed int64, v core.Victim) ([]pathfinder.Step, int, error) {
-	m := cpu.New(cpu.Options{Seed: seed})
+func traceCapture(opts Options, seed int64, v core.Victim) ([]pathfinder.Step, int, cpu.Counters, error) {
+	m := cpu.New(opts.cpu(seed))
 	var steps []pathfinder.Step
 	m.TraceTaken = func(pc, tgt uint64) {
 		steps = append(steps, pathfinder.Step{Addr: pc, Target: tgt, Taken: true})
@@ -201,13 +292,13 @@ func traceCapture(seed int64, v core.Victim) ([]pathfinder.Step, int, error) {
 	}
 	prog, err := core.BuildCaptureProgram(m, v)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, cpu.Counters{}, err
 	}
 	if err := m.Run(prog, "cap_main"); err != nil {
-		return nil, 0, err
+		return nil, 0, cpu.Counters{}, err
 	}
 	steps = steps[m.Arch().PHRSize:]
-	return steps, len(steps), nil
+	return steps, len(steps), m.Stats(), nil
 }
 
 // phrWriterVictim is the §4.2 evaluation victim: calling it runs a
@@ -238,15 +329,19 @@ func countTaken(p pathfinder.Path) int {
 
 // Fig6Result is the Pathfinder output for the looped AES victim.
 type Fig6Result struct {
-	LoopIterations int
-	BlockSequence  []int
-	CFGDump        string
+	LoopIterations int          `json:"loop_iterations"`
+	BlockSequence  []int        `json:"block_sequence"`
+	CFGDump        string       `json:"cfg_dump"`
+	Stats          cpu.Counters `json:"stats"`
 }
 
 // Fig6PathfinderAES reproduces Figure 6: recover the AES victim's runtime
 // CFG and loop trip count from its PHR.
-func Fig6PathfinderAES(seed int64) (*Fig6Result, error) {
-	m := cpu.New(cpu.Options{Seed: seed})
+func Fig6PathfinderAES(ctx context.Context, opts Options) (*Fig6Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m := cpu.New(opts.cpu(opts.seed(DefaultFig6Seed)))
 	key := make([]byte, 16)
 	for i := range key {
 		key[i] = byte(i*17 + 3)
@@ -267,27 +362,38 @@ func Fig6PathfinderAES(seed int64) (*Fig6Result, error) {
 		LoopIterations: a.LoopIterations(),
 		BlockSequence:  seq,
 		CFGDump:        cfg.Dump(),
+		Stats:          m.Stats(),
 	}, nil
 }
 
 // Fig7Result is one recovered image of the §8 evaluation.
 type Fig7Result struct {
-	Name            string
-	TakenBranches   int
-	FlagAccuracy    float64 // fraction of constant-row/col flags recovered correctly
-	EdgeCorrelation float64
-	Recovered       *media.Gray
+	Name            string      `json:"name"`
+	TakenBranches   int         `json:"taken_branches"`
+	FlagAccuracy    float64     `json:"flag_accuracy"` // fraction of constant-row/col flags recovered correctly
+	EdgeCorrelation float64     `json:"edge_correlation"`
+	Recovered       *media.Gray `json:"-"`
+}
+
+// Fig7Report is the full §8 evaluation outcome.
+type Fig7Report struct {
+	Images []Fig7Result `json:"images"`
+	Stats  cpu.Counters `json:"stats"`
 }
 
 // Fig7ImageRecovery reproduces the §8 evaluation over the synthetic secret
 // image set at the given edge size and JPEG quality.
-func Fig7ImageRecovery(size, quality, maxImages int, seed int64) ([]Fig7Result, error) {
+func Fig7ImageRecovery(ctx context.Context, opts Options, size, quality, maxImages int) (*Fig7Report, error) {
+	seed := opts.seed(DefaultFig7Seed)
 	set := media.TestSet(size)
 	if maxImages > 0 && maxImages < len(set) {
 		set = set[:maxImages]
 	}
-	var out []Fig7Result
+	rep := &Fig7Report{}
 	for i, entry := range set {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		enc, err := jpeg.Encode(entry.Image.Pix, entry.Image.W, entry.Image.H, quality)
 		if err != nil {
 			return nil, err
@@ -296,11 +402,12 @@ func Fig7ImageRecovery(size, quality, maxImages int, seed int64) ([]Fig7Result, 
 		if err != nil {
 			return nil, err
 		}
-		ir := &attack.ImageRecovery{M: cpu.New(cpu.Options{Seed: seed + int64(i)})}
+		ir := &attack.ImageRecovery{M: cpu.New(opts.cpu(seed + int64(i)))}
 		res, err := ir.Recover(enc)
 		if err != nil {
 			return nil, fmt.Errorf("harness: image %s: %w", entry.Name, err)
 		}
+		rep.Stats.Add(ir.M.Stats())
 		wantCols, wantRows := attack.GroundTruthFlags(blocks)
 		correct, total := 0, 0
 		for b := range blocks {
@@ -317,7 +424,7 @@ func Fig7ImageRecovery(size, quality, maxImages int, seed int64) ([]Fig7Result, 
 		if err := res.Score(entry.Image); err != nil {
 			return nil, err
 		}
-		out = append(out, Fig7Result{
+		rep.Images = append(rep.Images, Fig7Result{
 			Name:            entry.Name,
 			TakenBranches:   res.TakenBranches,
 			FlagAccuracy:    float64(correct) / float64(total),
@@ -325,24 +432,29 @@ func Fig7ImageRecovery(size, quality, maxImages int, seed int64) ([]Fig7Result, 
 			Recovered:       res.Recovered,
 		})
 	}
-	return out, nil
+	return rep, nil
 }
 
 // AESEvalResult is the §9 evaluation outcome.
 type AESEvalResult struct {
-	Trials        int
-	ByteSuccesses int
-	TotalBytes    int
-	SuccessRate   float64
-	KeyRecovered  bool
+	Trials        int          `json:"trials"`
+	ByteSuccesses int          `json:"byte_successes"`
+	TotalBytes    int          `json:"total_bytes"`
+	SuccessRate   float64      `json:"success_rate"`
+	KeyRecovered  bool         `json:"key_recovered"`
+	Stats         cpu.Counters `json:"stats"`
 }
 
 // AESLeakEval reproduces the §9 evaluation: over `trials` oracle queries at
 // random early-exit iterations, compare the stolen reduced-round ciphertext
 // bytes against ground truth; then recover the full key from skip-loop
 // leaks. Noise keeps the success rate realistically below 100%.
-func AESLeakEval(trials int, noise float64, seed int64) (*AESEvalResult, error) {
-	m := cpu.New(cpu.Options{Seed: seed, Noise: noise})
+func AESLeakEval(ctx context.Context, opts Options, trials int, noise float64) (*AESEvalResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	seed := opts.seed(DefaultAESSeed)
+	m := cpu.New(cpu.Options{Arch: opts.Arch, Seed: seed, Noise: noise})
 	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
 		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
 	a, err := attack.NewAESAttack(m, key)
@@ -355,6 +467,9 @@ func AESLeakEval(trials int, noise float64, seed int64) (*AESEvalResult, error) 
 	res := &AESEvalResult{Trials: trials}
 	rng := newRng(uint64(seed) * 977)
 	for t := 0; t < trials; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var pt aes.Block
 		for i := range pt {
 			pt[i] = byte(rng.next())
@@ -380,6 +495,7 @@ func AESLeakEval(trials int, noise float64, seed int64) (*AESEvalResult, error) 
 	if err == nil && recKey == aes.Block(key) {
 		res.KeyRecovered = true
 	}
+	res.Stats = m.Stats()
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -18,15 +19,18 @@ func TestObs2CounterWidth(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long mode only")
 	}
-	rows, bits, err := Obs2CounterWidth(12)
+	rep, err := Obs2CounterWidth(context.Background(), Options{}, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range rows {
+	for _, r := range rep.Points {
 		t.Logf("m=%-3d mispredicts/period=%.2f", r.M, r.MispredictPerPeriod)
 	}
-	if bits != 3 {
-		t.Fatalf("inferred counter width %d, want 3 (Observation 2)", bits)
+	if rep.CounterBits != 3 {
+		t.Fatalf("inferred counter width %d, want 3 (Observation 2)", rep.CounterBits)
+	}
+	if rep.Stats.Runs == 0 || rep.Stats.CondBranches == 0 {
+		t.Fatalf("aggregated counters empty: %+v", rep.Stats)
 	}
 }
 
@@ -34,11 +38,11 @@ func TestFig4Rates(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long mode only")
 	}
-	rows, err := Fig4ReadDoublet(4)
+	rep, err := Fig4ReadDoublet(context.Background(), Options{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range rows {
+	for _, r := range rep.Rows {
 		t.Logf("doublet %d true=%d rates=%v", r.Doublet, r.True, r.Rates)
 		for x := 0; x < 4; x++ {
 			if x == int(r.True) {
@@ -57,12 +61,12 @@ func TestReadPHRRandomEval(t *testing.T) {
 		t.Skip("long mode only")
 	}
 	const trials = 5
-	ok, err := ReadPHRRandomEval(trials, 24, 3)
+	rep, err := ReadPHRRandomEval(context.Background(), Options{Seed: 3}, trials, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok != trials {
-		t.Fatalf("%d/%d random PHR values read back", ok, trials)
+	if rep.Successes != trials {
+		t.Fatalf("%d/%d random PHR values read back", rep.Successes, trials)
 	}
 }
 
@@ -70,11 +74,11 @@ func TestExtendedReadEval(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long mode only")
 	}
-	rows, err := ExtendedReadEval([]int{40, 150, 220}, 5)
+	rep, err := ExtendedReadEval(context.Background(), Options{Seed: 5}, []int{40, 150, 220})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range rows {
+	for _, r := range rep.Cases {
 		t.Logf("taken=%d exact=%v", r.TakenBranches, r.Exact)
 		if !r.Exact {
 			t.Errorf("case with %d taken branches not recovered exactly", r.TakenBranches)
@@ -86,7 +90,7 @@ func TestFig6(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long mode only")
 	}
-	res, err := Fig6PathfinderAES(11)
+	res, err := Fig6PathfinderAES(context.Background(), Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

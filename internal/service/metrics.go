@@ -1,0 +1,195 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pathfinder/internal/cpu"
+)
+
+// durationBuckets are the latency histogram upper bounds in seconds.
+// Experiments span ~1ms (table1) to minutes (full fig7), so the buckets
+// cover five decades.
+var durationBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120}
+
+// histogram is a fixed-bucket latency histogram (cumulative on exposition,
+// per-bucket internally).
+type histogram struct {
+	counts []uint64 // len(durationBuckets)+1; last is +Inf
+	sum    float64
+	n      uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(durationBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(durationBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// Metrics aggregates service-level observability: job counts by state and
+// experiment, queue/worker gauges, per-experiment latency histograms, and
+// the simulated-machine counters (cycles, mispredicts, ...) summed over
+// every finished job. Exposition is Prometheus text format, hand-rolled so
+// the repo stays stdlib-only.
+type Metrics struct {
+	mu        sync.Mutex
+	workers   int
+	submitted map[string]uint64 // by experiment
+	started   uint64
+	finished  map[string]map[State]uint64 // by experiment, terminal state
+	latency   map[string]*histogram       // by experiment
+	sim       cpu.Counters
+}
+
+func newMetrics(workers int) *Metrics {
+	return &Metrics{
+		workers:   workers,
+		submitted: make(map[string]uint64),
+		finished:  make(map[string]map[State]uint64),
+		latency:   make(map[string]*histogram),
+	}
+}
+
+func (m *Metrics) jobSubmitted(experiment string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted[experiment]++
+}
+
+func (m *Metrics) jobStarted(string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.started++
+}
+
+func (m *Metrics) jobFinished(experiment string, st State, dur time.Duration, stats cpu.Counters) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byState := m.finished[experiment]
+	if byState == nil {
+		byState = make(map[State]uint64)
+		m.finished[experiment] = byState
+	}
+	byState[st]++
+	h := m.latency[experiment]
+	if h == nil {
+		h = newHistogram()
+		m.latency[experiment] = h
+	}
+	h.observe(dur.Seconds())
+	m.sim.Add(stats)
+}
+
+// SimCounters returns the aggregated simulator counters.
+func (m *Metrics) SimCounters() cpu.Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sim
+}
+
+// Expose renders the full exposition. Current state counts and the queue
+// gauge come from the live job table so a scrape is always consistent with
+// GET /v1/jobs.
+func (m *Metrics) Expose(states map[State]int, queueDepth int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("# HELP pathfinderd_jobs current number of jobs by lifecycle state\n")
+	w("# TYPE pathfinderd_jobs gauge\n")
+	for _, st := range States() {
+		w("pathfinderd_jobs{state=%q} %d\n", string(st), states[st])
+	}
+
+	w("# HELP pathfinderd_queue_depth jobs waiting in the bounded queue\n")
+	w("# TYPE pathfinderd_queue_depth gauge\n")
+	w("pathfinderd_queue_depth %d\n", queueDepth)
+
+	w("# HELP pathfinderd_workers size of the worker pool\n")
+	w("# TYPE pathfinderd_workers gauge\n")
+	w("pathfinderd_workers %d\n", m.workers)
+
+	w("# HELP pathfinderd_jobs_submitted_total jobs accepted, by experiment\n")
+	w("# TYPE pathfinderd_jobs_submitted_total counter\n")
+	for _, exp := range sortedKeys(m.submitted) {
+		w("pathfinderd_jobs_submitted_total{experiment=%q} %d\n", exp, m.submitted[exp])
+	}
+
+	w("# HELP pathfinderd_jobs_started_total jobs picked up by a worker\n")
+	w("# TYPE pathfinderd_jobs_started_total counter\n")
+	w("pathfinderd_jobs_started_total %d\n", m.started)
+
+	w("# HELP pathfinderd_jobs_finished_total jobs reaching a terminal state, by experiment and state\n")
+	w("# TYPE pathfinderd_jobs_finished_total counter\n")
+	for _, exp := range sortedKeys(m.finished) {
+		byState := m.finished[exp]
+		for _, st := range States() {
+			if n, ok := byState[st]; ok {
+				w("pathfinderd_jobs_finished_total{experiment=%q,state=%q} %d\n", exp, string(st), n)
+			}
+		}
+	}
+
+	w("# HELP pathfinderd_job_duration_seconds wall time per finished job\n")
+	w("# TYPE pathfinderd_job_duration_seconds histogram\n")
+	for _, exp := range sortedKeys(m.latency) {
+		h := m.latency[exp]
+		cum := uint64(0)
+		for i, ub := range durationBuckets {
+			cum += h.counts[i]
+			w("pathfinderd_job_duration_seconds_bucket{experiment=%q,le=%q} %d\n", exp, trimFloat(ub), cum)
+		}
+		cum += h.counts[len(durationBuckets)]
+		w("pathfinderd_job_duration_seconds_bucket{experiment=%q,le=\"+Inf\"} %d\n", exp, cum)
+		w("pathfinderd_job_duration_seconds_sum{experiment=%q} %g\n", exp, h.sum)
+		w("pathfinderd_job_duration_seconds_count{experiment=%q} %d\n", exp, h.n)
+	}
+
+	sim := []struct {
+		name string
+		v    uint64
+	}{
+		{"instructions", m.sim.Instructions},
+		{"cycles", m.sim.Cycles},
+		{"cond_branches", m.sim.CondBranches},
+		{"taken_branches", m.sim.TakenBranches},
+		{"mispredicts", m.sim.Mispredicts},
+		{"transient_instrs", m.sim.TransientInstrs},
+		{"runs", m.sim.Runs},
+	}
+	w("# HELP pathfinderd_sim_events_total simulated-machine counters aggregated over finished jobs\n")
+	w("# TYPE pathfinderd_sim_events_total counter\n")
+	for _, c := range sim {
+		w("pathfinderd_sim_events_total{event=%q} %d\n", c.name, c.v)
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do (no
+// trailing zeros, no scientific notation in this range).
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,413 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"pathfinder/internal/cpu"
+)
+
+// Sentinel errors surfaced to API handlers.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity; the HTTP layer maps it to 503.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining is returned by Submit after Shutdown began.
+	ErrDraining = errors.New("service: shutting down, not accepting jobs")
+	// ErrNotFound is returned for unknown job IDs.
+	ErrNotFound = errors.New("service: no such job")
+	// ErrFinished is returned by Cancel on an already-terminal job.
+	ErrFinished = errors.New("service: job already finished")
+)
+
+// Config tunes a Service. The zero value is usable: GOMAXPROCS workers, a
+// 256-deep queue, a 2-minute default per-job timeout, the standard
+// experiment registry, and a discarding logger.
+type Config struct {
+	Workers        int              // worker goroutines; <=0 means GOMAXPROCS
+	QueueDepth     int              // bounded queue capacity; <=0 means 256
+	DefaultTimeout time.Duration    // per-job timeout when the submission names none
+	Registry       *Registry        // experiment registry; nil means NewRegistry()
+	Logger         *slog.Logger     // structured logger; nil discards
+	Clock          func() time.Time // test hook; nil means time.Now
+}
+
+// Service owns the job table, the bounded queue, and the worker pool. All
+// experiment execution flows through it; the HTTP layer in server.go is a
+// thin translation onto these methods.
+type Service struct {
+	cfg     Config
+	reg     *Registry
+	log     *slog.Logger
+	metrics *Metrics
+	now     func() time.Time
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for stable listings
+	seq      uint64
+	draining bool
+}
+
+// New builds a Service and starts its worker pool.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 2 * time.Minute
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	s := &Service{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		log:     cfg.Logger,
+		metrics: newMetrics(cfg.Workers),
+		now:     cfg.Clock,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(i)
+	}
+	s.log.Info("service started", "workers", cfg.Workers, "queue_depth", cfg.QueueDepth)
+	return s
+}
+
+// Registry exposes the experiment registry (tests register extra specs).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Workers returns the pool size.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// QueueDepth returns the number of jobs waiting in the queue right now.
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Submit validates, records, and enqueues one job. timeout <= 0 selects the
+// service default. The returned view is the job's pending snapshot.
+func (s *Service) Submit(experiment string, p Params, batch string, timeout time.Duration) (JobView, error) {
+	resolved, err := s.reg.Resolve(experiment, p)
+	if err != nil {
+		return JobView{}, err
+	}
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobView{}, ErrDraining
+	}
+	s.seq++
+	j := &job{
+		id:         fmt.Sprintf("job-%06d", s.seq),
+		experiment: experiment,
+		params:     resolved,
+		batch:      batch,
+		timeout:    timeout,
+		state:      StatePending,
+		submitted:  s.now(),
+	}
+	// Reserve queue space while holding the lock so the job table and the
+	// queue can't disagree about admission.
+	select {
+	case s.queue <- j:
+	default:
+		s.seq--
+		s.mu.Unlock()
+		return JobView{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	v := j.view()
+	s.mu.Unlock()
+
+	s.metrics.jobSubmitted(experiment)
+	s.log.Info("job submitted", "job", j.id, "experiment", experiment, "batch", batch)
+	return v, nil
+}
+
+// SubmitSweep expands a parameter sweep — the cross product of the given
+// microarchitectures and seeds over a base Params — into one job per point,
+// all tagged with the same batch ID. Empty sweep axes default to the base
+// value, so a sweep over only seeds or only archs works naturally.
+func (s *Service) SubmitSweep(experiment string, base Params, archs []string, seeds []int64, timeout time.Duration) (string, []JobView, error) {
+	if len(archs) == 0 {
+		archs = []string{base.Arch}
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{base.Seed}
+	}
+	// Validate every axis value up front: a sweep admits all points or none.
+	for _, a := range archs {
+		if _, err := ArchConfig(a); err != nil {
+			return "", nil, err
+		}
+	}
+	if _, err := s.reg.Resolve(experiment, base); err != nil {
+		return "", nil, err
+	}
+	if n, cap := len(archs)*len(seeds), s.cfg.QueueDepth; n > cap {
+		return "", nil, fmt.Errorf("%w: sweep of %d jobs exceeds queue depth %d", ErrQueueFull, n, cap)
+	}
+
+	s.mu.Lock()
+	s.seq++
+	batch := fmt.Sprintf("batch-%06d", s.seq)
+	s.mu.Unlock()
+
+	views := make([]JobView, 0, len(archs)*len(seeds))
+	for _, a := range archs {
+		for _, seed := range seeds {
+			p := base
+			p.Arch = a
+			p.Seed = seed
+			v, err := s.Submit(experiment, p, batch, timeout)
+			if err != nil {
+				return batch, views, err
+			}
+			views = append(views, v)
+		}
+	}
+	s.log.Info("batch submitted", "batch", batch, "experiment", experiment, "jobs", len(views))
+	return batch, views, nil
+}
+
+// Get returns a job snapshot.
+func (s *Service) Get(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// ListFilter narrows List output; zero fields match everything.
+type ListFilter struct {
+	State      State
+	Batch      string
+	Experiment string
+}
+
+// List returns snapshots of matching jobs in submission order.
+func (s *Service) List(f ListFilter) []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if f.State != "" && j.state != f.State {
+			continue
+		}
+		if f.Batch != "" && j.batch != f.Batch {
+			continue
+		}
+		if f.Experiment != "" && j.experiment != f.Experiment {
+			continue
+		}
+		out = append(out, j.view())
+	}
+	return out
+}
+
+// StateCounts tallies jobs by state. The five counts always sum to the
+// total ever submitted, which is what /metrics exposes and what the batch
+// status endpoint reports.
+func (s *Service) StateCounts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[State]int, 5)
+	for _, st := range States() {
+		out[st] = 0
+	}
+	for _, j := range s.jobs {
+		out[j.state]++
+	}
+	return out
+}
+
+// Cancel aborts a job. A pending job is finalized immediately (workers skip
+// it when it surfaces from the queue); a running job has its context
+// cancelled and reaches the cancelled state when the runner unwinds.
+func (s *Service) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobView{}, ErrNotFound
+	}
+	if j.state.terminal() {
+		v := j.view()
+		s.mu.Unlock()
+		return v, ErrFinished
+	}
+	j.cancelRequested = true
+	var cancel func()
+	if j.state == StatePending {
+		j.state = StateCancelled
+		j.finished = s.now()
+		j.started = j.finished
+		s.metrics.jobFinished(j.experiment, StateCancelled, 0, j.stats)
+	} else if j.cancel != nil {
+		cancel = j.cancel
+	}
+	v := j.view()
+	s.mu.Unlock()
+
+	if cancel != nil {
+		cancel()
+	}
+	s.log.Info("job cancel requested", "job", id, "state", string(v.State))
+	return v, nil
+}
+
+// Shutdown stops admission, drains the queue, and waits for in-flight jobs.
+// If ctx expires first, every remaining job's context is cancelled and
+// Shutdown keeps waiting for the workers to unwind, so the pool never
+// leaks goroutines.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("service: Shutdown called twice")
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.queue)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.log.Warn("drain deadline hit, cancelling in-flight jobs")
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.cancel != nil {
+				j.cancelRequested = true
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.log.Info("service drained")
+	return err
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Service) worker(id int) {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(id, j)
+	}
+}
+
+// runJob executes one job with a per-job timeout, panic recovery, and
+// metric accounting.
+func (s *Service) runJob(workerID int, j *job) {
+	s.mu.Lock()
+	if j.state != StatePending { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	exp, ok := s.reg.Get(j.experiment)
+	if !ok {
+		// Unregistered between submit and execution; fail rather than panic.
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("experiment %q vanished from the registry", j.experiment)
+		j.started = s.now()
+		j.finished = j.started
+		s.metrics.jobFinished(j.experiment, StateFailed, 0, j.stats)
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = s.now()
+	s.metrics.jobStarted(j.experiment)
+	s.mu.Unlock()
+	defer cancel()
+
+	s.log.Info("job started", "job", j.id, "experiment", j.experiment, "worker", workerID)
+
+	result, stats, err := runRecovered(ctx, exp.Run, j.params)
+
+	var raw json.RawMessage
+	if err == nil {
+		raw, err = json.Marshal(result)
+		if err != nil {
+			err = fmt.Errorf("marshaling result: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	j.cancel = nil
+	j.finished = s.now()
+	j.stats = stats
+	switch {
+	case j.cancelRequested:
+		j.state = StateCancelled
+		if err == nil {
+			err = context.Canceled
+		}
+		j.errMsg = err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("timeout after %s", j.timeout)
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	default:
+		j.state = StateDone
+		j.result = raw
+	}
+	state, dur := j.state, j.finished.Sub(j.started)
+	s.metrics.jobFinished(j.experiment, state, dur, stats)
+	s.mu.Unlock()
+
+	s.log.Info("job finished", "job", j.id, "experiment", j.experiment,
+		"state", string(state), "duration", dur, "err", j.errMsg)
+}
+
+// runRecovered invokes the runner, converting a panic into an error so one
+// bad experiment cannot take down a worker goroutine.
+func runRecovered(ctx context.Context, run Runner, p Params) (result any, stats cpu.Counters, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return run(ctx, p)
+}

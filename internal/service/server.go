@@ -1,0 +1,231 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Experiment string `json:"experiment"`
+	Params     Params `json:"params"`
+	TimeoutMS  int64  `json:"timeout_ms,omitempty"`
+}
+
+// BatchRequest is the POST /v1/batch body: either an explicit job list or a
+// sweep (cross product of archs × seeds over the base params). Exactly one
+// of Jobs and Sweep must be used.
+type BatchRequest struct {
+	Experiment string          `json:"experiment,omitempty"`
+	Params     Params          `json:"params,omitempty"`
+	Sweep      *Sweep          `json:"sweep,omitempty"`
+	Jobs       []SubmitRequest `json:"jobs,omitempty"`
+	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
+}
+
+// Sweep is the parameter grid of a batch submission.
+type Sweep struct {
+	Archs []string `json:"archs,omitempty"`
+	Seeds []int64  `json:"seeds,omitempty"`
+}
+
+// BatchView summarizes a batch.
+type BatchView struct {
+	Batch   string        `json:"batch"`
+	Total   int           `json:"total"`
+	ByState map[State]int `json:"by_state"`
+	Jobs    []JobView     `json:"jobs"`
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET  /healthz               liveness + drain status
+//	GET  /metrics               Prometheus text exposition
+//	GET  /v1/experiments        registry listing with per-experiment defaults
+//	POST /v1/jobs               submit one job
+//	GET  /v1/jobs               list jobs (?state=, ?batch=, ?experiment=)
+//	GET  /v1/jobs/{id}          one job with its result
+//	POST /v1/jobs/{id}/cancel   cancel a pending or running job
+//	POST /v1/batch              submit a sweep or an explicit job list
+//	GET  /v1/batch/{id}         batch rollup
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		status := http.StatusOK
+		if draining {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
+			"status":  map[bool]string{false: "ok", true: "draining"}[draining],
+			"workers": s.Workers(),
+			"queue":   s.QueueDepth(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, s.metrics.Expose(s.StateCounts(), s.QueueDepth()))
+	})
+
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"experiments": s.reg.List()})
+	})
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req SubmitRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		v, err := s.Submit(req.Experiment, req.Params, "", time.Duration(req.TimeoutMS)*time.Millisecond)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, v)
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		jobs := s.List(ListFilter{
+			State:      State(q.Get("state")),
+			Batch:      q.Get("batch"),
+			Experiment: q.Get("experiment"),
+		})
+		writeJSON(w, http.StatusOK, map[string]any{"total": len(jobs), "jobs": jobs})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		v, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+		var (
+			batch string
+			views []JobView
+			err   error
+		)
+		switch {
+		case len(req.Jobs) > 0 && req.Sweep != nil:
+			writeJSON(w, http.StatusBadRequest, errorBody{"use either jobs or sweep, not both"})
+			return
+		case len(req.Jobs) > 0:
+			s.mu.Lock()
+			s.seq++
+			batch = fmt.Sprintf("batch-%06d", s.seq)
+			s.mu.Unlock()
+			for _, jr := range req.Jobs {
+				jt := timeout
+				if jr.TimeoutMS > 0 {
+					jt = time.Duration(jr.TimeoutMS) * time.Millisecond
+				}
+				var v JobView
+				v, err = s.Submit(jr.Experiment, jr.Params, batch, jt)
+				if err != nil {
+					break
+				}
+				views = append(views, v)
+			}
+		default:
+			var archs []string
+			var seeds []int64
+			if req.Sweep != nil {
+				archs, seeds = req.Sweep.Archs, req.Sweep.Seeds
+			}
+			batch, views, err = s.SubmitSweep(req.Experiment, req.Params, archs, seeds, timeout)
+		}
+		if err != nil && len(views) == 0 {
+			writeError(w, err)
+			return
+		}
+		resp := map[string]any{"batch": batch, "total": len(views), "jobs": views}
+		if err != nil {
+			// Partial admission (e.g. the queue filled mid-batch): report
+			// what was accepted plus the error that stopped expansion.
+			resp["error"] = err.Error()
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+	})
+
+	mux.HandleFunc("GET /v1/batch/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		jobs := s.List(ListFilter{Batch: id})
+		if len(jobs) == 0 {
+			writeError(w, ErrNotFound)
+			return
+		}
+		byState := make(map[State]int, 5)
+		for _, st := range States() {
+			byState[st] = 0
+		}
+		for _, j := range jobs {
+			byState[j.State]++
+		}
+		writeJSON(w, http.StatusOK, BatchView{Batch: id, Total: len(jobs), ByState: byState, Jobs: jobs})
+	})
+
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrFinished):
+		status = http.StatusConflict
+	default:
+		status = http.StatusBadRequest // validation errors from Resolve/ArchConfig
+	}
+	writeJSON(w, status, errorBody{err.Error()})
+}
