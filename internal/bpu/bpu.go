@@ -12,6 +12,9 @@
 package bpu
 
 import (
+	"fmt"
+	"strings"
+
 	"pathfinder/internal/phr"
 	"pathfinder/internal/pht"
 )
@@ -44,6 +47,26 @@ type Prediction struct {
 	AltTaken bool // prediction of the next-longest component
 }
 
+// Predictor is the conditional-branch-predictor surface the CPU model and
+// the experiment harness drive. Two implementations exist: the packed,
+// memoized CBP in this package (the production model) and the deliberately
+// naive oracle in internal/refmodel. internal/trace replays identical
+// branch streams through both and reports the first divergence, so the fast
+// model can be refactored without silently drifting from the paper's §2.2
+// update discipline.
+type Predictor interface {
+	// Config returns the modeled microarchitecture.
+	Config() Config
+	// Predict returns the direction prediction for a conditional branch.
+	Predict(pc uint64, h phr.History) Prediction
+	// Update resolves a conditional branch with its actual outcome.
+	Update(pc uint64, h phr.History, taken bool, p Prediction)
+	// Flush clears all predictor state.
+	Flush()
+	// DumpState renders the full predictor state for divergence reports.
+	DumpState() string
+}
+
 // UsefulResetPeriod is how many conditional-branch updates pass between
 // global usefulness-counter decays — TAGE's periodic reset, scaled to the
 // model's table sizes. Without it long-running victims pin every way of hot
@@ -72,7 +95,7 @@ func (c *CBP) Config() Config { return c.cfg }
 
 // Predict returns the direction prediction for a conditional branch at pc
 // under path history h.
-func (c *CBP) Predict(pc uint64, h *phr.Reg) Prediction {
+func (c *CBP) Predict(pc uint64, h phr.History) Prediction {
 	p := Prediction{Provider: -1, Taken: c.Base.Predict(pc), AltTaken: c.Base.Predict(pc)}
 	for i, t := range c.Tables { // ascending history; later hits override
 		if e, hit := t.Lookup(pc, h); hit {
@@ -87,7 +110,7 @@ func (c *CBP) Predict(pc uint64, h *phr.Reg) Prediction {
 // Update resolves a conditional branch: trains the provider component and,
 // on a misprediction, allocates a weak entry in a longer-history table
 // (the shortest one with room; full sets age their usefulness counters).
-func (c *CBP) Update(pc uint64, h *phr.Reg, taken bool, p Prediction) {
+func (c *CBP) Update(pc uint64, h phr.History, taken bool, p Prediction) {
 	c.updates++
 	if c.updates%UsefulResetPeriod == 0 {
 		for _, t := range c.Tables {
@@ -129,6 +152,21 @@ func (c *CBP) Flush() {
 		t.Reset()
 	}
 }
+
+// DumpState renders every trained base counter and every valid tagged entry,
+// the payload of a differential-divergence report (internal/trace).
+func (c *CBP) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CBP %s (updates=%d)\n", c.cfg.Name, c.updates)
+	b.WriteString(c.Base.Dump())
+	for i, t := range c.Tables {
+		fmt.Fprintf(&b, "table %d (hist %d):\n", i, t.HistLen)
+		b.WriteString(t.Dump())
+	}
+	return b.String()
+}
+
+var _ Predictor = (*CBP)(nil)
 
 // btbEntry is a BTB slot.
 type btbEntry struct {
@@ -192,17 +230,17 @@ type IBP struct {
 // NewIBP returns an empty indirect predictor.
 func NewIBP() *IBP { return &IBP{targets: make(map[uint64]uint64)} }
 
-func ibpKey(pc uint64, h *phr.Reg) uint64 {
+func ibpKey(pc uint64, h phr.History) uint64 {
 	return pc<<16 ^ uint64(h.Fold(h.Size(), 16))
 }
 
 // Insert records an indirect branch target for (pc, history).
-func (p *IBP) Insert(pc uint64, h *phr.Reg, target uint64) {
+func (p *IBP) Insert(pc uint64, h phr.History, target uint64) {
 	p.targets[ibpKey(pc, h)] = target
 }
 
 // Lookup predicts an indirect target.
-func (p *IBP) Lookup(pc uint64, h *phr.Reg) (uint64, bool) {
+func (p *IBP) Lookup(pc uint64, h phr.History) (uint64, bool) {
 	t, ok := p.targets[ibpKey(pc, h)]
 	return t, ok
 }

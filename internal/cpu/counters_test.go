@@ -1,0 +1,46 @@
+package cpu
+
+import "testing"
+
+// TestCountersAdd pins the field-by-field aggregation the service layer's
+// /metrics exposition depends on; previously it was only exercised
+// incidentally through the daemon smoke test.
+func TestCountersAdd(t *testing.T) {
+	one := Counters{Instructions: 1, Cycles: 2, CondBranches: 3, TakenBranches: 4,
+		Mispredicts: 5, TransientInstrs: 6, Runs: 7}
+	big := Counters{Instructions: 1 << 60, Cycles: 1 << 61, CondBranches: 1 << 50,
+		TakenBranches: 1 << 51, Mispredicts: 1 << 40, TransientInstrs: 1 << 41, Runs: 1 << 30}
+	cases := []struct {
+		name    string
+		acc, in Counters
+		want    Counters
+	}{
+		{"zero plus zero", Counters{}, Counters{}, Counters{}},
+		{"zero identity", one, Counters{}, one},
+		{"into zero", Counters{}, one, one},
+		{"all fields", one, one, Counters{Instructions: 2, Cycles: 4, CondBranches: 6,
+			TakenBranches: 8, Mispredicts: 10, TransientInstrs: 12, Runs: 14}},
+		{"disjoint fields", Counters{Instructions: 9}, Counters{Runs: 4},
+			Counters{Instructions: 9, Runs: 4}},
+		{"large values", big, big, Counters{Instructions: 1 << 61, Cycles: 1 << 62,
+			CondBranches: 1 << 51, TakenBranches: 1 << 52, Mispredicts: 1 << 41,
+			TransientInstrs: 1 << 42, Runs: 1 << 31}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			acc := c.acc
+			acc.Add(c.in)
+			if acc != c.want {
+				t.Errorf("Add: got %+v, want %+v", acc, c.want)
+			}
+		})
+	}
+	// Repeated accumulation, the shape every driver loop uses.
+	var acc Counters
+	for i := 0; i < 10; i++ {
+		acc.Add(one)
+	}
+	if acc.Runs != 70 || acc.Instructions != 10 {
+		t.Errorf("10x accumulate: %+v", acc)
+	}
+}

@@ -148,6 +148,13 @@ type Options struct {
 	MispredictPenalty  int        // cycles added per misprediction (default 15)
 	MaxTransientWindow int        // cap on transient instructions per mispredict (default 400)
 	StepLimit          uint64     // per-Run instruction budget (default 100M)
+
+	// NewPredictor, when non-nil, builds the conditional branch predictor
+	// backing this machine instead of the default bpu.CBP — the hook the
+	// differential-verification harness uses to run whole experiments on
+	// the internal/refmodel oracle. It is a constructor, not an instance,
+	// so every Machine gets private predictor state.
+	NewPredictor func(bpu.Config) bpu.Predictor
 }
 
 // Machine is a physical core: shared branch prediction unit, shared cache
@@ -164,6 +171,7 @@ type Machine struct {
 	// ground-truth path history; attacks never do.
 	TraceTaken func(pc, target uint64)
 
+	cbp    bpu.Predictor // conditional predictor in use: BPU.CBP or an Options-supplied oracle
 	harts  []*Hart
 	opts   Options
 	noise  splitmix64
@@ -203,6 +211,10 @@ func New(opts Options) *Machine {
 		kstubs: make(map[int64]string),
 		estubs: make(map[int64]string),
 	}
+	m.cbp = m.BPU.CBP
+	if opts.NewPredictor != nil {
+		m.cbp = opts.NewPredictor(opts.Arch)
+	}
 	for i := 0; i < opts.Harts; i++ {
 		m.harts = append(m.harts, &Hart{
 			ID:      i,
@@ -222,6 +234,11 @@ func (m *Machine) NumHarts() int { return len(m.harts) }
 
 // Arch returns the modeled microarchitecture.
 func (m *Machine) Arch() bpu.Config { return m.opts.Arch }
+
+// Predictor returns the conditional branch predictor this machine drives:
+// the shared Unit's CBP unless Options.NewPredictor substituted another
+// implementation.
+func (m *Machine) Predictor() bpu.Predictor { return m.cbp }
 
 // Stats returns the counters accumulated since the last ResetStats.
 func (m *Machine) Stats() Counters { return m.stats }
@@ -388,7 +405,7 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 
 		case isa.BR:
 			taken := in.Cond.Eval(h.regs[in.Rs], h.regs[in.Rt])
-			pred := m.BPU.CBP.Predict(in.Addr, h.PHR)
+			pred := m.cbp.Predict(in.Addr, h.PHR)
 			st := m.branchStat(in.Addr)
 			st.Executed++
 			m.stats.CondBranches++
@@ -401,7 +418,7 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 				m.speculate(h, prog, idx, pred.Taken)
 				m.stats.Cycles += uint64(m.opts.MispredictPenalty)
 			}
-			m.BPU.CBP.Update(in.Addr, h.PHR, taken, pred)
+			m.cbp.Update(in.Addr, h.PHR, taken, pred)
 			if taken {
 				m.takenBranch(h, in.Addr, in.Target, true)
 				ti, ok := prog.IndexOf(in.Target)

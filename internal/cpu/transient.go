@@ -173,7 +173,7 @@ func (m *Machine) runTransient(h *Hart, prog *isa.Program, startIdx, window int)
 
 		case isa.BR:
 			// Nested speculation follows the predictor without updating it.
-			pred := m.BPU.CBP.Predict(in.Addr, h.PHR)
+			pred := m.cbp.Predict(in.Addr, h.PHR)
 			if pred.Taken {
 				ti, ok := prog.IndexOf(in.Target)
 				if !ok {

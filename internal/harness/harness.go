@@ -26,6 +26,7 @@ import (
 	"pathfinder/internal/media"
 	"pathfinder/internal/pathfinder"
 	"pathfinder/internal/phr"
+	"pathfinder/internal/refmodel"
 	"pathfinder/internal/victim"
 )
 
@@ -47,6 +48,14 @@ const (
 type Options struct {
 	Arch bpu.Config // modeled microarchitecture; zero value means Alder Lake
 	Seed int64      // base seed; 0 selects the driver's historical default
+
+	// RefModel backs every machine the driver builds with the naive
+	// internal/refmodel oracle instead of the production bpu.CBP. Slow —
+	// the oracle recomputes every fold bit by bit — but because both
+	// implementations are deterministic and drive the same seeds, a driver
+	// must produce an identical report either way; the harness tests use
+	// this for end-to-end differential validation.
+	RefModel bool
 }
 
 // seed resolves the base seed against the driver's historical default.
@@ -59,7 +68,11 @@ func (o Options) seed(def int64) int64 {
 
 // cpu builds machine options for one run at the given derived seed.
 func (o Options) cpu(seed int64) cpu.Options {
-	return cpu.Options{Arch: o.Arch, Seed: seed}
+	co := cpu.Options{Arch: o.Arch, Seed: seed}
+	if o.RefModel {
+		co.NewPredictor = refmodel.NewPredictor
+	}
+	return co
 }
 
 // Table1 renders the target-processor table.
@@ -454,7 +467,9 @@ func AESLeakEval(ctx context.Context, opts Options, trials int, noise float64) (
 		return nil, err
 	}
 	seed := opts.seed(DefaultAESSeed)
-	m := cpu.New(cpu.Options{Arch: opts.Arch, Seed: seed, Noise: noise})
+	co := opts.cpu(seed)
+	co.Noise = noise
+	m := cpu.New(co)
 	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
 		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
 	a, err := attack.NewAESAttack(m, key)

@@ -27,6 +27,25 @@ import (
 // Doublet is a two-bit PHR element. Valid values are 0..3.
 type Doublet = uint8
 
+// History is the read surface the predictor structures need from a path
+// history register. Both the packed production register (*Reg) and the
+// deliberately naive reference register (refmodel.PHR) satisfy it, which is
+// what lets either implementation back the PHTs and the CBP and makes the
+// two differentially testable against each other.
+type History interface {
+	// Size returns the register length in doublets.
+	Size() int
+	// Gen returns a counter that changes on every mutation; predictor
+	// structures use (value identity, Gen) pairs to memoize fold results.
+	Gen() uint64
+	// Doublet returns doublet i (0 = most recent).
+	Doublet(i int) Doublet
+	// Fold XOR-folds the lowest histLen doublets into width bits.
+	Fold(histLen, width int) uint32
+	// FoldMix is the tag fold: like Fold but rotating between chunks.
+	FoldMix(histLen, width int) uint32
+}
+
 // FootprintDoublets is the number of doublets occupied by a branch
 // footprint (16 bits = 8 doublets).
 const FootprintDoublets = 8
@@ -77,6 +96,8 @@ type Reg struct {
 	size int    // doublets
 	gen  uint64 // bumped on every mutation; lets predictors memoize folds
 }
+
+var _ History = (*Reg)(nil)
 
 // New returns an all-zero PHR with capacity for size doublets.
 // Size must be at least FootprintDoublets and at most 194 * 2.
@@ -207,7 +228,13 @@ func (r *Reg) Clone() *Reg {
 }
 
 // CopyFrom overwrites this PHR with the contents of src. Both registers
-// must have the same size.
+// must have the same size: copying between machines with different PHR
+// depths (Raptor/Alder Lake's 194 doublets vs Skylake's 93) has no single
+// correct semantics — truncating silently would discard the oldest history
+// one machine's tagged tables still fold — so CopyFrom panics on a size
+// mismatch rather than guessing. Callers moving history across
+// architectures must resample doublet-by-doublet via Doublet/SetDoublet
+// and decide explicitly which end to drop.
 func (r *Reg) CopyFrom(src *Reg) {
 	if r.size != src.size {
 		panic(fmt.Sprintf("phr: size mismatch %d != %d", r.size, src.size))

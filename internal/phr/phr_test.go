@@ -214,6 +214,35 @@ func TestCopyFromAndEqual(t *testing.T) {
 	}
 }
 
+// TestCopyFromSizeMismatchPanics pins the documented contract: copying
+// history between registers of different PHR depths — Raptor/Alder Lake's
+// 194 doublets vs Skylake's 93, in either direction — must panic rather
+// than silently truncate or zero-extend.
+func TestCopyFromSizeMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, dst, src *Reg) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: CopyFrom(%d <- %d) did not panic", name, dst.Size(), src.Size())
+			}
+		}()
+		dst.CopyFrom(src)
+	}
+	raptor, skylake := New(194), New(93)
+	for i := 0; i < 93; i++ {
+		skylake.SetDoublet(i, Doublet(i)&3)
+	}
+	mustPanic("widen", raptor, skylake)
+	mustPanic("truncate", skylake, raptor)
+	// Same size still works, and leaves gen moving.
+	other := New(93)
+	g := other.Gen()
+	other.CopyFrom(skylake)
+	if !other.Equal(skylake) || other.Gen() == g {
+		t.Fatal("same-size CopyFrom broken")
+	}
+}
+
 func TestUpdateShiftsOutOldHistory(t *testing.T) {
 	r := New(93) // Skylake-sized
 	r.SetDoublet(92, 3)

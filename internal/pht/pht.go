@@ -17,6 +17,7 @@ package pht
 
 import (
 	"fmt"
+	"strings"
 
 	"pathfinder/internal/phr"
 )
@@ -100,6 +101,18 @@ func (b *BaseTable) Reset() {
 	}
 }
 
+// Dump renders every counter that has moved off the reset value, one per
+// line, for differential-divergence reports. The reset state dumps empty.
+func (b *BaseTable) Dump() string {
+	var sb strings.Builder
+	for i, c := range b.ctr {
+		if c != WeakFor(false) {
+			fmt.Fprintf(&sb, "  base[%#x] ctr=%d\n", i, c)
+		}
+	}
+	return sb.String()
+}
+
 // Tagged-table geometry from Figure 3.
 const (
 	Sets      = 512
@@ -127,7 +140,7 @@ type TaggedTable struct {
 	// Fold memoization: predictors look up the same (pc, history) several
 	// times per branch (predict, update, allocate); the folds dominate the
 	// simulator's hot path.
-	memoReg *phr.Reg
+	memoReg phr.History
 	memoGen uint64
 	memoPC  uint64
 	memoIdx uint32
@@ -147,21 +160,21 @@ func NewTagged(histLen int) *TaggedTable {
 // PC bit 5 (Figure 3). Only PC bits 15:0 ever participate in tagged-table
 // addressing, which is what lets an attacker branch at a different page
 // alias a victim branch with equal low address bits.
-func (t *TaggedTable) Index(pc uint64, h *phr.Reg) uint32 {
+func (t *TaggedTable) Index(pc uint64, h phr.History) uint32 {
 	fold := h.Fold(t.HistLen, 8)
 	return fold | (uint32(pc>>5)&1)<<8
 }
 
 // Tag computes the entry tag from a longer history fold mixed with the low
 // PC bits.
-func (t *TaggedTable) Tag(pc uint64, h *phr.Reg) uint32 {
+func (t *TaggedTable) Tag(pc uint64, h phr.History) uint32 {
 	fold := h.FoldMix(t.HistLen, TagBits)
 	p := uint32(pc) & 0xffff
 	return (fold ^ p ^ p>>7) & (1<<TagBits - 1)
 }
 
 // locate returns the (index, tag) pair for (pc, h), memoizing the folds.
-func (t *TaggedTable) locate(pc uint64, h *phr.Reg) (uint32, uint32) {
+func (t *TaggedTable) locate(pc uint64, h phr.History) (uint32, uint32) {
 	if t.memoOK && t.memoReg == h && t.memoGen == h.Gen() && t.memoPC == pc {
 		return t.memoIdx, t.memoTag
 	}
@@ -173,7 +186,7 @@ func (t *TaggedTable) locate(pc uint64, h *phr.Reg) (uint32, uint32) {
 
 // Lookup finds the entry matching (pc, h). It returns the entry pointer and
 // true on a tag hit.
-func (t *TaggedTable) Lookup(pc uint64, h *phr.Reg) (*Entry, bool) {
+func (t *TaggedTable) Lookup(pc uint64, h phr.History) (*Entry, bool) {
 	idx, tag := t.locate(pc, h)
 	set := &t.sets[idx&(Sets-1)]
 	for w := range set {
@@ -189,7 +202,7 @@ func (t *TaggedTable) Lookup(pc uint64, h *phr.Reg) (*Entry, bool) {
 // keeping the model deterministic). If every way is useful it decrements
 // all usefulness counters and allocates nothing, per TAGE replacement.
 // It reports whether an entry was inserted.
-func (t *TaggedTable) Allocate(pc uint64, h *phr.Reg, taken bool) bool {
+func (t *TaggedTable) Allocate(pc uint64, h phr.History, taken bool) bool {
 	idx, tag := t.locate(pc, h)
 	set := &t.sets[idx&(Sets-1)]
 	victim := -1
@@ -236,6 +249,21 @@ func (t *TaggedTable) Reset() {
 			t.sets[s][w] = Entry{}
 		}
 	}
+}
+
+// Dump renders every valid entry as "set/way tag ctr useful", one per line,
+// in set order, for differential-divergence reports.
+func (t *TaggedTable) Dump() string {
+	var sb strings.Builder
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			e := t.sets[s][w]
+			if e.Valid {
+				fmt.Fprintf(&sb, "  set %3d way %d tag=%#03x ctr=%d useful=%d\n", s, w, e.Tag, e.Ctr, e.Useful)
+			}
+		}
+	}
+	return sb.String()
 }
 
 // Occupancy returns the number of valid entries, for diagnostics and the

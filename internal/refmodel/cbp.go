@@ -1,0 +1,110 @@
+package refmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/phr"
+)
+
+// CBP is the reference conditional branch predictor: the naive base and
+// tagged tables composed under the TAGE discipline of Figure 3. It
+// satisfies bpu.Predictor, so it can back internal/cpu and the harness
+// drivers in place of the production bpu.CBP, and internal/trace replays
+// branch streams through both to detect divergence.
+type CBP struct {
+	cfg     bpu.Config
+	Base    *BaseTable
+	Tables  []*TaggedTable
+	updates uint64
+}
+
+var _ bpu.Predictor = (*CBP)(nil)
+
+// New builds an empty reference predictor for the given microarchitecture.
+func New(cfg bpu.Config) *CBP {
+	c := &CBP{cfg: cfg, Base: NewBase()}
+	for _, h := range cfg.TableHists {
+		c.Tables = append(c.Tables, NewTagged(h))
+	}
+	return c
+}
+
+// NewPredictor is New with the bpu.Predictor return type, the shape
+// cpu.Options.NewPredictor and harness.Options expect.
+func NewPredictor(cfg bpu.Config) bpu.Predictor { return New(cfg) }
+
+// Config returns the modeled microarchitecture.
+func (c *CBP) Config() bpu.Config { return c.cfg }
+
+// Predict walks every component in ascending history order; the last hit
+// provides the prediction, the previous best becomes the alternate.
+func (c *CBP) Predict(pc uint64, h phr.History) bpu.Prediction {
+	base := c.Base.Predict(pc)
+	p := bpu.Prediction{Provider: -1, Taken: base, AltTaken: base}
+	for i, t := range c.Tables {
+		if taken, hit := t.Predict(pc, h); hit {
+			p.AltTaken = p.Taken
+			p.Taken = taken
+			p.Provider = i
+		}
+	}
+	return p
+}
+
+// Update resolves one conditional branch, mirroring the update discipline
+// of the production model step for step: periodic usefulness decay first,
+// then provider training (with usefulness bookkeeping only when provider
+// and alternate disagreed), then on a misprediction an allocation sweep
+// through the longer-history tables.
+func (c *CBP) Update(pc uint64, h phr.History, taken bool, p bpu.Prediction) {
+	c.updates++
+	if c.updates%bpu.UsefulResetPeriod == 0 {
+		for _, t := range c.Tables {
+			t.DecayUseful()
+		}
+	}
+	if p.Provider < 0 {
+		c.Base.Update(pc, taken)
+	} else if e, hit := c.Tables[p.Provider].lookup(pc, h); hit {
+		e.ctr = ctrUpdate(e.ctr, taken)
+		if p.Taken != p.AltTaken {
+			if p.Taken == taken {
+				if e.useful < usefulMax {
+					e.useful++
+				}
+			} else if e.useful > 0 {
+				e.useful--
+			}
+		}
+	}
+	if p.Taken != taken {
+		for i := p.Provider + 1; i < len(c.Tables); i++ {
+			if c.Tables[i].Allocate(pc, h, taken) {
+				break
+			}
+		}
+	}
+}
+
+// Flush clears every structure.
+func (c *CBP) Flush() {
+	c.Base.Reset()
+	for _, t := range c.Tables {
+		t.Reset()
+	}
+}
+
+// DumpState renders the full predictor state for divergence reports, in
+// the same shape as the production CBP's dump.
+func (c *CBP) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RefCBP %s (updates=%d)\n", c.cfg.Name, c.updates)
+	b.WriteString(c.Base.Dump())
+	for i, t := range c.Tables {
+		fmt.Fprintf(&b, "table %d (hist %d):\n", i, t.HistLen)
+		b.WriteString(t.Dump())
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+// Package refmodel is a slow, deliberately naive reference implementation
+// ("oracle") of the three microarchitectural structures the Pathfinder
+// attacks model: the path history register (§2.2.1, Figure 2), the base and
+// tagged pattern history tables (Figure 3), and the TAGE-style conditional
+// branch predictor composing them.
+//
+// Everything here is written for obviousness, not speed: the PHR is a plain
+// doublet slice that literally shifts all 194 elements per taken branch and
+// recomputes every fold bit by bit, and the tables are maps with explicit
+// provider/allocate/useful bookkeeping. None of the production model's
+// bit-packing, memoization, or fast paths appear. The two implementations
+// share the phr.History and bpu.Predictor interfaces, so either can back
+// internal/cpu and internal/harness, and internal/trace replays identical
+// branch streams through both to pin the fast model to this one. Future
+// performance work on internal/phr, internal/pht, or internal/bpu is
+// verified against this package; keep it boring.
+package refmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/phr"
+)
+
+// footprintSpec is the Figure 2 bit layout, listed from output bit 15 down
+// to output bit 0. Each output bit is one branch-address bit, optionally
+// XORed with one target-address bit (target < 0 means no target bit).
+var footprintSpec = [16]struct{ branch, target int }{
+	{12, -1}, // bit 15
+	{13, -1}, // bit 14
+	{5, -1},  // bit 13
+	{6, -1},  // bit 12
+	{7, -1},  // bit 11
+	{8, -1},  // bit 10
+	{9, -1},  // bit 9
+	{10, -1}, // bit 8
+	{0, 2},   // bit 7
+	{1, 3},   // bit 6
+	{2, 4},   // bit 5
+	{11, 5},  // bit 4
+	{14, -1}, // bit 3
+	{15, -1}, // bit 2
+	{3, 0},   // bit 1
+	{4, 1},   // bit 0
+}
+
+// Footprint recomputes the 16-bit Figure 2 branch footprint directly from
+// the layout table, independently of phr.Footprint's shift-and-or form.
+func Footprint(branchAddr, targetAddr uint64) uint16 {
+	var f uint16
+	for i, spec := range footprintSpec {
+		bit := uint16(branchAddr>>uint(spec.branch)) & 1
+		if spec.target >= 0 {
+			bit ^= uint16(targetAddr>>uint(spec.target)) & 1
+		}
+		out := 15 - i
+		f |= bit << uint(out)
+	}
+	return f
+}
+
+// PHR is the reference path history register: a plain slice of two-bit
+// doublets, index 0 most recent. It satisfies phr.History and mirrors the
+// mutating surface of phr.Reg that the replayer and the CPU model drive.
+type PHR struct {
+	d   []uint8
+	gen uint64
+}
+
+var _ phr.History = (*PHR)(nil)
+
+// NewPHR returns an all-zero reference register of the given doublet count.
+func NewPHR(size int) *PHR {
+	if size < phr.FootprintDoublets {
+		panic(fmt.Sprintf("refmodel: unsupported PHR size %d", size))
+	}
+	return &PHR{d: make([]uint8, size)}
+}
+
+// Size returns the register length in doublets.
+func (p *PHR) Size() int { return len(p.d) }
+
+// Gen returns the mutation counter.
+func (p *PHR) Gen() uint64 { return p.gen }
+
+// Doublet returns doublet i (0 = most recent).
+func (p *PHR) Doublet(i int) phr.Doublet { return p.d[i] }
+
+// SetDoublet sets doublet i to v (low two bits used).
+func (p *PHR) SetDoublet(i int, v phr.Doublet) {
+	p.d[i] = v & 3
+	p.gen++
+}
+
+// Clear zeroes every doublet.
+func (p *PHR) Clear() {
+	for i := range p.d {
+		p.d[i] = 0
+	}
+	p.gen++
+}
+
+// Update applies one taken-branch update the way §2.2.1 describes it:
+// every doublet literally moves one position older, the newest doublet
+// becomes zero, and the footprint is XORed into the low eight doublets.
+func (p *PHR) Update(footprint uint16) {
+	for i := len(p.d) - 1; i >= 1; i-- {
+		p.d[i] = p.d[i-1]
+	}
+	p.d[0] = 0
+	for j := 0; j < phr.FootprintDoublets; j++ {
+		p.d[j] ^= uint8(footprint>>uint(2*j)) & 3
+	}
+	p.gen++
+}
+
+// UpdateBranch is Update with the footprint recomputed from the addresses.
+func (p *PHR) UpdateBranch(branchAddr, targetAddr uint64) {
+	p.Update(Footprint(branchAddr, targetAddr))
+}
+
+// bit returns packed history bit i: doublet i/2 contributes its low bit at
+// even positions and its high bit at odd positions, matching the packed
+// layout of phr.Reg.
+func (p *PHR) bit(i int) uint32 {
+	return uint32(p.d[i/2]>>uint(i%2)) & 1
+}
+
+// Fold XOR-folds the lowest histLen doublets into width bits, assembling
+// every chunk bit by bit (LSB-first chunks, exactly the spec in
+// phr.Reg.Fold but with none of its fast paths).
+func (p *PHR) Fold(histLen, width int) uint32 {
+	if histLen > len(p.d) {
+		histLen = len(p.d)
+	}
+	if width <= 0 || width > 32 {
+		panic("refmodel: fold width out of range")
+	}
+	bits := 2 * histLen
+	var acc uint32
+	for o := 0; o < bits; o += width {
+		acc ^= p.chunk(o, width, bits)
+	}
+	return acc & (uint32(1)<<uint(width) - 1)
+}
+
+// FoldMix is the tag fold: between chunks the accumulator rotates left by
+// three within the fold width.
+func (p *PHR) FoldMix(histLen, width int) uint32 {
+	if histLen > len(p.d) {
+		histLen = len(p.d)
+	}
+	if width <= 2 || width > 32 {
+		panic("refmodel: fold width out of range")
+	}
+	bits := 2 * histLen
+	mask := uint32(1)<<uint(width) - 1
+	var acc uint32
+	for o := 0; o < bits; o += width {
+		acc = ((acc<<3 | acc>>uint(width-3)) & mask) ^ p.chunk(o, width, bits)
+	}
+	return acc & mask
+}
+
+// chunk gathers the width history bits starting at offset o, clipped at
+// limit, one bit at a time.
+func (p *PHR) chunk(o, width, limit int) uint32 {
+	var v uint32
+	for k := 0; k < width && o+k < limit; k++ {
+		v |= p.bit(o+k) << uint(k)
+	}
+	return v
+}
+
+// Matches reports whether this register and h hold identical histories.
+func (p *PHR) Matches(h phr.History) bool {
+	if h.Size() != len(p.d) {
+		return false
+	}
+	for i := range p.d {
+		if h.Doublet(i) != p.d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the register oldest-doublet first with zero runs
+// compressed, the same shape phr.Reg.String uses, so divergence reports
+// from either implementation read alike.
+func (p *PHR) String() string {
+	var sb strings.Builder
+	sb.WriteString("PHR[")
+	zeros := 0
+	for i := len(p.d) - 1; i >= 0; i-- {
+		v := p.d[i]
+		if v == 0 {
+			zeros++
+			continue
+		}
+		if zeros > 0 {
+			fmt.Fprintf(&sb, "0*%d ", zeros)
+			zeros = 0
+		}
+		fmt.Fprintf(&sb, "%d", v)
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+	}
+	if zeros > 0 {
+		fmt.Fprintf(&sb, "0*%d", zeros)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}

@@ -1,0 +1,242 @@
+package refmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathfinder/internal/phr"
+)
+
+// The Figure 3 geometry, restated here (not imported from internal/pht) so
+// the oracle stays an independent reading of the paper.
+const (
+	counterBits   = 3   // Observation 2: 3-bit saturating counters
+	counterMax    = 7   // 2^3 - 1
+	weakTaken     = 4   // weakest counter still predicting taken
+	weakNotTaken  = 3   // weakest counter predicting not-taken
+	baseIndexBits = 13  // base predictor indexed by PC[12:0]
+	numSets       = 512 // tagged tables: 512 sets x 4 ways
+	numWays       = 4
+	tagBits       = 12
+	usefulMax     = 3 // 2-bit usefulness counter
+)
+
+// ctrTaken is the prediction of an n-bit saturating counter: taken in the
+// upper half of its range.
+func ctrTaken(c uint8) bool { return c >= 1<<(counterBits-1) }
+
+// ctrUpdate moves a counter one step toward the observed outcome,
+// saturating at both ends.
+func ctrUpdate(c uint8, taken bool) uint8 {
+	if taken {
+		if c < counterMax {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// weakFor is the initial counter for a freshly allocated entry.
+func weakFor(taken bool) uint8 {
+	if taken {
+		return weakTaken
+	}
+	return weakNotTaken
+}
+
+// BaseTable is the reference base (local) predictor: a map from the 13-bit
+// PC index to its counter. A missing key is the reset state, the weak
+// not-taken boundary value.
+type BaseTable struct {
+	ctr map[uint32]uint8
+}
+
+// NewBase returns an empty reference base table.
+func NewBase() *BaseTable { return &BaseTable{ctr: make(map[uint32]uint8)} }
+
+// index maps a branch PC to its slot, PC[12:0].
+func (b *BaseTable) index(pc uint64) uint32 {
+	return uint32(pc) & (1<<baseIndexBits - 1)
+}
+
+// counter returns the slot's counter, defaulting to weak not-taken.
+func (b *BaseTable) counter(pc uint64) uint8 {
+	if c, ok := b.ctr[b.index(pc)]; ok {
+		return c
+	}
+	return weakNotTaken
+}
+
+// Predict returns the base direction prediction for pc.
+func (b *BaseTable) Predict(pc uint64) bool { return ctrTaken(b.counter(pc)) }
+
+// Update trains the counter for pc with one outcome.
+func (b *BaseTable) Update(pc uint64, taken bool) {
+	b.ctr[b.index(pc)] = ctrUpdate(b.counter(pc), taken)
+}
+
+// Reset returns every counter to the reset state.
+func (b *BaseTable) Reset() { b.ctr = make(map[uint32]uint8) }
+
+// Dump renders every counter that has moved off the reset value.
+func (b *BaseTable) Dump() string {
+	idx := make([]uint32, 0, len(b.ctr))
+	for i, c := range b.ctr {
+		if c != weakNotTaken {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, z int) bool { return idx[a] < idx[z] })
+	var sb strings.Builder
+	for _, i := range idx {
+		fmt.Fprintf(&sb, "  base[%#x] ctr=%d\n", i, b.ctr[i])
+	}
+	return sb.String()
+}
+
+// entry is one way of a reference tagged table.
+type entry struct {
+	valid  bool
+	tag    uint32
+	ctr    uint8
+	useful uint8
+}
+
+// TaggedTable is a reference history-indexed component: a map from set
+// index to its four ways, allocated lazily.
+type TaggedTable struct {
+	HistLen int
+	sets    map[uint32]*[numWays]entry
+}
+
+// NewTagged returns an empty reference tagged table over histLen doublets.
+func NewTagged(histLen int) *TaggedTable {
+	if histLen <= 0 {
+		panic(fmt.Sprintf("refmodel: non-positive history length %d", histLen))
+	}
+	return &TaggedTable{HistLen: histLen, sets: make(map[uint32]*[numWays]entry)}
+}
+
+// Index is the 9-bit set index: eight folded history bits plus PC bit 5.
+func (t *TaggedTable) Index(pc uint64, h phr.History) uint32 {
+	return h.Fold(t.HistLen, 8) | (uint32(pc>>5)&1)<<8
+}
+
+// Tag is the 12-bit entry tag: the rotating fold mixed with PC[15:0].
+func (t *TaggedTable) Tag(pc uint64, h phr.History) uint32 {
+	p := uint32(pc) & 0xffff
+	return (h.FoldMix(t.HistLen, tagBits) ^ p ^ p>>7) & (1<<tagBits - 1)
+}
+
+// set returns the ways for idx, allocating the zero state on first touch.
+func (t *TaggedTable) set(idx uint32) *[numWays]entry {
+	s := t.sets[idx%numSets]
+	if s == nil {
+		s = &[numWays]entry{}
+		t.sets[idx%numSets] = s
+	}
+	return s
+}
+
+// lookup returns the first way whose valid entry matches the tag.
+func (t *TaggedTable) lookup(pc uint64, h phr.History) (*entry, bool) {
+	s := t.set(t.Index(pc, h))
+	tag := t.Tag(pc, h)
+	for w := range s {
+		if s[w].valid && s[w].tag == tag {
+			return &s[w], true
+		}
+	}
+	return nil, false
+}
+
+// Predict returns the table's direction prediction for (pc, h), if it hits.
+func (t *TaggedTable) Predict(pc uint64, h phr.History) (taken, hit bool) {
+	e, ok := t.lookup(pc, h)
+	if !ok {
+		return false, false
+	}
+	return ctrTaken(e.ctr), true
+}
+
+// Allocate inserts a fresh weak entry for (pc, h), following the same TAGE
+// replacement discipline as the production table: the lowest invalid way,
+// else the lowest way with useful == 0, else decrement every way's
+// usefulness and insert nothing. Reports whether an entry was inserted.
+func (t *TaggedTable) Allocate(pc uint64, h phr.History, taken bool) bool {
+	s := t.set(t.Index(pc, h))
+	victim := -1
+	for w := range s {
+		if !s[w].valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		for w := range s {
+			if s[w].useful == 0 {
+				victim = w
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		for w := range s {
+			if s[w].useful > 0 {
+				s[w].useful--
+			}
+		}
+		return false
+	}
+	s[victim] = entry{valid: true, tag: t.Tag(pc, h), ctr: weakFor(taken)}
+	return true
+}
+
+// DecayUseful halves every usefulness counter.
+func (t *TaggedTable) DecayUseful() {
+	for _, s := range t.sets {
+		for w := range s {
+			s[w].useful >>= 1
+		}
+	}
+}
+
+// Reset invalidates every entry.
+func (t *TaggedTable) Reset() { t.sets = make(map[uint32]*[numWays]entry) }
+
+// Occupancy counts valid entries.
+func (t *TaggedTable) Occupancy() int {
+	n := 0
+	for _, s := range t.sets {
+		for w := range s {
+			if s[w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Dump renders every valid entry in set order.
+func (t *TaggedTable) Dump() string {
+	idx := make([]uint32, 0, len(t.sets))
+	for i := range t.sets {
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, z int) bool { return idx[a] < idx[z] })
+	var sb strings.Builder
+	for _, i := range idx {
+		s := t.sets[i]
+		for w := range s {
+			if s[w].valid {
+				fmt.Fprintf(&sb, "  set %3d way %d tag=%#03x ctr=%d useful=%d\n", i, w, s[w].tag, s[w].ctr, s[w].useful)
+			}
+		}
+	}
+	return sb.String()
+}

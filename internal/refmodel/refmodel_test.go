@@ -1,0 +1,280 @@
+package refmodel
+
+import (
+	"strings"
+	"testing"
+
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/phr"
+)
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// TestFootprintMatchesProduction cross-checks the table-driven Figure 2
+// reading against the production shift-and-or form on random addresses and
+// on the corner cases the attack macros rely on.
+func TestFootprintMatchesProduction(t *testing.T) {
+	cases := []struct{ b, tgt uint64 }{
+		{0, 0},
+		{0xffff, 0x3f},
+		{0x1_0000, 0x40}, // low bits clear: zero footprint
+		{0x8000, 0},
+		{0, 1}, {0, 2}, {0, 3}, // T0/T1 choose doublet 0
+	}
+	g := &rng{s: 11}
+	for i := 0; i < 5000; i++ {
+		cases = append(cases, struct{ b, tgt uint64 }{g.next(), g.next()})
+	}
+	for _, c := range cases {
+		if got, want := Footprint(c.b, c.tgt), phr.Footprint(c.b, c.tgt); got != want {
+			t.Fatalf("Footprint(%#x, %#x) = %#x, production says %#x", c.b, c.tgt, got, want)
+		}
+	}
+	if Footprint(0x1_0000, 0x40) != 0 {
+		t.Fatal("aligned branch must have a zero footprint")
+	}
+}
+
+// TestPHRMatchesProduction drives a mixed op sequence through both
+// registers and compares doublets and all fold shapes after every step.
+func TestPHRMatchesProduction(t *testing.T) {
+	for _, size := range []int{93, 194} {
+		ref, prod := NewPHR(size), phr.New(size)
+		g := &rng{s: uint64(size)}
+		for step := 0; step < 3000; step++ {
+			switch g.next() % 8 {
+			case 0:
+				ref.Clear()
+				prod.Clear()
+			case 1:
+				i, v := int(g.next()%uint64(size)), phr.Doublet(g.next()&3)
+				ref.SetDoublet(i, v)
+				prod.SetDoublet(i, v)
+			default:
+				b, tgt := g.next(), g.next()
+				ref.UpdateBranch(b, tgt)
+				prod.UpdateBranch(b, tgt)
+			}
+			if !ref.Matches(prod) {
+				t.Fatalf("size %d step %d: registers differ\nref:  %s\nprod: %s", size, step, ref, prod)
+			}
+			for _, fold := range []struct{ hist, width int }{
+				{34, 8}, {66, 8}, {size, 8}, {34, 12}, {66, 12}, {size, 12}, {size, 5}, {size, 32}, {size + 40, 8},
+			} {
+				if got, want := ref.Fold(fold.hist, fold.width), prod.Fold(fold.hist, fold.width); got != want {
+					t.Fatalf("size %d step %d: Fold(%d,%d) = %#x, production %#x", size, step, fold.hist, fold.width, got, want)
+				}
+				if fold.width > 2 {
+					if got, want := ref.FoldMix(fold.hist, fold.width), prod.FoldMix(fold.hist, fold.width); got != want {
+						t.Fatalf("size %d step %d: FoldMix(%d,%d) = %#x, production %#x", size, step, fold.hist, fold.width, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPHRLiteralShift spells out the §2.2.1 semantics on a tiny case: each
+// taken branch moves every doublet one slot older and lands the footprint
+// in the low eight doublets.
+func TestPHRLiteralShift(t *testing.T) {
+	p := NewPHR(93)
+	p.Update(0x0003) // doublet 0 = 3
+	if p.Doublet(0) != 3 {
+		t.Fatalf("doublet 0 = %d, want 3", p.Doublet(0))
+	}
+	p.Update(0x0001) // shifts the 3 to slot 1, writes 1 at slot 0
+	if p.Doublet(0) != 1 || p.Doublet(1) != 3 {
+		t.Fatalf("doublets = %d,%d, want 1,3", p.Doublet(0), p.Doublet(1))
+	}
+	for i := 0; i < 91; i++ {
+		p.Update(0)
+	}
+	if p.Doublet(91) != 1 || p.Doublet(92) != 3 {
+		t.Fatalf("old history misplaced: %d,%d", p.Doublet(91), p.Doublet(92))
+	}
+	p.Update(0) // the 3 falls off the end
+	if p.Doublet(92) != 1 {
+		t.Fatalf("doublet 92 = %d, want 1", p.Doublet(92))
+	}
+	for i := 0; i < 92; i++ {
+		if p.Doublet(i) != 0 {
+			t.Fatalf("doublet %d = %d, want 0", i, p.Doublet(i))
+		}
+	}
+}
+
+func TestPHRStringAndGen(t *testing.T) {
+	p := NewPHR(93)
+	g0 := p.Gen()
+	p.SetDoublet(0, 2)
+	if p.Gen() == g0 {
+		t.Fatal("Gen did not advance on mutation")
+	}
+	if s := p.String(); !strings.HasPrefix(s, "PHR[") || !strings.Contains(s, "2") {
+		t.Fatalf("unexpected String: %s", s)
+	}
+}
+
+// TestBaseTableDiscipline checks the map-backed base predictor implements
+// the 3-bit saturating counter spec, including the reset default.
+func TestBaseTableDiscipline(t *testing.T) {
+	b := NewBase()
+	pc := uint64(0xabcd)
+	if b.Predict(pc) {
+		t.Fatal("reset state must predict not-taken")
+	}
+	b.Update(pc, true) // 3 -> 4
+	if !b.Predict(pc) {
+		t.Fatal("one taken update must flip the weak boundary")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if b.counter(pc) != counterMax {
+		t.Fatalf("counter did not saturate: %d", b.counter(pc))
+	}
+	// PC aliasing: only the low 13 bits index the table.
+	if !b.Predict(pc | 0xf0000) {
+		t.Fatal("base table must alias across PC[63:13]")
+	}
+	b.Reset()
+	if b.Predict(pc) {
+		t.Fatal("Reset must restore weak not-taken")
+	}
+}
+
+// TestTaggedAllocatePolicy fills one set and checks the explicit TAGE
+// bookkeeping: invalid-first, then useful==0, then decrement-all-and-fail.
+func TestTaggedAllocatePolicy(t *testing.T) {
+	tt := NewTagged(34)
+	h := NewPHR(194)
+	// Four distinct (pc) values sharing a set: vary only tag-affecting bits.
+	pcs := []uint64{0x0000, 0x0100, 0x0200, 0x0300}
+	for _, pc := range pcs {
+		if !tt.Allocate(pc, h, true) {
+			t.Fatalf("allocation failed with free ways (pc %#x)", pc)
+		}
+	}
+	if tt.Occupancy() != 4 {
+		t.Fatalf("occupancy = %d, want 4", tt.Occupancy())
+	}
+	// Pin every way useful, then a fifth allocation must fail and age them.
+	idx := tt.Index(pcs[0], h)
+	s := tt.set(idx)
+	for w := range s {
+		s[w].useful = 1
+	}
+	if tt.Allocate(0x0400, h, false) {
+		t.Fatal("allocation must fail when every way is useful")
+	}
+	for w := range s {
+		if s[w].useful != 0 {
+			t.Fatalf("way %d usefulness not decremented: %d", w, s[w].useful)
+		}
+	}
+	if !tt.Allocate(0x0400, h, false) {
+		t.Fatal("allocation must succeed after the aging pass")
+	}
+	tt.DecayUseful()
+	tt.Reset()
+	if tt.Occupancy() != 0 {
+		t.Fatal("Reset left valid entries")
+	}
+}
+
+// TestCBPProviderSemantics checks the longest-hit-wins provider rule and
+// the alternate prediction bookkeeping.
+func TestCBPProviderSemantics(t *testing.T) {
+	c := New(bpu.AlderLake)
+	h := NewPHR(194)
+	pc := uint64(0x00ab_3c40)
+	p := c.Predict(pc, h)
+	if p.Provider != -1 || p.Taken {
+		t.Fatalf("empty predictor must fall to the weak not-taken base: %+v", p)
+	}
+	// Mispredict: taken outcome against a not-taken prediction allocates in
+	// the shortest table.
+	c.Update(pc, h, true, p)
+	if c.Tables[0].Occupancy() != 1 {
+		t.Fatalf("mispredict did not allocate in table 0: %d", c.Tables[0].Occupancy())
+	}
+	p = c.Predict(pc, h)
+	if p.Provider != 0 || !p.Taken {
+		t.Fatalf("provider must be table 0 predicting taken: %+v", p)
+	}
+	// The mispredicted update also trained the base (3 -> 4), so the
+	// alternate — the next-longest component — now predicts taken too.
+	if !p.AltTaken {
+		t.Fatalf("alternate must reflect the trained base: %+v", p)
+	}
+	c.Flush()
+	if c.Tables[0].Occupancy() != 0 {
+		t.Fatal("Flush left tagged entries")
+	}
+	if got := c.Predict(pc, h); got.Provider != -1 {
+		t.Fatalf("post-flush provider = %d", got.Provider)
+	}
+}
+
+func TestDumpStateShape(t *testing.T) {
+	c := New(bpu.Skylake)
+	h := NewPHR(93)
+	p := c.Predict(5, h)
+	c.Update(5, h, true, p)
+	dump := c.DumpState()
+	for _, want := range []string{"RefCBP Skylake", "table 0 (hist 34)", "base["} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// FuzzPHRUpdate feeds fuzzer-chosen footprint/shift sequences through both
+// register implementations and requires identical doublets and identical
+// index/tag folds afterwards. Run locally with:
+//
+//	go test ./internal/refmodel -run='^$' -fuzz=FuzzPHRUpdate -fuzztime=30s
+func FuzzPHRUpdate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(0))
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x12, 0x34}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, sizeSel uint8) {
+		size := 194
+		if sizeSel%2 == 1 {
+			size = 93
+		}
+		if len(data) > 4096 {
+			return
+		}
+		ref, prod := NewPHR(size), phr.New(size)
+		for i := 0; i+1 < len(data); i += 2 {
+			fp := uint16(data[i])<<8 | uint16(data[i+1])
+			if fp == 0xffff {
+				ref.Clear()
+				prod.Clear()
+				continue
+			}
+			ref.Update(fp)
+			prod.Update(fp)
+		}
+		if !ref.Matches(prod) {
+			t.Fatalf("registers differ\nref:  %s\nprod: %s", ref, prod)
+		}
+		for _, hist := range []int{34, 66, size} {
+			if ref.Fold(hist, 8) != prod.Fold(hist, 8) {
+				t.Fatalf("index fold over %d doublets differs", hist)
+			}
+			if ref.FoldMix(hist, 12) != prod.FoldMix(hist, 12) {
+				t.Fatalf("tag fold over %d doublets differs", hist)
+			}
+		}
+	})
+}

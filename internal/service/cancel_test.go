@@ -1,0 +1,170 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pathfinder/internal/cpu"
+)
+
+// TestCancelWhilePending covers the pending→cancelled edge: with the only
+// worker occupied, a queued job is cancelled before pickup. It must
+// finalize immediately, never run, and stay cancelled after the worker
+// drains the queue entry it was skipped from.
+func TestCancelWhilePending(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 16})
+	defer shutdown(t, s)
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	registerBlocker(t, s.Registry(), "blocker", started, release)
+
+	blocker, err := s.Submit("blocker", Params{}, "", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker is now parked inside the blocker
+
+	pending, err := s.Submit("blocker", Params{}, "", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Cancel(pending.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateCancelled {
+		t.Fatalf("cancel-while-pending state = %s, want cancelled", v.State)
+	}
+
+	close(release) // let the worker finish the blocker and drain the queue
+	waitFor(t, 5*time.Second, "blocker to finish", func() bool {
+		got, err := s.Get(blocker.ID)
+		return err == nil && got.State == StateDone
+	})
+	// The worker has cycled past the cancelled job; it must not have run
+	// (no second start signal) and must still be cancelled.
+	select {
+	case <-started:
+		t.Fatal("cancelled pending job was executed")
+	default:
+	}
+	got, err := s.Get(pending.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("terminal state overwritten: %s", got.State)
+	}
+}
+
+// TestCancelWhileRunning covers running→cancelled: the runner observes
+// ctx.Done and unwinds; the job must land in cancelled and stay there.
+func TestCancelWhileRunning(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 16})
+	defer shutdown(t, s)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	registerBlocker(t, s.Registry(), "blocker", started, release)
+
+	v, err := s.Submit("blocker", Params{}, "", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := s.Cancel(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "job to reach cancelled", func() bool {
+		got, err := s.Get(v.ID)
+		return err == nil && got.State == StateCancelled
+	})
+	// A second cancel on the terminal job must refuse, not re-finalize.
+	if _, err := s.Cancel(v.ID); err != ErrFinished {
+		t.Fatalf("cancel on terminal job: err = %v, want ErrFinished", err)
+	}
+	got, _ := s.Get(v.ID)
+	if got.State != StateCancelled {
+		t.Fatalf("terminal state overwritten by second cancel: %s", got.State)
+	}
+	close(release)
+}
+
+// TestCancelPinsStateAgainstCompletion races Cancel against a runner that
+// ignores its context and completes successfully: whenever Cancel wins the
+// admission race (returns without ErrFinished), the job must terminate
+// cancelled even though the runner produced a result — the cancelRequested
+// pin — and whenever the runner wins, the job stays done. Run under -race
+// this also exercises the job-table locking on both paths.
+func TestCancelPinsStateAgainstCompletion(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 128})
+	err := s.Registry().Register(Experiment{
+		Name:        "oblivious",
+		Description: "test: finishes successfully, never checks ctx",
+		Run: func(ctx context.Context, p Params) (any, cpu.Counters, error) {
+			return map[string]int{"n": 1}, cpu.Counters{Runs: 1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 64
+	ids := make([]string, jobs)
+	for i := range ids {
+		v, err := s.Submit("oblivious", Params{}, "", time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = v.ID
+	}
+	cancelWon := make([]bool, jobs)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			_, err := s.Cancel(id)
+			cancelWon[i] = err == nil
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		id := id
+		waitFor(t, 10*time.Second, fmt.Sprintf("job %s terminal", id), func() bool {
+			got, err := s.Get(id)
+			return err == nil && got.State != StatePending && got.State != StateRunning
+		})
+		got, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := got.State
+		switch {
+		case cancelWon[i] && first != StateCancelled:
+			t.Errorf("job %s: cancel was admitted but state = %s, want cancelled", id, first)
+		case !cancelWon[i] && first != StateDone:
+			t.Errorf("job %s: cancel refused (already finished) but state = %s, want done", id, first)
+		}
+	}
+	// After every in-flight runner has unwound, no terminal state may have
+	// been rewritten by a late-finishing runner.
+	final := make(map[string]State, jobs)
+	for _, id := range ids {
+		got, _ := s.Get(id)
+		final[id] = got.State
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		got, _ := s.Get(id)
+		if got.State != final[id] {
+			t.Errorf("job %s: terminal state overwritten after drain: %s -> %s", id, final[id], got.State)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pathfinder/internal/cpu"
+)
+
+// TestHistogramBucketBoundaries pins which bucket an observation on an
+// exact upper bound lands in: Prometheus buckets are le (inclusive upper),
+// so a duration equal to a bound must count in that bound's bucket, and
+// anything past the last bound goes to +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		seconds float64
+		bucket  int // expected index into counts
+	}{
+		{0, 0},
+		{0.0005, 0},
+		{0.001, 0},  // exactly the first bound: inclusive
+		{0.0011, 1}, // just past it
+		{0.005, 1},
+		{0.01, 2},
+		{0.05, 3},
+		{0.1, 4},
+		{0.5, 5},
+		{1, 6},
+		{5, 7},
+		{10, 8},
+		{30, 9},
+		{60, 10},
+		{120, 11},                        // exactly the last finite bound
+		{120.0001, len(durationBuckets)}, // overflow bucket
+		{3600, len(durationBuckets)},     // way past the end
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%gs", c.seconds), func(t *testing.T) {
+			h := newHistogram()
+			h.observe(c.seconds)
+			for i, n := range h.counts {
+				want := uint64(0)
+				if i == c.bucket {
+					want = 1
+				}
+				if n != want {
+					t.Errorf("bucket %d count = %d, want %d", i, n, want)
+				}
+			}
+			if h.n != 1 || h.sum != c.seconds {
+				t.Errorf("n=%d sum=%g, want 1 and %g", h.n, h.sum, c.seconds)
+			}
+		})
+	}
+}
+
+// TestHistogramExpositionCumulative checks the rendered histogram is
+// cumulative and consistent: each le series includes every faster
+// observation, +Inf equals the count, and the sum is exact.
+func TestHistogramExpositionCumulative(t *testing.T) {
+	m := newMetrics(2)
+	durations := []time.Duration{
+		500 * time.Microsecond, // bucket le=0.001
+		time.Millisecond,       // le=0.001 (boundary)
+		3 * time.Millisecond,   // le=0.005
+		2 * time.Second,        // le=5
+		10 * time.Minute,       // +Inf
+	}
+	for _, d := range durations {
+		m.jobFinished("obs2", StateDone, d, cpu.Counters{})
+	}
+	exp := m.Expose(map[State]int{}, 0)
+
+	bucket := func(le string) int {
+		return metricValue(t, exp, fmt.Sprintf(`pathfinderd_job_duration_seconds_bucket{experiment="obs2",le="%s"}`, le))
+	}
+	for _, c := range []struct {
+		le   string
+		want int
+	}{
+		{"0.001", 2}, {"0.005", 3}, {"0.01", 3}, {"1", 3}, {"5", 4}, {"120", 4}, {"+Inf", 5},
+	} {
+		if got := bucket(c.le); got != c.want {
+			t.Errorf("bucket le=%s = %d, want %d", c.le, got, c.want)
+		}
+	}
+	if n := metricValue(t, exp, `pathfinderd_job_duration_seconds_count{experiment="obs2"}`); n != 5 {
+		t.Errorf("count = %d, want 5", n)
+	}
+	// Bounds must render Prometheus-style: no trailing zeros, ints bare.
+	for _, want := range []string{`le="0.001"`, `le="0.5"`, `le="1"`, `le="120"`} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+	if strings.Contains(exp, `le="1.000000"`) || strings.Contains(exp, `le="5e`) {
+		t.Error("bucket bounds rendered in a non-Prometheus format")
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder/internal/bpu"
+)
+
+// ImplState is one side of a divergence report: what the implementation
+// predicted at the diverging step and its complete state afterwards.
+type ImplState struct {
+	Name       string
+	Prediction bpu.Prediction
+	PHR        string
+	CBP        string
+}
+
+// Divergence pinpoints the first step at which two implementations
+// disagreed, with full state dumps from both sides.
+type Divergence struct {
+	Step   int    // index into the stream
+	Branch Branch // the stimulus at that step
+	Reason string // what disagreed: prediction fields or PHR contents
+	A, B   ImplState
+}
+
+// String renders the report the differential tests print on failure.
+func (d *Divergence) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "divergence at step %d: %s\n", d.Step, d.Reason)
+	fmt.Fprintf(&sb, "stimulus: pc=%#x target=%#x cond=%v taken=%v\n",
+		d.Branch.PC, d.Branch.Target, d.Branch.Cond, d.Branch.Taken)
+	for _, s := range []ImplState{d.A, d.B} {
+		fmt.Fprintf(&sb, "--- %s ---\n", s.Name)
+		fmt.Fprintf(&sb, "prediction: taken=%v provider=%d alt=%v\n",
+			s.Prediction.Taken, s.Prediction.Provider, s.Prediction.AltTaken)
+		fmt.Fprintf(&sb, "%s\n", s.PHR)
+		sb.WriteString(s.CBP)
+	}
+	return sb.String()
+}
+
+// Diff replays the stream through both implementations in lockstep and
+// returns the first divergence, or nil if they agree on every step. Each
+// conditional branch must produce an identical Prediction (direction,
+// provider, and alternate), and after every branch the two history
+// registers must hold identical doublets.
+func Diff(a, b Impl, stream []Branch) *Divergence {
+	if a.H.Size() != b.H.Size() {
+		return &Divergence{Reason: fmt.Sprintf("PHR sizes differ: %d vs %d", a.H.Size(), b.H.Size()),
+			A: ImplState{Name: a.Name}, B: ImplState{Name: b.Name}}
+	}
+	for i, br := range stream {
+		var pa, pb bpu.Prediction
+		if br.Cond {
+			pa = a.CBP.Predict(br.PC, a.H)
+			pb = b.CBP.Predict(br.PC, b.H)
+			a.CBP.Update(br.PC, a.H, br.Taken, pa)
+			b.CBP.Update(br.PC, b.H, br.Taken, pb)
+		}
+		if br.Taken {
+			a.H.UpdateBranch(br.PC, br.Target)
+			b.H.UpdateBranch(br.PC, br.Target)
+		}
+		reason := ""
+		switch {
+		case pa != pb:
+			reason = fmt.Sprintf("predictions differ: %+v vs %+v", pa, pb)
+		case !histEqual(a, b):
+			reason = "history registers differ"
+		}
+		if reason != "" {
+			return &Divergence{
+				Step: i, Branch: br, Reason: reason,
+				A: ImplState{Name: a.Name, Prediction: pa, PHR: histString(a.H), CBP: a.CBP.DumpState()},
+				B: ImplState{Name: b.Name, Prediction: pb, PHR: histString(b.H), CBP: b.CBP.DumpState()},
+			}
+		}
+	}
+	return nil
+}
+
+// histEqual compares the two registers doublet by doublet.
+func histEqual(a, b Impl) bool {
+	n := a.H.Size()
+	for i := 0; i < n; i++ {
+		if a.H.Doublet(i) != b.H.Doublet(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/phr"
+	"pathfinder/internal/refmodel"
+)
+
+// TestDifferentialRandom100k is the acceptance bar for the verification
+// subsystem: 100k random branches through the production model and the
+// oracle, in lockstep, on every Table 1 microarchitecture, with zero
+// divergences in predictions, providers, alternates, or PHR contents.
+func TestDifferentialRandom100k(t *testing.T) {
+	n := 100_000
+	if testing.Short() {
+		n = 10_000
+	}
+	for i, cfg := range bpu.Configs() {
+		cfg := cfg
+		seed := uint64(7777 + 13*i)
+		t.Run(strings.ReplaceAll(cfg.Name, " ", ""), func(t *testing.T) {
+			if d := Diff(NewModel(cfg), NewOracle(cfg), RandomStream(seed, n)); d != nil {
+				t.Fatalf("model diverged from oracle:\n%s", d)
+			}
+		})
+	}
+}
+
+// TestDifferentialAdversarialStream drives the footprint-sensitive shapes
+// the attacks rely on — zero-footprint branches (low 16 PC bits and low 6
+// target bits clear), single-doublet writes via target bits T0/T1, and a
+// long unconditional chain that must flush every live doublet — through
+// both implementations.
+func TestDifferentialAdversarialStream(t *testing.T) {
+	cfg := bpu.RaptorLake
+	var stream []Branch
+	// A conditional branch under an initially zero PHR.
+	probe := Branch{PC: 0x40_0000, Target: 0x40_1000, Cond: true}
+	for round := 0; round < 50; round++ {
+		taken := round%3 != 0
+		probe.Taken = taken
+		stream = append(stream, probe)
+		// Write one chosen doublet: zero-footprint branch except T0/T1.
+		stream = append(stream, Branch{PC: 0x80_0000, Target: 0xc0_0000 | uint64(round&3)})
+		// Pure shifts.
+		for i := 0; i < 5; i++ {
+			stream = append(stream, Branch{PC: 0x100_0000, Target: 0x140_0000})
+		}
+		if round == 25 {
+			// Overflow the PHR window entirely.
+			for i := 0; i < cfg.PHRSize+5; i++ {
+				stream = append(stream, Branch{PC: 0x200_0000, Target: 0x240_0000})
+			}
+		}
+	}
+	if d := Diff(NewModel(cfg), NewOracle(cfg), stream); d != nil {
+		t.Fatalf("model diverged from oracle:\n%s", d)
+	}
+}
+
+// buggyPHR seeds an intentional model bug: footprint bits 0 and 1 swapped,
+// i.e. a misreading of Figure 2 where (B3^T0) and (B4^T1) trade places.
+type buggyPHR struct{ *refmodel.PHR }
+
+func (b buggyPHR) UpdateBranch(branchAddr, targetAddr uint64) {
+	f := refmodel.Footprint(branchAddr, targetAddr)
+	swapped := f&^3 | (f&1)<<1 | (f>>1)&1
+	b.PHR.Update(swapped)
+}
+
+// TestSeededBugCaught proves the differential runner actually bites: the
+// mutated implementation must be flagged, with a report naming the first
+// diverging step and carrying full state dumps from both sides.
+func TestSeededBugCaught(t *testing.T) {
+	cfg := bpu.AlderLake
+	mutant := NewOracle(cfg)
+	mutant.Name = "refmodel(mutated)"
+	mutant.H = buggyPHR{mutant.H.(*refmodel.PHR)}
+	d := Diff(NewModel(cfg), mutant, RandomStream(5150, 50_000))
+	if d == nil {
+		t.Fatal("differential runner missed an intentionally seeded footprint bug")
+	}
+	report := d.String()
+	for _, want := range []string{"divergence at step", "stimulus:", "--- bpu ---", "--- refmodel(mutated) ---", "PHR["} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if d.A.CBP == "" || d.B.CBP == "" {
+		t.Error("divergence report is missing a predictor state dump")
+	}
+	if d.A.PHR == d.B.PHR && d.A.Prediction == d.B.Prediction {
+		t.Errorf("report shows no visible difference between the two sides:\n%s", report)
+	}
+}
+
+// TestSeededCounterBugCaught seeds a different class of bug — a predictor
+// whose provider training moves counters the wrong way — and checks it is
+// caught through the prediction comparison rather than the PHR one.
+func TestSeededCounterBugCaught(t *testing.T) {
+	cfg := bpu.AlderLake
+	mutant := NewOracle(cfg)
+	mutant.Name = "refmodel(inverted)"
+	mutant.CBP = invertedCBP{mutant.CBP.(*refmodel.CBP)}
+	d := Diff(NewModel(cfg), mutant, RandomStream(61, 50_000))
+	if d == nil {
+		t.Fatal("differential runner missed an inverted-training bug")
+	}
+	if !strings.Contains(d.Reason, "predictions differ") {
+		t.Fatalf("expected a prediction divergence, got: %s", d.Reason)
+	}
+}
+
+// invertedCBP trains with the opposite outcome.
+type invertedCBP struct{ *refmodel.CBP }
+
+func (c invertedCBP) Update(pc uint64, h phr.History, taken bool, p bpu.Prediction) {
+	c.CBP.Update(pc, h, !taken, p)
+}
+
+func TestDiffSizeMismatch(t *testing.T) {
+	d := Diff(NewModel(bpu.AlderLake), NewOracle(bpu.Skylake), RandomStream(1, 10))
+	if d == nil || !strings.Contains(d.Reason, "PHR sizes differ") {
+		t.Fatalf("size mismatch not reported: %v", d)
+	}
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"pathfinder/internal/bpu"
+)
+
+// FuzzCBPDifferential lets the fuzzer choose the branch interleaving and
+// direction sequence (via DecodeStream) and the microarchitecture, then
+// requires the production model and the oracle to agree on every step.
+// Run locally with:
+//
+//	go test ./internal/trace -run='^$' -fuzz=FuzzCBPDifferential -fuzztime=30s
+func FuzzCBPDifferential(f *testing.F) {
+	f.Add([]byte{0}, uint8(0))
+	f.Add([]byte{1, 1, 2, 0, 3, 1, 250, 0}, uint8(1))
+	f.Add(bytes.Repeat([]byte{7, 1, 7, 0}, 64), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, arch uint8) {
+		if len(data) > 1<<14 {
+			return // bound per-input work; long streams are the 100k test's job
+		}
+		cfg := bpu.Configs()[int(arch)%3]
+		stream := DecodeStream(data)
+		if d := Diff(NewModel(cfg), NewOracle(cfg), stream); d != nil {
+			t.Fatalf("model diverged from oracle:\n%s", d)
+		}
+	})
+}
+
+// FuzzTraceRoundTrip checks that any recorded trace survives the JSONL
+// encoding unchanged: stimulus and response both.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(64))
+	f.Add(uint64(0), uint16(0))
+	f.Add(^uint64(0), uint16(999))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16) {
+		events := Replay(NewModel(bpu.Skylake), RandomStream(seed, int(n%2048)))
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, events); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("length changed: %d != %d", len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("event %d changed: %+v != %+v", i, got[i], events[i])
+			}
+		}
+	})
+}

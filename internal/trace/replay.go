@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"fmt"
+
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/phr"
+	"pathfinder/internal/refmodel"
+)
+
+// HistReg is the mutable path-history surface a replay drives: the read
+// interface the predictors fold over, plus the taken-branch update.
+// *phr.Reg (production) and *refmodel.PHR (oracle) both satisfy it.
+type HistReg interface {
+	phr.History
+	UpdateBranch(branchAddr, targetAddr uint64)
+}
+
+var (
+	_ HistReg = (*phr.Reg)(nil)
+	_ HistReg = (*refmodel.PHR)(nil)
+)
+
+// Impl pairs one predictor implementation with its history register.
+type Impl struct {
+	Name string
+	CBP  bpu.Predictor
+	H    HistReg
+}
+
+// NewModel builds a fresh production implementation (packed PHR, memoized
+// tables) for the given microarchitecture.
+func NewModel(cfg bpu.Config) Impl {
+	return Impl{Name: "bpu", CBP: bpu.NewCBP(cfg), H: phr.New(cfg.PHRSize)}
+}
+
+// NewOracle builds a fresh reference implementation (doublet-slice PHR,
+// map-backed tables) for the given microarchitecture.
+func NewOracle(cfg bpu.Config) Impl {
+	return Impl{Name: "refmodel", CBP: refmodel.New(cfg), H: refmodel.NewPHR(cfg.PHRSize)}
+}
+
+// Step feeds one branch through the implementation — predict and train if
+// conditional, shift the PHR if taken — and returns the recorded event.
+func (im Impl) Step(b Branch) Event {
+	ev := Event{PC: b.PC, Target: b.Target, Cond: b.Cond, Taken: b.Taken, Provider: -1}
+	if b.Cond {
+		p := im.CBP.Predict(b.PC, im.H)
+		im.CBP.Update(b.PC, im.H, b.Taken, p)
+		ev.Pred = p.Taken
+		ev.Provider = p.Provider
+	} else {
+		ev.Pred = true // unconditional branches are trivially "predicted" taken
+	}
+	if b.Taken {
+		im.H.UpdateBranch(b.PC, b.Target)
+	}
+	return ev
+}
+
+// Replay runs the whole stream and returns the recorded trace.
+func Replay(im Impl, stream []Branch) []Event {
+	out := make([]Event, len(stream))
+	for i, b := range stream {
+		out[i] = im.Step(b)
+	}
+	return out
+}
+
+// histString renders any history register in the shared PHR[...] shape.
+func histString(h phr.History) string {
+	type stringer interface{ String() string }
+	if s, ok := h.(stringer); ok {
+		return s.String()
+	}
+	return fmt.Sprintf("PHR(size=%d)", h.Size())
+}

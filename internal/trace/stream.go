@@ -1,0 +1,89 @@
+package trace
+
+// Deterministic branch-stream generation: the golden traces, the
+// differential tests, and the fuzz harness all synthesize stimulus from
+// seeds or fuzz bytes through this file, so a failure reproduces from its
+// seed alone.
+
+// splitmix64 is the repo's standard tiny deterministic generator.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// site is one synthetic branch location.
+type site struct {
+	pc     uint64
+	target uint64
+	cond   bool
+	bias   uint64 // taken threshold out of 1<<16 (conditional sites only)
+}
+
+// makeSites lays out a working set of branch sites. Addresses exercise the
+// full 16 PC bits the tagged tables see, plus higher bits so base-table
+// aliasing across pages occurs; targets vary the low 6 bits that feed the
+// footprint.
+func makeSites(rng *splitmix64, nCond, nUncond int) []site {
+	sites := make([]site, 0, nCond+nUncond)
+	for i := 0; i < nCond+nUncond; i++ {
+		pc := rng.next() & 0x3_ffff_ffff &^ 1 // keep within a 16 GiB text segment
+		target := pc ^ (rng.next() & 0xffff)
+		s := site{pc: pc, target: target, cond: i < nCond}
+		if s.cond {
+			// Biases cluster near the rails with a flat middle: strongly
+			// biased branches train deep table entries, coin flips churn
+			// allocations and usefulness counters.
+			switch rng.next() % 4 {
+			case 0:
+				s.bias = 1 << 14 // mostly not-taken
+			case 1:
+				s.bias = 3 << 14 // mostly taken
+			default:
+				s.bias = rng.next() & 0xffff
+			}
+		}
+		sites = append(sites, s)
+	}
+	return sites
+}
+
+// RandomStream synthesizes n branches over a deterministic working set of
+// 48 conditional and 16 unconditional sites derived from seed.
+func RandomStream(seed uint64, n int) []Branch {
+	rng := &splitmix64{s: seed*0x9e3779b97f4a7c15 + 1}
+	sites := makeSites(rng, 48, 16)
+	out := make([]Branch, 0, n)
+	for len(out) < n {
+		s := sites[rng.next()%uint64(len(sites))]
+		b := Branch{PC: s.pc, Target: s.target, Cond: s.cond, Taken: true}
+		if s.cond {
+			b.Taken = rng.next()&0xffff < s.bias
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// DecodeStream maps arbitrary bytes (the fuzz corpus) onto a branch
+// stream: each byte pair selects a site from a small fixed working set and
+// the branch outcome, so the fuzzer controls the interleaving and the
+// direction sequence while addresses stay in a trained regime.
+func DecodeStream(data []byte) []Branch {
+	rng := &splitmix64{s: 0x5eed}
+	sites := makeSites(rng, 24, 8)
+	out := make([]Branch, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		s := sites[int(data[i])%len(sites)]
+		b := Branch{PC: s.pc, Target: s.target, Cond: s.cond, Taken: true}
+		if s.cond {
+			b.Taken = data[i+1]&1 == 1
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package trace records and replays deterministic branch traces through
+// the modeled conditional branch predictors, and differentially verifies
+// the production implementation (internal/bpu, internal/phr, internal/pht)
+// against the naive oracle (internal/refmodel).
+//
+// A trace is compact JSONL: one event per line carrying the stimulus (PC,
+// target, conditional flag, resolved direction) and the model's response
+// (predicted direction, provider component). Because every event embeds
+// its stimulus, a golden trace checked into testdata/ is simultaneously
+// the input stream and the expected output: the golden tests re-run the
+// stimulus and require bit-identical predictions, pinning predictor
+// behavior across refactors of the packed model.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Branch is one stimulus: a branch reaching retirement. Unconditional
+// branches (Cond false) are always taken and only shift the PHR;
+// conditional branches are predicted and trained, and update the PHR only
+// when taken (§2.2).
+type Branch struct {
+	PC     uint64
+	Target uint64
+	Cond   bool
+	Taken  bool
+}
+
+// Event is one trace line: the stimulus plus the predictor's response.
+// Field names are abbreviated to keep 100k-branch traces small.
+type Event struct {
+	PC       uint64 `json:"pc"`
+	Target   uint64 `json:"tg"`
+	Cond     bool   `json:"c,omitempty"`
+	Taken    bool   `json:"t,omitempty"`
+	Pred     bool   `json:"p,omitempty"`
+	Provider int    `json:"pv"` // component index; -1 is the base predictor
+}
+
+// Branch extracts the stimulus part of an event.
+func (e Event) Branch() Branch {
+	return Branch{PC: e.PC, Target: e.Target, Cond: e.Cond, Taken: e.Taken}
+}
+
+// WriteAll writes events as JSONL.
+func WriteAll(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("trace: encoding event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAll parses a JSONL trace, skipping blank lines.
+func ReadAll(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	return events, nil
+}
+
+// Stimulus extracts the branch stream from a recorded trace.
+func Stimulus(events []Event) []Branch {
+	out := make([]Branch, len(events))
+	for i, e := range events {
+		out[i] = e.Branch()
+	}
+	return out
+}

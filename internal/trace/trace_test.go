@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathfinder/internal/bpu"
+)
+
+// update regenerates the golden traces:
+//
+//	go test ./internal/trace -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden traces in testdata/")
+
+func TestTraceRoundTrip(t *testing.T) {
+	events := Replay(NewModel(bpu.AlderLake), RandomStream(3, 500))
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip changed length: %d != %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d changed in round trip: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadAllSkipsBlankLinesAndRejectsGarbage(t *testing.T) {
+	events, err := ReadAll(strings.NewReader("\n" + `{"pc":1,"tg":2,"c":true,"t":true,"p":true,"pv":-1}` + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].PC != 1 || !events[0].Cond {
+		t.Fatalf("unexpected events: %+v", events)
+	}
+	if _, err := ReadAll(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line not rejected")
+	}
+}
+
+// goldenPath maps a microarchitecture to its checked-in trace.
+func goldenPath(cfg bpu.Config) string {
+	slug := strings.ReplaceAll(strings.ToLower(cfg.Name), " ", "")
+	return filepath.Join("testdata", fmt.Sprintf("golden_%s.jsonl", slug))
+}
+
+// TestGoldenTraces replays each checked-in stimulus through the production
+// model and requires bit-identical predictions. The golden files embed
+// stimulus and response together, so any behavioral drift in phr, pht, or
+// bpu — footprint layout, fold polynomial, allocation policy — fails here
+// with the exact step that moved.
+func TestGoldenTraces(t *testing.T) {
+	const goldenLen = 2000
+	for i, cfg := range bpu.Configs() {
+		cfg := cfg
+		t.Run(strings.ReplaceAll(cfg.Name, " ", ""), func(t *testing.T) {
+			path := goldenPath(cfg)
+			if *update {
+				events := Replay(NewModel(cfg), RandomStream(uint64(1000+i), goldenLen))
+				var buf bytes.Buffer
+				if err := WriteAll(&buf, events); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden trace (regenerate with -update): %v", err)
+			}
+			want, err := ReadAll(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != goldenLen {
+				t.Fatalf("golden trace has %d events, want %d", len(want), goldenLen)
+			}
+			got := Replay(NewModel(cfg), Stimulus(want))
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("step %d: recorded %+v, golden %+v", j, got[j], want[j])
+				}
+			}
+		})
+	}
+}
+
+func TestRandomStreamDeterministic(t *testing.T) {
+	a, b := RandomStream(9, 300), RandomStream(9, 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream not deterministic at %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+	c := RandomStream(10, 300)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
