@@ -49,6 +49,38 @@ func NewAESAttack(m *cpu.Machine, key []byte) (*AESAttack, error) {
 	return &AESAttack{M: m, Ctx: ctx}, nil
 }
 
+// Fork binds the attack to a fresh machine for an independent oracle query,
+// sharing the immutable victim context and the control flow recovered by a
+// completed RecoverControlFlow on the original machine. The fork installs
+// the victim state on the new machine and starts with no poison history.
+// Forks never touch each other's machines, so queries on distinct forks can
+// run concurrently.
+func (a *AESAttack) Fork(m *cpu.Machine) (*AESAttack, error) {
+	if a.Rec == nil {
+		return nil, fmt.Errorf("attack: fork requires a completed RecoverControlFlow")
+	}
+	a.Ctx.Install(m)
+	return &AESAttack{M: m, Ctx: a.Ctx, Rec: a.Rec, loopBrPC: a.loopBrPC, entryBrPC: a.entryBrPC}, nil
+}
+
+// Warm runs the capture program the given number of times without poisoning,
+// training every branch to its architectural direction. Phase 1 leaves the
+// original machine in that state as a side effect; a fork on a fresh machine
+// calls Warm before its first poisoned query so the poisoned instance is the
+// only misprediction in a leak run (stray mispredictions open extra
+// transient windows that garble the probe decode).
+func (a *AESAttack) Warm(runs int) error {
+	if a.Rec == nil {
+		return fmt.Errorf("attack: run RecoverControlFlow first")
+	}
+	for i := 0; i < runs; i++ {
+		if err := a.M.Run(a.Rec.CaptureProgram, "cap_main"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (a *AESAttack) victim() core.Victim {
 	v := victim.AESVictim()
 	setup := v.Setup

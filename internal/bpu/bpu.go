@@ -96,7 +96,8 @@ func (c *CBP) Config() Config { return c.cfg }
 // Predict returns the direction prediction for a conditional branch at pc
 // under path history h.
 func (c *CBP) Predict(pc uint64, h phr.History) Prediction {
-	p := Prediction{Provider: -1, Taken: c.Base.Predict(pc), AltTaken: c.Base.Predict(pc)}
+	base := c.Base.Predict(pc)
+	p := Prediction{Provider: -1, Taken: base, AltTaken: base}
 	for i, t := range c.Tables { // ascending history; later hits override
 		if e, hit := t.Lookup(pc, h); hit {
 			p.AltTaken = p.Taken
@@ -153,6 +154,15 @@ func (c *CBP) Flush() {
 	}
 }
 
+// Reset returns the CBP to its power-on state: Flush plus a rewind of the
+// periodic usefulness-decay phase. Flush alone models the §10.2 mitigation,
+// which cannot touch the decay clock; Reset exists for machine recycling,
+// where a reused predictor must be bit-identical to a newly built one.
+func (c *CBP) Reset() {
+	c.Flush()
+	c.updates = 0
+}
+
 // DumpState renders every trained base counter and every valid tagged entry,
 // the payload of a differential-divergence report (internal/trace).
 func (c *CBP) DumpState() string {
@@ -168,10 +178,10 @@ func (c *CBP) DumpState() string {
 
 var _ Predictor = (*CBP)(nil)
 
-// btbEntry is a BTB slot.
+// btbEntry is a BTB slot, packed to 16 bytes: key is the branch PC plus
+// one, so zero means invalid and a lookup is a single comparison.
 type btbEntry struct {
-	valid  bool
-	tag    uint64
+	key    uint64 // pc + 1; 0 = invalid
 	target uint64
 }
 
@@ -186,17 +196,22 @@ type BTB struct {
 // NewBTB returns an empty 4096-entry BTB.
 func NewBTB() *BTB { return &BTB{entries: make([]btbEntry, 4096)} }
 
-func (b *BTB) slot(pc uint64) *btbEntry { return &b.entries[pc%uint64(len(b.entries))] }
+// slot masks rather than divides; the entry count is a power of two.
+func (b *BTB) slot(pc uint64) *btbEntry { return &b.entries[pc&uint64(len(b.entries)-1)] }
 
-// Insert records a taken branch target.
+// Insert records a taken branch target. Hot loops re-insert the same
+// mapping on every iteration, so an already-current slot is left untouched.
 func (b *BTB) Insert(pc, target uint64) {
-	*b.slot(pc) = btbEntry{valid: true, tag: pc, target: target}
+	e := b.slot(pc)
+	if e.key != pc+1 || e.target != target {
+		*e = btbEntry{key: pc + 1, target: target}
+	}
 }
 
 // Lookup predicts the target for pc.
 func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 	e := b.slot(pc)
-	if e.valid && e.tag == pc {
+	if e.key == pc+1 {
 		return e.target, true
 	}
 	return 0, false
@@ -213,7 +228,7 @@ func (b *BTB) Flush() {
 func (b *BTB) Occupancy() int {
 	n := 0
 	for _, e := range b.entries {
-		if e.valid {
+		if e.key != 0 {
 			n++
 		}
 	}
@@ -264,6 +279,14 @@ type Unit struct {
 // NewUnit builds the shared predictor state for one physical core.
 func NewUnit(cfg Config) *Unit {
 	return &Unit{CBP: NewCBP(cfg), BTB: NewBTB(), IBP: NewIBP()}
+}
+
+// Reset returns every predictor structure to power-on state (machine
+// recycling; not a modeled hardware operation).
+func (u *Unit) Reset() {
+	u.CBP.Reset()
+	u.BTB.Flush()
+	u.IBP.Flush()
 }
 
 // IBPB models Intel's Indirect Branch Predictor Barrier: it flushes the

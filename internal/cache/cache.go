@@ -20,18 +20,22 @@ const (
 	MissLatency = 300
 )
 
+// line packs one way into 16 bytes: key is the line address plus one, so
+// zero means invalid and a lookup is a single comparison. The probe loops
+// of the Flush+Reload attacks scan full sets far more often than they hit,
+// making set-scan density the cache model's hottest property.
 type line struct {
-	valid bool
-	tag   uint64
-	lru   uint64
+	key uint64 // line address + 1; 0 = invalid
+	lru uint64
 }
 
 // Cache is a single-level set-associative cache. The zero value is not
 // usable; call New.
 type Cache struct {
-	sets [][]line
-	ways int
-	tick uint64
+	sets    [][]line
+	setMask uint64
+	ways    int
+	tick    uint64
 
 	hits, misses, flushes uint64
 }
@@ -42,9 +46,10 @@ func New(sets, ways int) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
 		panic("cache: bad geometry")
 	}
-	c := &Cache{sets: make([][]line, sets), ways: ways}
+	c := &Cache{sets: make([][]line, sets), setMask: uint64(sets - 1), ways: ways}
+	backing := make([]line, sets*ways)
 	for i := range c.sets {
-		c.sets[i] = make([]line, ways)
+		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
 	}
 	return c
 }
@@ -52,18 +57,18 @@ func New(sets, ways int) *Cache {
 // NewDefault returns the default 32 KiB cache.
 func NewDefault() *Cache { return New(DefaultSets, DefaultWays) }
 
-func (c *Cache) locate(addr uint64) (set []line, tag uint64) {
+func (c *Cache) locate(addr uint64) (set []line, key uint64) {
 	lineAddr := addr / LineSize
-	return c.sets[lineAddr%uint64(len(c.sets))], lineAddr
+	return c.sets[lineAddr&c.setMask], lineAddr + 1
 }
 
 // Access touches addr, returning the access latency in cycles and whether
 // it hit. Misses allocate the line with LRU replacement.
 func (c *Cache) Access(addr uint64) (latency int, hit bool) {
 	c.tick++
-	set, tag := c.locate(addr)
+	set, key := c.locate(addr)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].key == key {
 			set[i].lru = c.tick
 			c.hits++
 			return HitLatency, true
@@ -72,7 +77,7 @@ func (c *Cache) Access(addr uint64) (latency int, hit bool) {
 	c.misses++
 	victim := 0
 	for i := range set {
-		if !set[i].valid {
+		if set[i].key == 0 {
 			victim = i
 			break
 		}
@@ -80,16 +85,16 @@ func (c *Cache) Access(addr uint64) (latency int, hit bool) {
 			victim = i
 		}
 	}
-	set[victim] = line{valid: true, tag: tag, lru: c.tick}
+	set[victim] = line{key: key, lru: c.tick}
 	return MissLatency, false
 }
 
 // Contains reports whether addr's line is cached, without touching LRU
 // state (an oracle for tests; attackers must use timed accesses).
 func (c *Cache) Contains(addr uint64) bool {
-	set, tag := c.locate(addr)
+	set, key := c.locate(addr)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].key == key {
 			return true
 		}
 	}
@@ -99,9 +104,9 @@ func (c *Cache) Contains(addr uint64) bool {
 // Flush evicts addr's line if present (CLFLUSH).
 func (c *Cache) Flush(addr uint64) {
 	c.flushes++
-	set, tag := c.locate(addr)
+	set, key := c.locate(addr)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].key == key {
 			set[i] = line{}
 		}
 	}
@@ -114,6 +119,14 @@ func (c *Cache) FlushAll() {
 			c.sets[s][w] = line{}
 		}
 	}
+}
+
+// Reset returns the cache to its as-built state: every line invalid and
+// all counters (including the LRU clock) zero. Machine recycling uses it;
+// attacks use Flush/FlushAll, which leave the counters alone.
+func (c *Cache) Reset() {
+	c.FlushAll()
+	c.tick, c.hits, c.misses, c.flushes = 0, 0, 0, 0
 }
 
 // Stats returns cumulative hit/miss/flush counts.

@@ -83,8 +83,15 @@ func WriteContOffset(target *phr.Reg) uint64 {
 //
 // The returned slice holds v[1..N] at indices 0..N-1.
 func writePlan(target *phr.Reg) []uint8 {
+	return computePlan(make([]uint8, target.Size()+3), target)
+}
+
+// computePlan is writePlan into a caller-supplied buffer of at least
+// target.Size()+3 bytes, for the template patchers' allocation-free path.
+func computePlan(v []uint8, target *phr.Reg) []uint8 {
 	n := target.Size()
-	v := make([]uint8, n+3) // v[i] at index i; indices n+1, n+2 stay zero
+	v = v[:n+3] // v[i] at index i; indices n+1, n+2 must read zero
+	v[n+1], v[n+2] = 0, 0
 	for i := n; i >= 1; i-- {
 		d := target.Doublet(n - i)
 		if i+3 <= n {

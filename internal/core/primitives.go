@@ -134,12 +134,16 @@ func ReadPHR(m *cpu.Machine, v Victim, opts ReadPHROptions) (*phr.Reg, error) {
 	if v.Setup != nil {
 		v.Setup(m)
 	}
+	rt, err := newReadTemplate(m, v)
+	if err != nil {
+		return nil, err
+	}
 	recovered := phr.New(n)
 	for k := 0; k < limit; k++ {
 		best, bestRate := phr.Doublet(0), -1.0
 		found := false
 		for x := 0; x < 4; x++ {
-			rate, err := readDoubletCandidate(m, v, recovered, k, phr.Doublet(x), opts.Iters)
+			rate, err := rt.candidateRate(m, recovered, k, phr.Doublet(x), opts.Iters)
 			if err != nil {
 				return nil, fmt.Errorf("core: doublet %d candidate %d: %w", k, x, err)
 			}
@@ -160,7 +164,7 @@ func ReadPHR(m *cpu.Machine, v Victim, opts ReadPHROptions) (*phr.Reg, error) {
 			// iterations and accept a clear argmax.
 			best, bestRate = 0, -1.0
 			for x := 0; x < 4; x++ {
-				rate, err := readDoubletCandidate(m, v, recovered, k, phr.Doublet(x), 2*opts.Iters)
+				rate, err := rt.candidateRate(m, recovered, k, phr.Doublet(x), 2*opts.Iters)
 				if err != nil {
 					return nil, fmt.Errorf("core: doublet %d candidate %d (retry): %w", k, x, err)
 				}
@@ -248,13 +252,45 @@ func readDoubletCandidate(m *cpu.Machine, v Victim, known *phr.Reg, k int, x phr
 // the shared engine of Write_PHT and Read_PHT.
 const outcomeTableAddr = 0x00f0_0000
 
+// aliasedBranchProgram returns the per-machine alias template for
+// victimPC's low 16 bits, patched for this (target, outcomes) call, with
+// the outcome table written to memory. The returned program is owned by
+// the machine's template cache and only valid until the next call.
 func aliasedBranchProgram(m *cpu.Machine, victimPC uint64, target *phr.Reg, outcomes []bool) (*isa.Program, uint64, error) {
 	low := victimPC & 0xffff
+	c := cachesOf(m)
+	t := c.alias[low]
+	if t == nil || t.n != m.Arch().PHRSize {
+		var err error
+		t, err = newAliasTemplate(m.Arch().PHRSize, low)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.alias[low] = t
+	}
+	aliasAddr, err := t.patch(target, len(outcomes))
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, o := range outcomes {
+		v := uint64(0)
+		if o {
+			v = 1
+		}
+		m.Mem.Write64(outcomeTableAddr+uint64(8*i), v)
+	}
+	return t.prog, aliasAddr, nil
+}
+
+// buildAliasedBranchProgram is the fresh-assembly shape behind the alias
+// template: the write-chain/landing/aliased-branch loop of Write_PHT and
+// Read_PHT.
+func buildAliasedBranchProgram(low uint64, target *phr.Reg, iters int) (*isa.Program, error) {
 	a := isa.NewAssembler()
 	a.Org(AttackerBase)
 	a.Label("main")
 	a.MovI(rIter, 0)
-	a.MovI(rIters, int64(len(outcomes)))
+	a.MovI(rIters, int64(iters))
 	a.MovI(rOne, 1)
 	a.MovI(rTable, outcomeTableAddr)
 	a.Align(slotAlign, 0)
@@ -276,20 +312,13 @@ func aliasedBranchProgram(m *cpu.Machine, victimPC uint64, target *phr.Reg, outc
 	a.Halt()
 	p, err := a.Assemble()
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	aliasAddr := p.MustSymbol("alias")
 	if aliasAddr&0xffff != low {
-		return nil, 0, fmt.Errorf("core: alias misplaced: %#x vs %#x", aliasAddr, victimPC)
+		return nil, fmt.Errorf("core: alias misplaced: %#x vs low %#x", aliasAddr, low)
 	}
-	for i, o := range outcomes {
-		v := uint64(0)
-		if o {
-			v = 1
-		}
-		m.Mem.Write64(outcomeTableAddr+uint64(8*i), v)
-	}
-	return p, aliasAddr, nil
+	return p, nil
 }
 
 // WritePHT is Attack Primitive 2, "Write_PHT(PC, PHR, value)": it drives
@@ -377,8 +406,12 @@ func DoubletCandidateRates(m *cpu.Machine, v Victim, known *phr.Reg, k, iters in
 	if v.Setup != nil {
 		v.Setup(m)
 	}
+	rt, err := newReadTemplate(m, v)
+	if err != nil {
+		return rates, err
+	}
 	for x := 0; x < 4; x++ {
-		r, err := readDoubletCandidate(m, v, known, k, phr.Doublet(x), iters)
+		r, err := rt.candidateRate(m, known, k, phr.Doublet(x), iters)
 		if err != nil {
 			return rates, err
 		}

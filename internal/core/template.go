@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/isa"
+	"pathfinder/internal/phr"
+)
+
+// The attack primitives execute orders of magnitude more programs than they
+// have program *shapes*: every Write_PHT/Read_PHT probe is the same aliased
+// branch harness with a different write-chain plan, and every Read_PHR
+// candidate is the same train/test gadget with a different candidate value.
+// Re-assembling those from scratch per call dominated the hot paths (label
+// formatting and symbol maps were ~99% of the AES attack's allocations), so
+// the primitives assemble each shape once as a *template* and re-patch the
+// instruction addresses in place per call.
+//
+// Patching is behavior-preserving because the predictor state only observes
+// a branch's low 16 address bits and a target's low 6 bits (PHR footprints,
+// CBP index/tag and base-table hashes); the patch walk reproduces the
+// assembler's exact Align placement, so patched programs are byte-for-byte
+// identical in every predictor-visible coordinate to what a fresh Assemble
+// would produce. Program-order indices never change, so the pre-resolved
+// TargetIdx dispatch stays valid; Program.Reindex refreshes the remaining
+// address-derived views.
+
+// coreCaches hangs the per-machine template cache off cpu.Machine.Aux.
+type coreCaches struct {
+	alias map[uint64]*aliasTemplate // keyed by victimPC low 16 bits
+}
+
+func cachesOf(m *cpu.Machine) *coreCaches {
+	if c, ok := m.Aux.(*coreCaches); ok {
+		return c
+	}
+	c := &coreCaches{alias: make(map[uint64]*aliasTemplate)}
+	m.Aux = c
+	return c
+}
+
+// alignAddr is the assembler's Align placement rule: the smallest address
+// >= cursor congruent to off modulo bound.
+func alignAddr(cursor, bound, off uint64) uint64 {
+	next := cursor&^(bound-1) | off
+	if next < cursor {
+		next += bound
+	}
+	return next
+}
+
+// aliasTemplate is the pre-assembled aliasedBranchProgram for one victim-PC
+// low-16 pattern. Instruction layout (PHR size n, all stride 1):
+//
+//	0..3        movi rIter/rIters/rOne/rTable   (rIters.Imm patched)
+//	4..3+n      Write_PHR chain slots           (addresses patched per plan)
+//	4+n..6+n    landing: shli/add/ld            (page follows the chain)
+//	7+n         aliased BR                      (low 16 bits = low)
+//	8+n..10+n   addi / backedge BR / halt
+type aliasTemplate struct {
+	prog    *isa.Program
+	low     uint64
+	n       int
+	scratch []uint8 // writePlan buffer, n+3 bytes
+}
+
+func newAliasTemplate(n int, low uint64) (*aliasTemplate, error) {
+	p, err := buildAliasedBranchProgram(low, phr.New(n), 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Instrs) != n+11 {
+		return nil, fmt.Errorf("core: alias template has %d instructions, want %d", len(p.Instrs), n+11)
+	}
+	return &aliasTemplate{prog: p, low: low, n: n, scratch: make([]uint8, n+3)}, nil
+}
+
+// patch re-addresses the template for a new target register and iteration
+// count, returning the aliased branch's address.
+func (t *aliasTemplate) patch(target *phr.Reg, iters int) (uint64, error) {
+	if target.Size() != t.n {
+		return 0, fmt.Errorf("core: target size %d != template PHR size %d", target.Size(), t.n)
+	}
+	plan := computePlan(t.scratch, target)
+	ins := t.prog.Instrs
+	cursor := uint64(AttackerBase)
+	for i := 0; i < 4; i++ {
+		ins[i].Addr = cursor
+		cursor++
+	}
+	ins[1].Imm = int64(iters)
+	for i := 0; i < t.n; i++ {
+		off := uint64(0)
+		if i > 0 {
+			off = uint64(swap2(plan[i-1]))
+		}
+		cursor = alignAddr(cursor, slotAlign, off)
+		ins[4+i].Addr = cursor
+		cursor++
+	}
+	cursor = alignAddr(cursor, slotAlign, WriteContOffset(target))
+	for i := 4 + t.n; i < 7+t.n; i++ {
+		ins[i].Addr = cursor
+		cursor++
+	}
+	cursor = alignAddr(cursor, slotAlign, t.low)
+	aliasAddr := cursor
+	for i := 7 + t.n; i < len(ins); i++ {
+		ins[i].Addr = cursor
+		cursor++
+	}
+	if err := t.prog.Reindex(); err != nil {
+		return 0, err
+	}
+	if aliasAddr&0xffff != t.low {
+		return 0, fmt.Errorf("core: alias misplaced: %#x vs low %#x", aliasAddr, t.low)
+	}
+	return aliasAddr, nil
+}
+
+// readTemplate is the pre-assembled Figure 4 train/test gadget for one
+// victim, reused across every (doublet, candidate) pair of a Read_PHR call.
+// The per-k shift chain of the fresh-build path is replaced by a maximal
+// n-1 slot chain plus a patched jump-in: entering at slot n-shift executes
+// exactly `shift` zero-footprint taken jumps (the jump-in is the first),
+// and the final chain jump lands on the test branch carrying the
+// candidate's doublet-0 footprint — the same footprint sequence, branch
+// count and low-16 address bits as the fresh build for that k. shift == 0
+// (the top doublet) cannot be expressed as a jump chain and stays on the
+// fresh-build path.
+type readTemplate struct {
+	prog    *isa.Program
+	v       Victim
+	n       int
+	base    int      // index of the first attacker instruction ("main")
+	cand    *phr.Reg // scratch candidate register
+	scratch []uint8  // writePlan buffer
+}
+
+func newReadTemplate(m *cpu.Machine, v Victim) (*readTemplate, error) {
+	n := m.Arch().PHRSize
+	zero := phr.New(n)
+	a := isa.NewAssembler()
+	v.emitInto(a)
+	a.Label("main")
+	a.MovI(rIter, 0)
+	a.MovI(rIters, 0)
+	a.MovI(rOne, 1)
+	a.Label("loop")
+	a.Rand(rCoin)
+	a.And(rCoin, rCoin, rOne)
+	a.Label("train")
+	a.Br(isa.EQ, rCoin, rOne, "pathA")
+	EmitWritePHR(a, "wrB", zero, "test")
+	a.Align(slotAlign, 0)
+	a.Label("pathA")
+	EmitClearPHR(a, "clrA", n, "callsite")
+	a.Align(slotAlign, 0)
+	a.Label("callsite")
+	a.Call(v.Entry)
+	a.Nop()
+	a.Align(slotAlign, 0)
+	a.Label("rt_ji")
+	a.Jmp("rt_s0")
+	for i := 0; i < n-1; i++ {
+		a.Align(slotAlign, 0)
+		a.Label(fmt.Sprintf("rt_s%d", i))
+		next := "test"
+		if i+1 < n-1 {
+			next = fmt.Sprintf("rt_s%d", i+1)
+		}
+		a.Jmp(next)
+	}
+	a.Align(slotAlign, 0) // WriteContOffset of the zero register
+	a.Label("test")
+	a.Br(isa.EQ, rCoin, rOne, "merge")
+	a.Label("merge")
+	a.AddI(rIter, rIter, 1)
+	a.Br(isa.LT, rIter, rIters, "loop")
+	a.Halt()
+	p, err := a.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	base, ok := p.IndexOf(p.MustSymbol("main"))
+	if !ok {
+		return nil, fmt.Errorf("core: read template entry resolves to a gap")
+	}
+	if len(p.Instrs) != base+3*n+12 {
+		return nil, fmt.Errorf("core: read template has %d instructions, want %d", len(p.Instrs), base+3*n+12)
+	}
+	return &readTemplate{prog: p, v: v, n: n, base: base, cand: phr.New(n), scratch: make([]uint8, n+3)}, nil
+}
+
+// patch re-addresses the attacker half for a new candidate register, shift
+// count (>= 1) and iteration count. Victim instructions never move.
+func (t *readTemplate) patch(cand *phr.Reg, shift, iters int) error {
+	plan := computePlan(t.scratch, cand)
+	ins := t.prog.Instrs
+	b, n := t.base, t.n
+	cursor := uint64(AttackerBase)
+	for i := b; i < b+6; i++ {
+		ins[i].Addr = cursor
+		cursor++
+	}
+	ins[b+1].Imm = int64(iters)
+	for i := 0; i < n; i++ { // wrB chain
+		off := uint64(0)
+		if i > 0 {
+			off = uint64(swap2(plan[i-1]))
+		}
+		cursor = alignAddr(cursor, slotAlign, off)
+		ins[b+6+i].Addr = cursor
+		cursor++
+	}
+	for i := 0; i < n; i++ { // clrA chain
+		cursor = alignAddr(cursor, slotAlign, 0)
+		ins[b+6+n+i].Addr = cursor
+		cursor++
+	}
+	cursor = alignAddr(cursor, slotAlign, 0)
+	ins[b+6+2*n].Addr = cursor // callsite
+	cursor++
+	ins[b+7+2*n].Addr = cursor // return-pad nop at callsite+1
+	cursor++
+	ji := b + 8 + 2*n
+	cursor = alignAddr(cursor, slotAlign, 0)
+	ins[ji].Addr = cursor
+	cursor++
+	for i := 0; i < n-1; i++ { // maximal shift chain
+		cursor = alignAddr(cursor, slotAlign, 0)
+		ins[ji+1+i].Addr = cursor
+		cursor++
+	}
+	testIdx := b + 8 + 3*n
+	cursor = alignAddr(cursor, slotAlign, WriteContOffset(cand))
+	for i := testIdx; i < len(ins); i++ {
+		ins[i].Addr = cursor
+		cursor++
+	}
+	// Enter the chain so that exactly `shift` taken jumps run: the jump-in
+	// plus slots n-shift..n-2. A single shift jumps straight to the test
+	// branch, injecting the candidate's doublet-0 footprint itself.
+	if shift == 1 {
+		ins[ji].TargetIdx = int32(testIdx)
+	} else {
+		ins[ji].TargetIdx = int32(ji + 1 + (n - shift))
+	}
+	return t.prog.Reindex()
+}
+
+// candidateRate is readDoubletCandidate on the template: one train/test
+// experiment for doublet k and candidate x, returning the test branch's
+// misprediction rate.
+func (t *readTemplate) candidateRate(m *cpu.Machine, known *phr.Reg, k int, x phr.Doublet, iters int) (float64, error) {
+	n := t.n
+	shift := n - 1 - k
+	if shift == 0 {
+		return readDoubletCandidate(m, t.v, known, k, x, iters)
+	}
+	cand := t.cand
+	cand.Clear()
+	cand.SetDoublet(n-1, x)
+	for j := 0; j < k; j++ {
+		cand.SetDoublet(n-1-k+j, known.Doublet(j))
+	}
+	if err := t.patch(cand, shift, iters); err != nil {
+		return 0, err
+	}
+	testAddr := t.prog.Instrs[t.base+8+3*n].Addr
+	m.ResetStats()
+	if err := m.Run(t.prog, "main"); err != nil {
+		return 0, err
+	}
+	return m.Branch(testAddr).MispredictRate(), nil
+}

@@ -1,0 +1,64 @@
+package cpu
+
+import (
+	"testing"
+
+	"pathfinder/internal/isa"
+)
+
+// benchProgram is a tight counted loop: one data-dependent add, one counter
+// increment, one conditional back edge per iteration. Per-op cost here is the
+// per-instruction cost of the decode/dispatch path plus one predicted branch
+// (PHR update, CBP predict/update, branch-stat bump) per three instructions —
+// the inner loop every experiment in the harness spends its time in.
+func benchProgram(b *testing.B, iters int64) *isa.Program {
+	b.Helper()
+	a := isa.NewAssembler()
+	a.Label("main")
+	a.MovI(isa.R1, 0)
+	a.MovI(isa.R2, iters)
+	a.MovI(isa.R3, 0)
+	a.Label("loop")
+	a.Add(isa.R1, isa.R1, isa.R3)
+	a.AddI(isa.R3, isa.R3, 1)
+	a.Br(isa.LT, isa.R3, isa.R2, "loop")
+	a.Halt()
+	p, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkRunBranchLoop measures steady-state interpreter throughput: the
+// program is predecoded on the first Run and served from the decoded-program
+// cache afterwards, so the loop body dominates.
+func BenchmarkRunBranchLoop(b *testing.B) {
+	p := benchProgram(b, 4096)
+	m := New(Options{})
+	if err := m.Run(p, "main"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(p, "main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecycle measures resetting a machine to power-on state, the
+// per-trial overhead the harness machine pools pay instead of cpu.New.
+func BenchmarkRecycle(b *testing.B) {
+	p := benchProgram(b, 64)
+	m := New(Options{Seed: 1})
+	if err := m.Run(p, "main"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Recycle(Options{Seed: int64(i)})
+	}
+}

@@ -171,14 +171,52 @@ type Machine struct {
 	// ground-truth path history; attacks never do.
 	TraceTaken func(pc, target uint64)
 
+	// Aux is an opaque slot for higher layers to attach per-machine caches
+	// (internal/core keeps its reusable attack-program templates here). The
+	// simulator itself never touches it.
+	Aux any
+
 	cbp    bpu.Predictor // conditional predictor in use: BPU.CBP or an Options-supplied oracle
 	harts  []*Hart
 	opts   Options
 	noise  splitmix64
 	stats  Counters
 	perPC  map[uint64]*BranchStat
+	progs  map[*isa.Program]*progState
+	tscr   transientState   // reused wrong-path sandbox (exec is not reentrant)
 	kstubs map[int64]string // syscall number -> entry label
 	estubs map[int64]string // enclave number -> entry label
+}
+
+// progState is decoded per-(machine, program) interpreter state: the
+// per-instruction branch-stat references that replace the per-execution
+// map probe. A reference is validated against the instruction's current
+// address, so program templates that re-address instructions in place
+// (internal/core's patched attack programs) self-heal on first use.
+type progState struct {
+	stats []statRef
+}
+
+type statRef struct {
+	addr uint64
+	s    *BranchStat
+}
+
+// progCacheCap bounds the per-machine decoded-program cache; when a machine
+// churns through more distinct programs than this, the cache is dropped
+// wholesale and rebuilt on demand.
+const progCacheCap = 64
+
+func (m *Machine) progState(p *isa.Program) *progState {
+	ps := m.progs[p]
+	if ps == nil || len(ps.stats) != len(p.Instrs) {
+		if len(m.progs) >= progCacheCap {
+			m.progs = make(map[*isa.Program]*progState, progCacheCap)
+		}
+		ps = &progState{stats: make([]statRef, len(p.Instrs))}
+		m.progs[p] = ps
+	}
+	return ps
 }
 
 // New builds a machine.
@@ -208,6 +246,7 @@ func New(opts Options) *Machine {
 		opts:   opts,
 		noise:  splitmix64{s: uint64(opts.Seed)*2654435761 + 1},
 		perPC:  make(map[uint64]*BranchStat),
+		progs:  make(map[*isa.Program]*progState),
 		kstubs: make(map[int64]string),
 		estubs: make(map[int64]string),
 	}
@@ -224,6 +263,70 @@ func New(opts Options) *Machine {
 		})
 	}
 	return m
+}
+
+// Recycle resets the machine to the state New(opts) would produce while
+// reusing its large allocations: cache arrays, predictor tables, memory
+// pages, decoded-program state and any attack templates attached to Aux.
+// The sharded harness drivers run one short-lived machine per trial;
+// recycling a worker's machine between trials keeps that steady state
+// allocation-free without weakening the determinism contract — a recycled
+// machine must be observationally identical to a fresh one (the golden and
+// Parallelism-invariance tests pin exactly that).
+//
+// opts must describe the same microarchitecture and hart count the machine
+// was built with, and neither the machine nor opts may use a custom
+// NewPredictor (an oracle's state cannot be reset generically); Recycle
+// panics otherwise.
+func (m *Machine) Recycle(opts Options) {
+	if opts.Arch.PHRSize == 0 {
+		opts.Arch = bpu.AlderLake
+	}
+	if opts.Harts <= 0 {
+		opts.Harts = 1
+	}
+	if opts.MispredictPenalty == 0 {
+		opts.MispredictPenalty = 15
+	}
+	if opts.MaxTransientWindow == 0 {
+		opts.MaxTransientWindow = 400
+	}
+	if opts.StepLimit == 0 {
+		opts.StepLimit = 100_000_000
+	}
+	if opts.Arch.Name != m.opts.Arch.Name || opts.Arch.PHRSize != m.opts.Arch.PHRSize {
+		panic("cpu: recycle across microarchitectures")
+	}
+	if opts.Harts != len(m.harts) {
+		panic("cpu: recycle with a different hart count")
+	}
+	if opts.NewPredictor != nil || m.opts.NewPredictor != nil {
+		panic("cpu: recycle with a custom predictor")
+	}
+	m.opts = opts
+	m.BPU.Reset()
+	m.Mem.Reset()
+	m.Data.Reset()
+	m.IBRS = false
+	m.TraceTaken = nil
+	m.noise = splitmix64{s: uint64(opts.Seed)*2654435761 + 1}
+	m.stats = Counters{}
+	// Zero branch stats in place: decoded-program statRefs keep pointing at
+	// live objects, and a zeroed stat reads the same as an absent one.
+	for _, s := range m.perPC {
+		*s = BranchStat{}
+	}
+	clear(m.kstubs)
+	clear(m.estubs)
+	for i, h := range m.harts {
+		h.PHR.Clear()
+		h.Domain = User
+		h.regs = [isa.NumRegs]uint64{}
+		h.vregs = [isa.NumVRegs][16]byte{}
+		h.ready = [isa.NumRegs]uint64{}
+		h.stack = h.stack[:0]
+		h.rng = splitmix64{s: uint64(opts.Seed) + uint64(i)*0x632be59bd9b4e019 + 7}
+	}
 }
 
 // Hart returns logical core i.
@@ -253,10 +356,14 @@ func (m *Machine) Branch(pc uint64) BranchStat {
 
 // ResetStats clears counters and per-branch stats. Predictor and cache
 // state — the microarchitectural attack surface — is deliberately left
-// untouched.
+// untouched. Existing BranchStat values are zeroed in place rather than
+// dropped so the decoded-program stat references stay valid across the
+// frequent reset/run/measure cycles of the attack primitives.
 func (m *Machine) ResetStats() {
 	m.stats = Counters{}
-	m.perPC = make(map[uint64]*BranchStat)
+	for _, s := range m.perPC {
+		*s = BranchStat{}
+	}
 }
 
 // RegisterKernelStub maps a syscall number to the label of its handler in
@@ -314,6 +421,7 @@ func (m *Machine) takenBranch(h *Hart, pc, target uint64, direct bool) {
 }
 
 func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
+	ps := m.progState(prog)
 	steps := uint64(0)
 	for {
 		if idx < 0 || idx >= len(prog.Instrs) {
@@ -406,7 +514,11 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 		case isa.BR:
 			taken := in.Cond.Eval(h.regs[in.Rs], h.regs[in.Rt])
 			pred := m.cbp.Predict(in.Addr, h.PHR)
-			st := m.branchStat(in.Addr)
+			ref := &ps.stats[idx]
+			if ref.s == nil || ref.addr != in.Addr {
+				ref.addr, ref.s = in.Addr, m.branchStat(in.Addr)
+			}
+			st := ref.s
 			st.Executed++
 			m.stats.CondBranches++
 			if taken {
@@ -421,9 +533,12 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 			m.cbp.Update(in.Addr, h.PHR, taken, pred)
 			if taken {
 				m.takenBranch(h, in.Addr, in.Target, true)
-				ti, ok := prog.IndexOf(in.Target)
-				if !ok {
-					return fmt.Errorf("cpu: branch at %#x to hole %#x", in.Addr, in.Target)
+				ti := int(in.TargetIdx)
+				if ti < 0 {
+					var err error
+					if ti, err = targetIndex(prog, in, "branch"); err != nil {
+						return err
+					}
 				}
 				idx = ti
 				continue
@@ -431,9 +546,12 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 
 		case isa.JMP:
 			m.takenBranch(h, in.Addr, in.Target, true)
-			ti, ok := prog.IndexOf(in.Target)
-			if !ok {
-				return fmt.Errorf("cpu: jmp at %#x to hole %#x", in.Addr, in.Target)
+			ti := int(in.TargetIdx)
+			if ti < 0 {
+				var err error
+				if ti, err = targetIndex(prog, in, "jmp"); err != nil {
+					return err
+				}
 			}
 			idx = ti
 			continue
@@ -444,9 +562,12 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 			}
 			h.stack = append(h.stack, frame{retIdx: idx + 1})
 			m.takenBranch(h, in.Addr, in.Target, true)
-			ti, ok := prog.IndexOf(in.Target)
-			if !ok {
-				return fmt.Errorf("cpu: call at %#x to hole %#x", in.Addr, in.Target)
+			ti := int(in.TargetIdx)
+			if ti < 0 {
+				var err error
+				if ti, err = targetIndex(prog, in, "call"); err != nil {
+					return err
+				}
 			}
 			idx = ti
 			continue
@@ -518,6 +639,23 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 		}
 		idx++
 	}
+}
+
+// targetIndex resolves a direct control transfer to its program index using
+// the assembler's pre-resolved TargetIdx, falling back to the address map
+// for hand-built Instr values.
+// targetIndex resolves a direct transfer's program index. The TargetIdx
+// fast path is duplicated at the call sites so the hot dispatch stays
+// inlinable; this slow path covers hand-built Instr values only.
+func targetIndex(prog *isa.Program, in *isa.Instr, kind string) (int, error) {
+	if ti := int(in.TargetIdx); ti >= 0 {
+		return ti, nil
+	}
+	ti, ok := prog.IndexOf(in.Target)
+	if !ok {
+		return 0, fmt.Errorf("cpu: %s at %#x to hole %#x", kind, in.Addr, in.Target)
+	}
+	return ti, nil
 }
 
 func alu(op isa.Op, a, b uint64) uint64 {

@@ -5,9 +5,12 @@ import "encoding/binary"
 const pageSize = 4096
 
 // Memory is a sparse, paged, byte-addressable physical memory. Multi-byte
-// accesses are little-endian and may span pages.
+// accesses are little-endian and may span pages. A one-entry MRU page cache
+// keeps the table-walk loops of the attack programs off the page map.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+	mruPN uint64
+	mru   *[pageSize]byte
 }
 
 // NewMemory returns empty memory; reads of untouched addresses yield zero.
@@ -17,12 +20,28 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
 	pn := addr / pageSize
+	if m.mru != nil && m.mruPN == pn {
+		return m.mru
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
 	}
+	if p != nil {
+		m.mruPN, m.mru = pn, p
+	}
 	return p
+}
+
+// Reset zeroes all of memory. Existing pages are scrubbed in place rather
+// than dropped: a zeroed page and an absent page read identically, and
+// keeping them lets recycled machines rewrite their working set without
+// re-faulting pages.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = [pageSize]byte{}
+	}
 }
 
 // Read8 returns the byte at addr.
@@ -40,6 +59,12 @@ func (m *Memory) Write8(addr uint64, v byte) {
 
 // Read64 returns the little-endian uint64 at addr.
 func (m *Memory) Read64(addr uint64) uint64 {
+	if off := addr % pageSize; off <= pageSize-8 {
+		if p := m.page(addr, false); p != nil {
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+		return 0
+	}
 	var b [8]byte
 	m.ReadBytes(addr, b[:])
 	return binary.LittleEndian.Uint64(b[:])
@@ -47,6 +72,10 @@ func (m *Memory) Read64(addr uint64) uint64 {
 
 // Write64 stores a little-endian uint64.
 func (m *Memory) Write64(addr uint64, v uint64) {
+	if off := addr % pageSize; off <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:], v)
+		return
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
 	m.WriteBytes(addr, b[:])
@@ -55,12 +84,22 @@ func (m *Memory) Write64(addr uint64, v uint64) {
 // Read128 returns 16 bytes at addr.
 func (m *Memory) Read128(addr uint64) [16]byte {
 	var b [16]byte
+	if off := addr % pageSize; off <= pageSize-16 {
+		if p := m.page(addr, false); p != nil {
+			copy(b[:], p[off:off+16])
+		}
+		return b
+	}
 	m.ReadBytes(addr, b[:])
 	return b
 }
 
 // Write128 stores 16 bytes at addr.
 func (m *Memory) Write128(addr uint64, v [16]byte) {
+	if off := addr % pageSize; off <= pageSize-16 {
+		copy(m.page(addr, true)[off:], v[:])
+		return
+	}
 	m.WriteBytes(addr, v[:])
 }
 

@@ -33,13 +33,23 @@ func (m *Machine) speculate(h *Hart, prog *isa.Program, idx int, predictedTaken 
 
 	start := idx + 1
 	if predictedTaken {
-		ti, ok := prog.IndexOf(in.Target)
+		ti, ok := transientTarget(prog, in)
 		if !ok {
 			return
 		}
 		start = ti
 	}
 	m.runTransient(h, prog, start, window)
+}
+
+// transientTarget resolves a direct transfer on the wrong path: TargetIdx
+// when pre-resolved by the assembler, address map otherwise. A hole simply
+// stalls speculation rather than erroring.
+func transientTarget(prog *isa.Program, in *isa.Instr) (int, bool) {
+	if ti := int(in.TargetIdx); ti >= 0 {
+		return ti, true
+	}
+	return prog.IndexOf(in.Target)
 }
 
 // transientState is the sandboxed copy of architectural state used on the
@@ -84,14 +94,20 @@ func (t *transientState) write(addr uint64, bs ...byte) {
 }
 
 // runTransient executes up to window instructions starting at startIdx on a
-// sandboxed state. Only the shared cache observes the execution.
+// sandboxed state. Only the shared cache observes the execution. The sandbox
+// itself (m.tscr) is reused across mispredicts: exec is not reentrant, and a
+// nested transient BR only consults the predictor — it never speculates — so
+// a single scratch state per machine suffices.
 func (m *Machine) runTransient(h *Hart, prog *isa.Program, startIdx, window int) {
-	ts := transientState{
-		regs:  h.regs,
-		vregs: h.vregs,
-		stack: append([]frame(nil), h.stack...),
-		rng:   h.rng,
-		store: make(map[uint64]byte),
+	ts := &m.tscr
+	ts.regs = h.regs
+	ts.vregs = h.vregs
+	ts.stack = append(ts.stack[:0], h.stack...)
+	ts.rng = h.rng
+	if ts.store == nil {
+		ts.store = make(map[uint64]byte, 16)
+	} else {
+		clear(ts.store)
 	}
 	idx := startIdx
 	for n := 0; n < window; n++ {
@@ -175,7 +191,7 @@ func (m *Machine) runTransient(h *Hart, prog *isa.Program, startIdx, window int)
 			// Nested speculation follows the predictor without updating it.
 			pred := m.cbp.Predict(in.Addr, h.PHR)
 			if pred.Taken {
-				ti, ok := prog.IndexOf(in.Target)
+				ti, ok := transientTarget(prog, in)
 				if !ok {
 					return
 				}
@@ -183,14 +199,14 @@ func (m *Machine) runTransient(h *Hart, prog *isa.Program, startIdx, window int)
 				continue
 			}
 		case isa.JMP:
-			ti, ok := prog.IndexOf(in.Target)
+			ti, ok := transientTarget(prog, in)
 			if !ok {
 				return
 			}
 			idx = ti
 			continue
 		case isa.CALL:
-			ti, ok := prog.IndexOf(in.Target)
+			ti, ok := transientTarget(prog, in)
 			if !ok || idx+1 >= len(prog.Instrs) {
 				return
 			}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// The sharded drivers' determinism contract: a report is a pure function of
+// (Options, arguments), independent of Parallelism. CI runs this file under
+// -race, so any state shared between worker machines that could break the
+// contract surfaces here either as a report mismatch or as a data race.
+
+func marshalReport(t *testing.T, rep any) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestShardVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var visited [37]atomic.Bool
+		err := shard(context.Background(), workers, len(visited), func(i int) error {
+			if visited[i].Swap(true) {
+				return fmt.Errorf("index %d visited twice", i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range visited {
+			if !visited[i].Load() {
+				t.Fatalf("workers=%d: index %d not visited", workers, i)
+			}
+		}
+	}
+}
+
+func TestShardLowestErrorWins(t *testing.T) {
+	want := errors.New("boom 5")
+	for _, workers := range []int{1, 4} {
+		err := shard(context.Background(), workers, 64, func(i int) error {
+			if i == 5 {
+				return want
+			}
+			if i >= 20 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, want)
+		}
+	}
+}
+
+func TestShardContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := shard(ctx, 4, 8, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestReadPHRParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	base, err := ReadPHRRandomEval(context.Background(), Options{Parallelism: 1}, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 3} {
+		rep, err := ReadPHRRandomEval(context.Background(), Options{Parallelism: w}, 3, 8)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", w, err)
+		}
+		if got, want := marshalReport(t, rep), marshalReport(t, base); got != want {
+			t.Errorf("parallelism %d diverges from sequential:\ngot:  %s\nwant: %s", w, got, want)
+		}
+	}
+}
+
+func TestFig7ParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	base, err := Fig7ImageRecovery(context.Background(), Options{Parallelism: 1}, 16, 70, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Fig7ImageRecovery(context.Background(), Options{Parallelism: 2}, 16, 70, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshalReport(t, rep), marshalReport(t, base); got != want {
+		t.Errorf("parallel report diverges from sequential:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+func TestAESParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	base, err := AESLeakEval(context.Background(), Options{Parallelism: 1}, 6, 0.015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 4} {
+		rep, err := AESLeakEval(context.Background(), Options{Parallelism: w}, 6, 0.015)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", w, err)
+		}
+		if got, want := marshalReport(t, rep), marshalReport(t, base); got != want {
+			t.Errorf("parallelism %d diverges from sequential:\ngot:  %s\nwant: %s", w, got, want)
+		}
+	}
+}
+
+// TestGoldenParallelism1 pins the forced-sequential path of every sharded
+// driver to the recorded golden reports (satellite of the determinism
+// contract: Parallelism: 1 must reproduce the recorded behaviour exactly,
+// while the default pool reproduces it via the invariance tests above).
+func TestGoldenParallelism1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	seq := Options{Parallelism: 1}
+	rp, err := ReadPHRRandomEval(context.Background(), seq, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_readphr.json", rp)
+	f7, err := Fig7ImageRecovery(context.Background(), seq, 16, 70, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_fig7.json", f7)
+	al, err := AESLeakEval(context.Background(), seq, 8, 0.015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "golden_aesleak.json", al)
+}

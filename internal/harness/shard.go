@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"pathfinder/internal/cpu"
+)
+
+// shard runs fn(i) for every index in [0, n), fanned out across at most
+// `workers` goroutines. fn must be independent across indices and write its
+// results into per-index slots owned by the caller; shard itself imposes no
+// ordering on completion, so deterministic reports come from merging those
+// slots in index order afterwards.
+//
+// Error semantics match the sequential loop the pool replaces: the error of
+// the lowest failing index wins (indices below a failure were dispatched
+// before it and run to completion, so a lower failure always gets the chance
+// to claim the slot), a context error takes precedence, and no new indices
+// are dispatched after the first failure.
+// machinePool recycles trial machines within one sharded driver call. The
+// drivers build one short-lived machine per trial; recycling a worker's
+// machine between trials (cpu.Machine.Recycle) makes the steady state
+// allocation-free. Pooling is disabled when the driver runs on the refmodel
+// oracle — a custom predictor's state cannot be reset generically — in which
+// case get simply builds fresh machines.
+//
+// Recycling never weakens the determinism contract: a recycled machine is
+// observationally identical to a fresh one, so which worker (and which pool
+// slot) serves a trial cannot influence its outcome. The golden and
+// Parallelism-invariance tests pin that equivalence end to end.
+type machinePool struct {
+	disabled bool
+	pool     sync.Pool
+}
+
+func (p *machinePool) get(co cpu.Options) *cpu.Machine {
+	if !p.disabled {
+		if v := p.pool.Get(); v != nil {
+			m := v.(*cpu.Machine)
+			m.Recycle(co)
+			return m
+		}
+	}
+	return cpu.New(co)
+}
+
+func (p *machinePool) put(m *cpu.Machine) {
+	if !p.disabled {
+		p.pool.Put(m)
+	}
+}
+
+func shard(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}

@@ -225,9 +225,10 @@ func (a *Assembler) Assemble() (*Program, error) {
 		return nil, fmt.Errorf("isa: empty program")
 	}
 	p := &Program{
-		Instrs:  make([]Instr, len(a.instrs)),
-		Symbols: make(map[string]uint64),
-		byAddr:  make(map[uint64]int, len(a.instrs)),
+		Instrs:   make([]Instr, len(a.instrs)),
+		Symbols:  make(map[string]uint64),
+		byAddr:   make(map[uint64]int, len(a.instrs)),
+		labelIdx: make(map[string]int),
 	}
 	copy(p.Instrs, a.instrs)
 
@@ -252,6 +253,7 @@ func (a *Assembler) Assemble() (*Program, error) {
 				return nil, fmt.Errorf("isa: duplicate label %q", name)
 			}
 			p.Symbols[name] = cursor
+			p.labelIdx[name] = i
 		}
 		p.Instrs[i].Addr = cursor
 		if _, dup := p.byAddr[cursor]; dup {
@@ -267,9 +269,11 @@ func (a *Assembler) Assemble() (*Program, error) {
 		return nil, fmt.Errorf("isa: label %q has no instruction", names[0])
 	}
 
-	// Resolve control-transfer symbols.
+	// Resolve control-transfer symbols, predecoding the target's program
+	// index alongside its address.
 	for i := range p.Instrs {
 		in := &p.Instrs[i]
+		in.TargetIdx = -1
 		if in.Sym == "" {
 			continue
 		}
@@ -280,6 +284,9 @@ func (a *Assembler) Assemble() (*Program, error) {
 				return nil, fmt.Errorf("isa: undefined label %q at %#x", in.Sym, in.Addr)
 			}
 			in.Target = addr
+			if ti, ok := p.byAddr[addr]; ok {
+				in.TargetIdx = int32(ti)
+			}
 		}
 	}
 	return p, nil
@@ -287,6 +294,9 @@ func (a *Assembler) Assemble() (*Program, error) {
 
 // SortedSymbols returns label names ordered by address, for listings.
 func (p *Program) SortedSymbols() []string {
+	if p.symStale {
+		p.refreshSymbols()
+	}
 	names := make([]string, 0, len(p.Symbols))
 	for n := range p.Symbols {
 		names = append(names, n)

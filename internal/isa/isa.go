@@ -184,8 +184,17 @@ type Instr struct {
 	Rt     Reg
 	Vd     VReg
 	Imm    int64
-	Target uint64 // resolved target for BR/JMP/CALL
+	Target uint64 // resolved address target for BR/JMP/CALL
 	Sym    string // unresolved target label (pre-assembly) / debug name
+
+	// TargetIdx is the program-order index of the Target instruction,
+	// pre-resolved by Assemble so the interpreter's hot dispatch never
+	// consults the address map for direct control transfers. It is -1 for
+	// non-control instructions and hand-built Instr values; execution falls
+	// back to IndexOf when negative. Program-layout patchers that move
+	// instruction addresses in place keep TargetIdx valid because indices
+	// are invariant under re-addressing.
+	TargetIdx int32
 }
 
 // IsCondBranch reports whether the instruction is a conditional branch.
@@ -251,18 +260,87 @@ type Program struct {
 	Instrs  []Instr
 	Symbols map[string]uint64
 
-	byAddr map[uint64]int
+	byAddr    map[uint64]int
+	labelIdx  map[string]int // label name -> instruction index, for Reindex
+	addrStale bool           // byAddr lags the Instrs addresses (sorted; use binary search)
+	symStale  bool           // Symbols lags the Instrs addresses (resolve via labelIdx)
 }
 
 // IndexOf maps an instruction address to its program-order index.
 func (p *Program) IndexOf(addr uint64) (int, bool) {
+	if p.addrStale {
+		lo, hi := 0, len(p.Instrs)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if p.Instrs[mid].Addr < addr {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(p.Instrs) && p.Instrs[lo].Addr == addr {
+			return lo, true
+		}
+		return 0, false
+	}
 	i, ok := p.byAddr[addr]
 	return i, ok
 }
 
+// Reindex rebuilds the address-derived views — direct-transfer Target
+// addresses, the address map, and the symbol table — after a patcher moved
+// instruction addresses in place. Program-order indices (and therefore
+// TargetIdx) are invariant under re-addressing, so a patcher only rewrites
+// Instr.Addr values and calls Reindex. It reports an error when two
+// instructions share an address.
+//
+// The template patchers call Reindex once per experiment trial, far more
+// often than anything reads the derived views, so the maps are refreshed
+// lazily when the new addresses are strictly ascending (the assembler's
+// invariant, preserved by every patch walk): ascending addresses are
+// necessarily unique, lookups binary-search the instruction array, and
+// symbols resolve through labelIdx. The eager rebuild remains for programs
+// re-addressed out of order.
+func (p *Program) Reindex() error {
+	sorted := true
+	var prev uint64
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.TargetIdx >= 0 {
+			in.Target = p.Instrs[in.TargetIdx].Addr
+		}
+		if i > 0 && in.Addr <= prev {
+			sorted = false
+		}
+		prev = in.Addr
+	}
+	if sorted {
+		p.addrStale, p.symStale = true, true
+		return nil
+	}
+	clear(p.byAddr)
+	for i := range p.Instrs {
+		p.byAddr[p.Instrs[i].Addr] = i
+	}
+	if len(p.byAddr) != len(p.Instrs) {
+		return fmt.Errorf("isa: reindex found duplicate instruction addresses")
+	}
+	p.addrStale = false
+	p.refreshSymbols()
+	return nil
+}
+
+// refreshSymbols re-derives the Symbols table from labelIdx.
+func (p *Program) refreshSymbols() {
+	for name, i := range p.labelIdx {
+		p.Symbols[name] = p.Instrs[i].Addr
+	}
+	p.symStale = false
+}
+
 // At returns the instruction at the given address.
 func (p *Program) At(addr uint64) (*Instr, bool) {
-	if i, ok := p.byAddr[addr]; ok {
+	if i, ok := p.IndexOf(addr); ok {
 		return &p.Instrs[i], true
 	}
 	return nil, false
@@ -270,13 +348,16 @@ func (p *Program) At(addr uint64) (*Instr, bool) {
 
 // SymbolAddr resolves a label to its address.
 func (p *Program) SymbolAddr(name string) (uint64, bool) {
+	if i, ok := p.labelIdx[name]; ok {
+		return p.Instrs[i].Addr, true
+	}
 	a, ok := p.Symbols[name]
 	return a, ok
 }
 
 // MustSymbol resolves a label or panics; for tests and example binaries.
 func (p *Program) MustSymbol(name string) uint64 {
-	a, ok := p.Symbols[name]
+	a, ok := p.SymbolAddr(name)
 	if !ok {
 		panic("isa: unknown symbol " + name)
 	}
@@ -285,6 +366,9 @@ func (p *Program) MustSymbol(name string) uint64 {
 
 // NameFor returns the label declared exactly at addr, if any.
 func (p *Program) NameFor(addr uint64) string {
+	if p.symStale {
+		p.refreshSymbols()
+	}
 	for name, a := range p.Symbols {
 		if a == addr {
 			return name

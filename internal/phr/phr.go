@@ -63,7 +63,34 @@ const FootprintDoublets = 8
 //     its low 6 bits zero has a zero footprint (pure PHR shift), and
 //   - doublet 0 of the footprint (bits 1:0) is (B3^T0, B4^T1), so with an
 //     otherwise-zero branch, target bits T0 and T1 choose doublet 0 freely.
+//
+// Every output bit is the XOR of independent branch-address and
+// target-address bits, so the shuffle separates: Footprint(b, t) =
+// Footprint(b, 0) ^ Footprint(0, t). The two contributions are precomputed
+// into lookup tables at init (64K entries for the branch half, 64 for the
+// target half), turning the per-taken-branch bit shuffle into two loads and
+// an XOR.
 func Footprint(branchAddr, targetAddr uint64) uint16 {
+	return footB[branchAddr&0xffff] ^ footT[targetAddr&0x3f]
+}
+
+var (
+	footB [1 << 16]uint16
+	footT [1 << 6]uint16
+)
+
+func init() {
+	for a := range footB {
+		footB[a] = footprintSlow(uint64(a), 0)
+	}
+	for t := range footT {
+		footT[t] = footprintSlow(0, uint64(t))
+	}
+}
+
+// footprintSlow is the literal Figure 2 bit shuffle. It seeds the lookup
+// tables and pins them in the differential tests.
+func footprintSlow(branchAddr, targetAddr uint64) uint16 {
 	b := func(i uint) uint16 { return uint16(branchAddr>>i) & 1 }
 	t := func(i uint) uint16 { return uint16(targetAddr>>i) & 1 }
 	var f uint16
@@ -89,12 +116,79 @@ func Footprint(branchAddr, targetAddr uint64) uint16 {
 // maxWords covers 194 doublets = 388 bits.
 const maxWords = 7
 
+// foldSlots is the number of (histLen, width) fold values a register caches.
+// The Table 1 configs need at most four live folds per register: one 8-bit
+// index fold per tagged table (three history lengths) plus the 16-bit IBP
+// fold over the full window.
+const foldSlots = 4
+
+// foldOpsCap bounds the deferred-update ring. Attack write/clear chains are
+// hundreds of taken branches between fold reads; once the ring fills the
+// cache gives up (invalidates) so chain-heavy code pays only a counter check
+// per branch and the next Fold recomputes from scratch. Branch-at-a-time
+// victim code reads folds every branch, so its ring depth stays at one.
+const foldOpsCap = 8
+
+// foldEntry is one incrementally maintained Fold(histLen, width) value.
+type foldEntry struct {
+	valid   bool
+	histLen int32 // clamped to the register size
+	width   int32
+	val     uint32
+	posB    uint8  // (2*histLen) % width: fold position of the outgoing low top bit
+	posB1   uint8  // (2*histLen + 1) % width
+	fpMask  uint16 // footprint bits inside the history window
+}
+
+// foldOp is one deferred Update/ReverseUpdate. The doublets the incremental
+// formulas need are captured at mutation time (they may be shifted out of
+// the register before the op is replayed).
+type foldOp struct {
+	fp   uint16
+	rev  bool
+	low  uint8            // reverse only: low doublet after footprint removal
+	tops [foldSlots]uint8 // per slot: outgoing (fwd) / incoming (rev) window-top doublet
+}
+
 // Reg is a PHR of a fixed doublet length. The zero value is not usable; use
 // New. Clone gives an independent copy; Equal compares contents.
+//
+// Attached to every register is a FoldCache: up to foldSlots incrementally
+// maintained Fold results. Update and ReverseUpdate append O(1) deferred ops
+// instead of forcing an immediate re-fold of up to seven words; the next
+// Fold call replays pending ops against each cached entry. Structural
+// mutators (SetDoublet, Shift, Clear, ...) invalidate the cache. All cache
+// state lives in value arrays so Clone and CopyFrom stay plain copies.
 type Reg struct {
-	w    [maxWords]uint64
-	size int    // doublets
-	gen  uint64 // bumped on every mutation; lets predictors memoize folds
+	w       [maxWords]uint64
+	size    int    // doublets
+	topMask uint64 // valid-bit mask for the highest word in use
+	gen     uint64 // bumped on every mutation; lets predictors memoize folds
+
+	folds    [foldSlots]foldEntry
+	ops      [foldOpsCap]foldOp
+	nops     int
+	nvalid   int
+	nextSlot int // round-robin eviction cursor
+
+	// mixes memoizes FoldMix per (histLen, width) for the current gen. A
+	// gen value names exactly one register content, so a matching entry can
+	// be served without consulting the words — in particular across
+	// different PCs between two mutations, which the predictor-side
+	// (gen, PC) memo cannot do. Value state only, like folds, so Clone and
+	// CopyFrom stay plain copies. There is no invalidation: entries from an
+	// older gen simply stop matching.
+	mixes   [foldSlots]mixEntry
+	nextMix int // round-robin replacement cursor
+}
+
+// mixEntry is one memoized FoldMix result for a specific register gen.
+type mixEntry struct {
+	valid   bool
+	histLen int32
+	width   int32
+	gen     uint64
+	val     uint32
 }
 
 var _ History = (*Reg)(nil)
@@ -105,7 +199,11 @@ func New(size int) *Reg {
 	if size < FootprintDoublets || 2*size > 64*maxWords {
 		panic(fmt.Sprintf("phr: unsupported size %d", size))
 	}
-	return &Reg{size: size}
+	topMask := ^uint64(0)
+	if rem := uint(2*size) % 64; rem != 0 {
+		topMask = 1<<rem - 1
+	}
+	return &Reg{size: size, topMask: topMask}
 }
 
 // Size returns the PHR length in doublets.
@@ -118,18 +216,11 @@ func (r *Reg) Gen() uint64 { return r.gen }
 // words returns the number of 64-bit words in use.
 func (r *Reg) words() int { return (2*r.size + 63) / 64 }
 
-// mask clears bits at and above 2*size in the top word.
+// mask clears bits at and above 2*size in the top word. Words beyond
+// words() are never written by the mutators, so only the top word in use
+// needs masking (with the precomputed topMask).
 func (r *Reg) mask() {
-	bits := 2 * r.size
-	top := bits / 64
-	rem := uint(bits % 64)
-	if rem != 0 {
-		r.w[top] &= 1<<rem - 1
-		top++
-	}
-	for i := top; i < maxWords; i++ {
-		r.w[i] = 0
-	}
+	r.w[r.words()-1] &= r.topMask
 }
 
 // Doublet returns doublet i (0 = most recent). It panics if i is out of
@@ -147,6 +238,7 @@ func (r *Reg) SetDoublet(i int, v Doublet) {
 	if i < 0 || i >= r.size {
 		panic(fmt.Sprintf("phr: doublet %d out of range [0,%d)", i, r.size))
 	}
+	r.invalidateFolds()
 	b := 2 * uint(i)
 	r.w[b/64] = r.w[b/64]&^(3<<(b%64)) | uint64(v&3)<<(b%64)
 	r.gen++
@@ -155,6 +247,7 @@ func (r *Reg) SetDoublet(i int, v Doublet) {
 // Clear resets the PHR to all zeros, the state produced by shifting in Size
 // zero-footprint taken branches.
 func (r *Reg) Clear() {
+	r.invalidateFolds()
 	r.w = [maxWords]uint64{}
 	r.gen++
 }
@@ -170,6 +263,7 @@ func (r *Reg) Shift(n int) {
 		r.Clear()
 		return
 	}
+	r.invalidateFolds()
 	bits := 2 * uint(n)
 	wordShift := int(bits / 64)
 	bitShift := bits % 64
@@ -189,13 +283,31 @@ func (r *Reg) Shift(n int) {
 }
 
 // Update applies one taken-branch update: shift left one doublet, then XOR
-// the footprint into the low 8 doublets.
+// the footprint into the low 8 doublets. The shift is unrolled for the
+// modeled register sizes (7 words on Alder/Raptor Lake, 3 on Skylake); this
+// is the single hottest operation in the simulator — once per taken branch.
 func (r *Reg) Update(footprint uint16) {
-	nw := r.words()
-	for i := nw - 1; i > 0; i-- {
-		r.w[i] = r.w[i]<<2 | r.w[i-1]>>62
+	if r.nvalid != 0 {
+		r.pushOp(footprint, false, 0)
 	}
-	r.w[0] = r.w[0]<<2 ^ uint64(footprint)
+	w := &r.w
+	switch r.words() {
+	case maxWords:
+		w[6] = w[6]<<2 | w[5]>>62
+		w[5] = w[5]<<2 | w[4]>>62
+		w[4] = w[4]<<2 | w[3]>>62
+		w[3] = w[3]<<2 | w[2]>>62
+		w[2] = w[2]<<2 | w[1]>>62
+		w[1] = w[1]<<2 | w[0]>>62
+	case 3:
+		w[2] = w[2]<<2 | w[1]>>62
+		w[1] = w[1]<<2 | w[0]>>62
+	default:
+		for i := r.words() - 1; i > 0; i-- {
+			w[i] = w[i]<<2 | w[i-1]>>62
+		}
+	}
+	w[0] = w[0]<<2 ^ uint64(footprint)
 	r.mask()
 	r.gen++
 }
@@ -210,6 +322,9 @@ func (r *Reg) UpdateBranch(branchAddr, targetAddr uint64) {
 // from the register itself; the caller supplies it as top (use 0 when
 // unknown and track the ambiguity separately).
 func (r *Reg) ReverseUpdate(footprint uint16, top Doublet) {
+	if r.nvalid != 0 {
+		r.pushOp(footprint, true, top)
+	}
 	r.w[0] ^= uint64(footprint)
 	nw := r.words()
 	for i := 0; i < nw-1; i++ {
@@ -218,7 +333,13 @@ func (r *Reg) ReverseUpdate(footprint uint16, top Doublet) {
 	r.w[nw-1] >>= 2
 	r.gen++
 	r.mask()
-	r.SetDoublet(r.size-1, top)
+	// Set the recovered top doublet in place; unlike SetDoublet this must
+	// not invalidate the fold cache (the deferred op already accounts for
+	// the incoming doublet). Gen advances twice, matching the historical
+	// Update-then-SetDoublet sequence.
+	b := 2 * uint(r.size-1)
+	r.w[b/64] = r.w[b/64]&^(3<<(b%64)) | uint64(top&3)<<(b%64)
+	r.gen++
 }
 
 // Clone returns an independent copy of the PHR.
@@ -240,6 +361,11 @@ func (r *Reg) CopyFrom(src *Reg) {
 		panic(fmt.Sprintf("phr: size mismatch %d != %d", r.size, src.size))
 	}
 	r.w = src.w
+	r.folds = src.folds
+	r.ops = src.ops
+	r.nops = src.nops
+	r.nvalid = src.nvalid
+	r.nextSlot = src.nextSlot
 	r.gen++
 }
 
@@ -259,16 +385,24 @@ func (r *Reg) Words() [7]uint64 { return r.w }
 
 // Doublets returns a copy of the doublet contents, index 0 most recent.
 func (r *Reg) Doublets() []Doublet {
-	out := make([]Doublet, r.size)
-	for i := range out {
-		out[i] = r.Doublet(i)
+	return r.AppendDoublets(make([]Doublet, 0, r.size))
+}
+
+// AppendDoublets appends the doublet contents (index 0 most recent) to dst
+// and returns the extended slice. Hot loops pass a reused buffer
+// (dst[:0]-style) to keep the read allocation-free.
+func (r *Reg) AppendDoublets(dst []Doublet) []Doublet {
+	for i := 0; i < r.size; i++ {
+		b := 2 * uint(i)
+		dst = append(dst, Doublet(r.w[b/64]>>(b%64))&3)
 	}
-	return out
+	return dst
 }
 
 // SetDoublets loads the PHR from a doublet slice (index 0 most recent).
 // Extra input doublets are ignored; missing ones are zero-filled.
 func (r *Reg) SetDoublets(ds []Doublet) {
+	r.invalidateFolds()
 	r.w = [maxWords]uint64{}
 	for i := 0; i < r.size && i < len(ds); i++ {
 		b := 2 * uint(i)
@@ -282,6 +416,10 @@ func (r *Reg) SetDoublets(ds []Doublet) {
 // chunks (LSB first) that are XORed together. This is the history
 // compression used to index the pattern history tables.
 //
+// Results are served from the register's incremental FoldCache when
+// possible: each cached (histLen, width) value is advanced in O(1) per
+// pending Update/ReverseUpdate instead of re-folding the packed words.
+//
 // The exact folding polynomial of Intel's hardware is not public; any fold
 // with good mixing preserves the collision properties the attacks rely on
 // (identical (PC, PHR) pairs collide, different PHRs almost never do). See
@@ -293,12 +431,34 @@ func (r *Reg) Fold(histLen, width int) uint32 {
 	if width <= 0 || width > 32 {
 		panic("phr: fold width out of range")
 	}
+	if histLen < 1 || width < 3 {
+		// Degenerate parameters: no incremental form worth keeping.
+		return r.foldFull(histLen, width)
+	}
+	if r.nops > 0 {
+		r.flushOps()
+	}
+	for s := range r.folds {
+		e := &r.folds[s]
+		if e.valid && int(e.histLen) == histLen && int(e.width) == width {
+			return e.val
+		}
+	}
+	v := r.foldFull(histLen, width)
+	r.installFold(histLen, width, v)
+	return v
+}
+
+// foldFull recomputes Fold from the packed words. Beyond the byte-fold
+// special case, arbitrary widths stream whole words through a bit buffer
+// instead of extracting each width-bit chunk separately.
+func (r *Reg) foldFull(histLen, width int) uint32 {
 	bits := 2 * histLen
 	if width == 8 {
 		// Fast path for the index folds: XOR of all bytes.
 		var acc uint64
 		full := bits / 64
-		for i := 0; i < full; i++ {
+		for i := 0; i < full && i < maxWords; i++ {
 			acc ^= r.w[i]
 		}
 		if rem := uint(bits % 64); rem != 0 {
@@ -309,26 +469,49 @@ func (r *Reg) Fold(histLen, width int) uint32 {
 		acc ^= acc >> 8
 		return uint32(acc) & 0xff
 	}
-	mask := uint32(1)<<width - 1
-	var acc uint32
-	for o := 0; o < bits; o += width {
-		acc ^= r.extract(o, width, bits) & mask
+	w := uint(width)
+	mask := uint64(1)<<w - 1
+	var acc, buf uint64
+	var nb uint
+	rem := bits
+	for i := range r.w {
+		if rem <= 0 {
+			break
+		}
+		word := r.w[i]
+		n := 64
+		if rem < 64 {
+			word &= 1<<uint(rem) - 1
+			n = rem
+		}
+		rem -= n
+		// Feed the word in 32-bit halves so buf (< width unflushed bits,
+		// width <= 32) never overflows 64 bits.
+		buf |= (word & 0xffffffff) << nb
+		if n < 32 {
+			nb += uint(n)
+		} else {
+			nb += 32
+		}
+		for nb >= w {
+			acc ^= buf & mask
+			buf >>= w
+			nb -= w
+		}
+		if n > 32 {
+			buf |= (word >> 32) << nb
+			nb += uint(n - 32)
+			for nb >= w {
+				acc ^= buf & mask
+				buf >>= w
+				nb -= w
+			}
+		}
 	}
-	return acc & mask
-}
-
-// extract returns up to 32 bits starting at bit offset o, clipped at limit.
-func (r *Reg) extract(o, n, limit int) uint32 {
-	if o+n > limit {
-		n = limit - o
+	if nb > 0 {
+		acc ^= buf & mask
 	}
-	w := o / 64
-	sh := uint(o % 64)
-	v := r.w[w] >> sh
-	if sh+uint(n) > 64 && w+1 < maxWords {
-		v |= r.w[w+1] << (64 - sh)
-	}
-	return uint32(v) & uint32(1<<uint(n)-1)
+	return uint32(acc)
 }
 
 // FoldMix is like Fold but rotates the accumulator by three bits between
@@ -336,6 +519,13 @@ func (r *Reg) extract(o, n, limit int) uint32 {
 // plain index fold over the same history window, so (index, tag) pairs
 // carry close to their nominal combined entropy. Hardware similarly uses
 // two distinct hash functions for index and tag.
+//
+// The chunk rotation makes FoldMix order-dependent, so unlike Fold it has
+// no O(1) incremental form under the <<2 register shift; it is computed by
+// streaming words and memoized per (histLen, width, gen) — the register gen
+// names exactly one content, so repeats between mutations (the predict /
+// update / allocate sequence of every table, and runs of not-taken branches
+// that leave the PHR untouched) cost a table probe instead of a re-fold.
 func (r *Reg) FoldMix(histLen, width int) uint32 {
 	if histLen > r.size {
 		histLen = r.size
@@ -343,13 +533,258 @@ func (r *Reg) FoldMix(histLen, width int) uint32 {
 	if width <= 2 || width > 32 {
 		panic("phr: fold width out of range")
 	}
-	bits := 2 * histLen
-	mask := uint32(1)<<width - 1
-	var acc uint32
-	for o := 0; o < bits; o += width {
-		acc = ((acc<<3 | acc>>(uint(width)-3)) & mask) ^ (r.extract(o, width, bits) & mask)
+	for s := range r.mixes {
+		e := &r.mixes[s]
+		if e.valid && e.gen == r.gen && int(e.histLen) == histLen && int(e.width) == width {
+			return e.val
+		}
 	}
-	return acc & mask
+	var v uint32
+	if width == 12 {
+		v = r.foldMix12(histLen)
+	} else {
+		v = r.foldMixFull(histLen, width)
+	}
+	slot := -1
+	for s := range r.mixes {
+		c := &r.mixes[s]
+		if int(c.histLen) == histLen && int(c.width) == width {
+			slot = s // stale value for the same window: overwrite in place
+			break
+		}
+		if slot < 0 && !c.valid {
+			slot = s
+		}
+	}
+	if slot < 0 {
+		slot = r.nextMix
+		r.nextMix = (r.nextMix + 1) % len(r.mixes)
+	}
+	r.mixes[slot] = mixEntry{valid: true, histLen: int32(histLen), width: int32(width), gen: r.gen, val: v}
+	return v
+}
+
+// foldMix12 computes FoldMix(histLen, 12) — the tag-fold width of every
+// tagged table — in 48-bit lane groups instead of chunk at a time. The
+// rotate-by-3 applied between 12-bit chunks has period four (4*3 = 12), so
+// chunk k's total rotation depends only on k mod 4: chunks sharing a
+// residue can be XOR-folded first and rotated once. Four adjacent chunks
+// are 48 consecutive bits, so the grouped fold is a plain XOR of 48-bit
+// windows of the packed register, followed by one rotation per lane. The
+// result is bit-identical to foldMixFull(histLen, 12); the differential
+// test pins that.
+func (r *Reg) foldMix12(histLen int) uint32 {
+	bits := 2 * histLen
+	full := bits / 12  // complete 12-bit chunks
+	fb := full * 12    // bits covered by complete chunks
+	pbits := bits - fb // trailing partial chunk width
+	var t uint64       // four 12-bit lanes; lane j folds chunks with k%4 == j
+	for off := 0; off < fb; off += 48 {
+		wi, sh := off/64, uint(off%64)
+		win := r.w[wi] >> sh
+		if sh > 16 && wi+1 < maxWords {
+			win |= r.w[wi+1] << (64 - sh)
+		}
+		n := fb - off
+		if n > 48 {
+			n = 48
+		}
+		t ^= win & (1<<uint(n) - 1)
+	}
+	// The generic stream applies one rotation per chunk after the chunk is
+	// XORed in, plus one for the partial chunk: chunk k ends up rotated by
+	// 3*((full - 1 - k + p) mod 4) bits, where p records the partial step.
+	p := 0
+	if pbits > 0 {
+		p = 1
+	}
+	var acc uint32
+	for j := 0; j < 4; j++ {
+		lane := uint32(t>>(12*j)) & 0xfff
+		rot := uint(3*((full-1-j+p)%4+4)) % 12
+		acc ^= (lane<<rot | lane>>(12-rot)) & 0xfff
+	}
+	if pbits > 0 {
+		wi, sh := fb/64, uint(fb%64)
+		part := r.w[wi] >> sh
+		if int(sh)+pbits > 64 && wi+1 < maxWords {
+			part |= r.w[wi+1] << (64 - sh)
+		}
+		acc ^= uint32(part) & (1<<uint(pbits) - 1)
+	}
+	return acc
+}
+
+func (r *Reg) foldMixFull(histLen, width int) uint32 {
+	bits := 2 * histLen
+	w := uint(width)
+	mask := uint64(1)<<w - 1
+	var acc, buf uint64
+	var nb uint
+	rem := bits
+	for i := range r.w {
+		if rem <= 0 {
+			break
+		}
+		word := r.w[i]
+		n := 64
+		if rem < 64 {
+			word &= 1<<uint(rem) - 1
+			n = rem
+		}
+		rem -= n
+		buf |= (word & 0xffffffff) << nb
+		if n < 32 {
+			nb += uint(n)
+		} else {
+			nb += 32
+		}
+		for nb >= w {
+			acc = ((acc<<3 | acc>>(w-3)) & mask) ^ (buf & mask)
+			buf >>= w
+			nb -= w
+		}
+		if n > 32 {
+			buf |= (word >> 32) << nb
+			nb += uint(n - 32)
+			for nb >= w {
+				acc = ((acc<<3 | acc>>(w-3)) & mask) ^ (buf & mask)
+				buf >>= w
+				nb -= w
+			}
+		}
+	}
+	if nb > 0 {
+		acc = ((acc<<3 | acc>>(w-3)) & mask) ^ buf
+	}
+	return uint32(acc)
+}
+
+// invalidateFolds drops every cached fold and pending op; called by the
+// structural mutators whose effect on a fold is not O(1).
+func (r *Reg) invalidateFolds() {
+	if r.nvalid == 0 && r.nops == 0 {
+		return
+	}
+	for s := range r.folds {
+		r.folds[s].valid = false
+	}
+	r.nvalid = 0
+	r.nops = 0
+}
+
+// pushOp defers one Update (rev=false) or ReverseUpdate (rev=true) for the
+// cached folds, capturing the window-top doublet each entry will need. A
+// full ring means a fold-free run of branches long enough that incremental
+// replay would cost more than recomputing, so the cache gives up instead.
+func (r *Reg) pushOp(fp uint16, rev bool, top Doublet) {
+	if r.nops == foldOpsCap {
+		r.invalidateFolds()
+		return
+	}
+	op := &r.ops[r.nops]
+	op.fp, op.rev = fp, rev
+	if rev {
+		op.low = uint8(r.w[0]^uint64(fp)) & 3
+	}
+	for s := range r.folds {
+		e := &r.folds[s]
+		if !e.valid {
+			continue
+		}
+		h := int(e.histLen)
+		if !rev {
+			op.tops[s] = r.Doublet(h - 1)
+			continue
+		}
+		// Reverse: the doublet entering the top of the window. For a
+		// full-size window it is the caller-supplied recovered doublet;
+		// otherwise it is the next doublet up in the register (with the
+		// footprint removed when the window is shorter than 8 doublets).
+		switch {
+		case h == r.size:
+			op.tops[s] = top & 3
+		case h < FootprintDoublets:
+			op.tops[s] = uint8((r.w[0]^uint64(fp))>>(2*uint(h))) & 3
+		default:
+			op.tops[s] = r.Doublet(h)
+		}
+	}
+	r.nops++
+}
+
+// flushOps replays the deferred ops against every valid fold entry.
+func (r *Reg) flushOps() {
+	for i := 0; i < r.nops; i++ {
+		op := &r.ops[i]
+		for s := range r.folds {
+			e := &r.folds[s]
+			if !e.valid {
+				continue
+			}
+			w := uint(e.width)
+			mask := uint32(1)<<w - 1
+			top := uint32(op.tops[s])
+			fp := foldFP(op.fp&e.fpMask, w, mask)
+			if !op.rev {
+				// F' = rotl2(F) ^ outgoing-top bits ^ fold(fp).
+				v := (e.val<<2 | e.val>>(w-2)) & mask
+				v ^= (top & 1) << e.posB
+				v ^= (top >> 1 & 1) << e.posB1
+				e.val = v ^ fp
+			} else {
+				// F' = rotr2(F ^ fold(fp) ^ low bits ^ incoming-top bits).
+				v := e.val ^ fp ^ uint32(op.low&3)
+				v ^= (top & 1) << e.posB
+				v ^= (top >> 1 & 1) << e.posB1
+				e.val = (v>>2 | v<<(w-2)) & mask
+			}
+		}
+	}
+	r.nops = 0
+}
+
+// foldFP folds a footprint's contribution into a width-bit chunk.
+func foldFP(fp uint16, w uint, mask uint32) uint32 {
+	v := uint32(fp)
+	var acc uint32
+	for v != 0 {
+		acc ^= v & mask
+		v >>= w
+	}
+	return acc
+}
+
+// installFold caches a freshly computed fold, evicting round-robin when all
+// slots are live.
+func (r *Reg) installFold(histLen, width int, val uint32) {
+	slot := -1
+	for s := range r.folds {
+		if !r.folds[s].valid {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		slot = r.nextSlot
+		r.nextSlot = (r.nextSlot + 1) % foldSlots
+	} else {
+		r.nvalid++
+	}
+	b := 2 * histLen
+	fpMask := uint16(0xffff)
+	if b < 16 {
+		fpMask = uint16(1)<<uint(b) - 1
+	}
+	r.folds[slot] = foldEntry{
+		valid:   true,
+		histLen: int32(histLen),
+		width:   int32(width),
+		val:     val,
+		posB:    uint8(b % width),
+		posB1:   uint8((b + 1) % width),
+		fpMask:  fpMask,
+	}
 }
 
 // String renders the PHR as doublets from most significant (oldest) to

@@ -249,6 +249,7 @@ func (t *TaggedTable) Reset() {
 			t.sets[s][w] = Entry{}
 		}
 	}
+	t.memoOK = false
 }
 
 // Dump renders every valid entry as "set/way tag ctr useful", one per line,
