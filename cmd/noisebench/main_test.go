@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesParsableSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (small) sweep")
+	}
+	out := filepath.Join(t.TempDir(), "noise.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-trials", "1", "-o", out}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Trials != 1 || len(rep.Sweep.Points) != 5 {
+		t.Fatalf("trials=%d points=%d, want 1 and the 5 default intensities",
+			rep.Trials, len(rep.Sweep.Points))
+	}
+	if rep.Sweep.Points[0].PHRPollutionProb != 0 {
+		t.Fatalf("first point pollution = %g, want the clean baseline 0",
+			rep.Sweep.Points[0].PHRPollutionProb)
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Fatalf("missing confirmation line; stdout:\n%s", stdout.String())
+	}
+}
+
+func TestRunRejectsBadTrials(t *testing.T) {
+	var stdout bytes.Buffer
+	err := run([]string{"-trials", "0"}, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "-trials") {
+		t.Fatalf("run = %v, want a -trials error", err)
+	}
+}

@@ -38,20 +38,46 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	queue := fs.Int("queue", 256, "bounded job-queue depth")
 	jobTimeout := fs.Duration("job-timeout", 2*time.Minute, "default per-job timeout")
 	drainTimeout := fs.Duration("drain-timeout", 5*time.Minute, "max wait for in-flight jobs on shutdown")
+	dataDir := fs.String("data-dir", "", "directory for the durable job journal (empty = in-memory only)")
+	maxAttempts := fs.Int("max-attempts", 1, "per-job attempt budget (1 = no retries)")
+	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "base backoff before a failed job is retried")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Reject nonsense before it turns into a zero-worker deadlock or an
+	// unbounded queue: every knob below has no meaningful negative or zero
+	// interpretation (workers keeps 0 = GOMAXPROCS).
+	switch {
+	case *workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (0 selects GOMAXPROCS), got %d", *workers)
+	case *queue <= 0:
+		return fmt.Errorf("-queue must be positive, got %d", *queue)
+	case *jobTimeout <= 0:
+		return fmt.Errorf("-job-timeout must be positive, got %s", *jobTimeout)
+	case *drainTimeout <= 0:
+		return fmt.Errorf("-drain-timeout must be positive, got %s", *drainTimeout)
+	case *maxAttempts <= 0:
+		return fmt.Errorf("-max-attempts must be positive, got %d", *maxAttempts)
+	case *retryBackoff <= 0:
+		return fmt.Errorf("-retry-backoff must be positive, got %s", *retryBackoff)
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	logger := slog.New(slog.NewTextHandler(out, nil))
-	svc := service.New(service.Config{
+	svc, err := service.Open(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *jobTimeout,
 		Logger:         logger,
+		DataDir:        *dataDir,
+		MaxAttempts:    *maxAttempts,
+		RetryBackoff:   *retryBackoff,
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

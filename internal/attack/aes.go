@@ -189,6 +189,12 @@ func (a *AESAttack) LeakReducedRound(pt aes.Block, n int) (leak aes.Block, okMas
 	// byte.
 	vals, counts := probeHits(a.M)
 	for pos := 0; pos < 16; pos++ {
+		if counts[pos] > len(vals[pos]) {
+			// Noise lit more probe lines than the decoder tracks; the
+			// position is hopelessly ambiguous, not a reason to crash.
+			okMask[pos] = false
+			continue
+		}
 		others := 0
 		var other byte
 		for _, v := range vals[pos][:counts[pos]] {

@@ -112,6 +112,17 @@ func (c *Cache) Flush(addr uint64) {
 	}
 }
 
+// EvictNth invalidates one pseudo-randomly selected line: r's low bits pick
+// the set, its high bits pick the way. It models co-resident cache pressure
+// for the fault-injection layer — unlike Flush it needs no address, and it
+// counts as a flush in the stats. Empty ways are a no-op, matching real
+// eviction pressure landing on an invalid line.
+func (c *Cache) EvictNth(r uint64) {
+	c.flushes++
+	set := c.sets[r&c.setMask]
+	set[(r>>32)%uint64(c.ways)] = line{}
+}
+
 // FlushAll empties the cache.
 func (c *Cache) FlushAll() {
 	for s := range c.sets {

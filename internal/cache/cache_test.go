@@ -139,3 +139,24 @@ func BenchmarkAccess(b *testing.B) {
 		c.Access(uint64(i) * LineSize % (1 << 20))
 	}
 }
+
+func TestEvictNth(t *testing.T) {
+	c := New(4, 2)
+	// Fill set 1, way 0 and way 1.
+	c.Access(1 * LineSize)
+	c.Access((4 + 1) * LineSize)
+	// r selects set 1 (low bits) and way 1 (high bits).
+	c.EvictNth(1 | 1<<32)
+	if !c.Contains(1*LineSize) || c.Contains((4+1)*LineSize) {
+		t.Fatal("EvictNth evicted the wrong way")
+	}
+	_, _, flushes := c.Stats()
+	if flushes != 1 {
+		t.Fatalf("EvictNth flushes = %d, want 1", flushes)
+	}
+	// Evicting an already-empty way is a no-op beyond the counter.
+	c.EvictNth(1 | 1<<32)
+	if !c.Contains(1 * LineSize) {
+		t.Fatal("EvictNth on an empty way disturbed a neighbor")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"pathfinder/internal/aes"
 	"pathfinder/internal/bpu"
 	"pathfinder/internal/cache"
+	"pathfinder/internal/faultinject"
 	"pathfinder/internal/isa"
 	"pathfinder/internal/phr"
 )
@@ -155,6 +156,14 @@ type Options struct {
 	// the internal/refmodel oracle. It is a constructor, not an instance,
 	// so every Machine gets private predictor state.
 	NewPredictor func(bpu.Config) bpu.Predictor
+
+	// Faults arms the deterministic fault-injection layer: PHR pollution
+	// and misalignment at run boundaries, PHT training drop/aliasing,
+	// cache-eviction pressure and latency jitter on memory accesses. The
+	// injector is seeded from Seed (plus the profile's Salt), so faulted
+	// runs keep the machine's determinism contract. A nil or disabled
+	// profile leaves every hot path untouched.
+	Faults *faultinject.Profile
 }
 
 // Machine is a physical core: shared branch prediction unit, shared cache
@@ -177,6 +186,7 @@ type Machine struct {
 	Aux any
 
 	cbp    bpu.Predictor // conditional predictor in use: BPU.CBP or an Options-supplied oracle
+	inj    *faultinject.Injector // nil unless Options.Faults is enabled
 	harts  []*Hart
 	opts   Options
 	noise  splitmix64
@@ -254,6 +264,9 @@ func New(opts Options) *Machine {
 	if opts.NewPredictor != nil {
 		m.cbp = opts.NewPredictor(opts.Arch)
 	}
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		m.inj = faultinject.NewInjector(*opts.Faults, opts.Seed)
+	}
 	for i := 0; i < opts.Harts; i++ {
 		m.harts = append(m.harts, &Hart{
 			ID:      i,
@@ -310,6 +323,12 @@ func (m *Machine) Recycle(opts Options) {
 	m.IBRS = false
 	m.TraceTaken = nil
 	m.noise = splitmix64{s: uint64(opts.Seed)*2654435761 + 1}
+	// Rebuild the injector rather than diffing profiles: it is two words of
+	// state, and a rebuilt injector is exactly what New would have produced.
+	m.inj = nil
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		m.inj = faultinject.NewInjector(*opts.Faults, opts.Seed)
+	}
 	m.stats = Counters{}
 	// Zero branch stats in place: decoded-program statRefs keep pointing at
 	// live objects, and a zeroed stat reads the same as an absent one.
@@ -393,7 +412,28 @@ func (m *Machine) RunOn(hartID int, prog *isa.Program, entry string) error {
 	}
 	m.stats.Runs++
 	h.stack = h.stack[:0]
+	if m.inj != nil {
+		// Run boundaries are where context switches land: the injector may
+		// fold an attacker-invisible branch burst or a one-doublet slip into
+		// the hart's history before the first instruction executes.
+		m.inj.RunBoundary(h.PHR)
+	}
 	return m.exec(h, prog, idx)
+}
+
+// access routes one data-cache access through the fault-injection layer:
+// eviction pressure may knock out a pseudo-random line afterwards, and the
+// observed latency may jitter by a few cycles. Without an armed injector it
+// is exactly m.Data.Access.
+func (m *Machine) access(addr uint64) int {
+	lat, _ := m.Data.Access(addr)
+	if m.inj != nil {
+		if r, ok := m.inj.CacheEvict(); ok {
+			m.Data.EvictNth(r)
+		}
+		lat = m.inj.JitterLatency(lat)
+	}
+	return lat
 }
 
 func (m *Machine) branchStat(pc uint64) *BranchStat {
@@ -412,6 +452,12 @@ func (m *Machine) takenBranch(h *Hart, pc, target uint64, direct bool) {
 		m.TraceTaken(pc, target)
 	}
 	h.PHR.UpdateBranch(pc, target)
+	if m.inj != nil {
+		// Context switches land at asynchronous points during execution: the
+		// injector may fold a burst of attacker-invisible branches into the
+		// PHR right here, between this branch and the next.
+		m.inj.BranchEvent(h.PHR)
+	}
 	m.stats.TakenBranches++
 	if direct {
 		m.BPU.BTB.Insert(pc, target)
@@ -464,7 +510,7 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 
 		case isa.LD, isa.LDB, isa.TIMEDLD:
 			addr := h.regs[in.Rs] + uint64(in.Imm)
-			lat, _ := m.Data.Access(addr)
+			lat := m.access(addr)
 			switch in.Op {
 			case isa.LD:
 				h.regs[in.Rd] = m.Mem.Read64(addr)
@@ -475,10 +521,10 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 			}
 			h.ready[in.Rd] = m.stats.Cycles + uint64(lat)
 		case isa.ST:
-			m.Data.Access(h.regs[in.Rs] + uint64(in.Imm))
+			m.access(h.regs[in.Rs] + uint64(in.Imm))
 			m.Mem.Write64(h.regs[in.Rs]+uint64(in.Imm), h.regs[in.Rt])
 		case isa.STB:
-			m.Data.Access(h.regs[in.Rs] + uint64(in.Imm))
+			m.access(h.regs[in.Rs] + uint64(in.Imm))
 			m.Mem.Write8(h.regs[in.Rs]+uint64(in.Imm), byte(h.regs[in.Rt]))
 		case isa.CLFLUSH:
 			m.Data.Flush(h.regs[in.Rs] + uint64(in.Imm))
@@ -492,23 +538,23 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 
 		case isa.VLD:
 			addr := h.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			h.vregs[in.Vd] = m.Mem.Read128(addr)
 		case isa.VST:
 			addr := h.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			m.Mem.Write128(addr, h.vregs[in.Vd])
 		case isa.VXOR:
 			addr := h.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			h.vregs[in.Vd] = aes.XorBlocks(h.vregs[in.Vd], m.Mem.Read128(addr))
 		case isa.AESENC:
 			addr := h.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			h.vregs[in.Vd] = aes.EncRound(h.vregs[in.Vd], m.Mem.Read128(addr))
 		case isa.AESENCLAST:
 			addr := h.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			h.vregs[in.Vd] = aes.EncLastRound(h.vregs[in.Vd], m.Mem.Read128(addr))
 
 		case isa.BR:
@@ -530,7 +576,13 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 				m.speculate(h, prog, idx, pred.Taken)
 				m.stats.Cycles += uint64(m.opts.MispredictPenalty)
 			}
-			m.cbp.Update(in.Addr, h.PHR, taken, pred)
+			if m.inj == nil {
+				m.cbp.Update(in.Addr, h.PHR, taken, pred)
+			} else if pc, ok := m.inj.TrainingTarget(in.Addr); ok {
+				// The injector may drop the training update (counter decay)
+				// or land it on an aliased PC (destructive interference).
+				m.cbp.Update(pc, h.PHR, taken, pred)
+			}
 			if taken {
 				m.takenBranch(h, in.Addr, in.Target, true)
 				ti := int(in.TargetIdx)

@@ -1,0 +1,98 @@
+package cpu
+
+import (
+	"testing"
+
+	"pathfinder/internal/faultinject"
+	"pathfinder/internal/isa"
+)
+
+// faultProg is a workload that exercises every injector hook: run-boundary
+// PHR events (each Run), data-dependent conditional branches (PHT training
+// filter), and loads whose latency feeds a register (cache/jitter noise).
+func faultProg(t *testing.T) *isa.Program {
+	return mustAssemble(t, func(a *isa.Assembler) {
+		a.Label("main")
+		a.MovI(isa.R1, 0)
+		a.MovI(isa.R2, 64)
+		a.MovI(isa.R5, 0x9000)
+		a.Label("loop")
+		a.Rand(isa.R3)
+		a.MovI(isa.R4, 1)
+		a.And(isa.R3, isa.R3, isa.R4)
+		a.Br(isa.EQ, isa.R3, isa.R4, "odd")
+		a.TimedLd(isa.R6, isa.R5, 0)
+		a.Label("odd")
+		a.AddI(isa.R1, isa.R1, 1)
+		a.AddI(isa.R5, isa.R5, 64)
+		a.Br(isa.LT, isa.R1, isa.R2, "loop")
+		a.Halt()
+	})
+}
+
+func runFaulted(t *testing.T, opts Options) (Counters, uint64) {
+	t.Helper()
+	m := New(opts)
+	p := faultProg(t)
+	for r := 0; r < 8; r++ {
+		if err := m.Run(p, "main"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m.Stats(), m.Hart(0).PHR.Words()[0]
+}
+
+// TestFaultedRunDeterminism: same seed + profile ⇒ identical counters and
+// final PHR; a recycled machine matches a fresh one; distinct seeds diverge.
+func TestFaultedRunDeterminism(t *testing.T) {
+	prof := faultinject.Default().WithPollution(0.2, 8)
+	opts := Options{Seed: 42, Faults: &prof}
+	s1, w1 := runFaulted(t, opts)
+	s2, w2 := runFaulted(t, opts)
+	if s1 != s2 || w1 != w2 {
+		t.Fatalf("faulted runs diverge:\n%+v %x\n%+v %x", s1, w1, s2, w2)
+	}
+
+	m := New(opts)
+	p := faultProg(t)
+	for r := 0; r < 3; r++ {
+		if err := m.Run(p, "main"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Recycle(opts)
+	for r := 0; r < 8; r++ {
+		if err := m.Run(p, "main"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Stats(); got != s1 {
+		t.Fatalf("recycled faulted machine diverges from fresh:\n%+v\n%+v", got, s1)
+	}
+
+	s3, _ := runFaulted(t, Options{Seed: 43, Faults: &prof})
+	if s1 == s3 {
+		t.Fatal("distinct seeds produced identical faulted counters")
+	}
+}
+
+// TestDisabledProfileIsNoProfile: a nil profile and an all-zero profile are
+// indistinguishable — the zero value must leave golden reports untouched.
+func TestDisabledProfileIsNoProfile(t *testing.T) {
+	base, wb := runFaulted(t, Options{Seed: 42})
+	zero, wz := runFaulted(t, Options{Seed: 42, Faults: &faultinject.Profile{}})
+	if base != zero || wb != wz {
+		t.Fatalf("zero fault profile perturbed execution:\n%+v %x\n%+v %x", base, wb, zero, wz)
+	}
+}
+
+// TestFaultsPerturbExecution: the default profile at full pollution strength
+// must actually change predictor-visible behavior versus a clean machine.
+func TestFaultsPerturbExecution(t *testing.T) {
+	prof := faultinject.Default().WithPollution(1, 12)
+	clean, _ := runFaulted(t, Options{Seed: 42})
+	faulted, _ := runFaulted(t, Options{Seed: 42, Faults: &prof})
+	if clean == faulted {
+		t.Fatal("full-strength fault profile left counters identical to a clean run")
+	}
+}

@@ -140,25 +140,25 @@ func (m *Machine) runTransient(h *Hart, prog *isa.Program, startIdx, window int)
 
 		case isa.LD:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr) // the covert channel
+			m.access(addr) // the covert channel
 			ts.regs[in.Rd] = ts.read64(m.Mem, addr)
 		case isa.LDB:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			ts.regs[in.Rd] = uint64(ts.read8(m.Mem, addr))
 		case isa.TIMEDLD:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			lat, _ := m.Data.Access(addr)
+			lat := m.access(addr)
 			ts.regs[in.Rd] = uint64(lat)
 		case isa.ST:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			v := ts.regs[in.Rt]
 			ts.write(addr, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
 				byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 		case isa.STB:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			ts.write(addr, byte(ts.regs[in.Rt]))
 
 		case isa.RAND:
@@ -168,23 +168,23 @@ func (m *Machine) runTransient(h *Hart, prog *isa.Program, startIdx, window int)
 
 		case isa.VLD:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			ts.vregs[in.Vd] = ts.read128(m.Mem, addr)
 		case isa.VST:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			ts.write(addr, ts.vregs[in.Vd][:]...)
 		case isa.VXOR:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			ts.vregs[in.Vd] = aes.XorBlocks(ts.vregs[in.Vd], ts.read128(m.Mem, addr))
 		case isa.AESENC:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			ts.vregs[in.Vd] = aes.EncRound(ts.vregs[in.Vd], ts.read128(m.Mem, addr))
 		case isa.AESENCLAST:
 			addr := ts.regs[in.Rs] + uint64(in.Imm)
-			m.Data.Access(addr)
+			m.access(addr)
 			ts.vregs[in.Vd] = aes.EncLastRound(ts.vregs[in.Vd], ts.read128(m.Mem, addr))
 
 		case isa.BR:

@@ -1,0 +1,236 @@
+// Package faultinject is the seeded, deterministic fault-injection layer of
+// the simulator. The paper's attacks only matter because they survive
+// real-world noise — §9 evaluates the AES byte theft *under a noise model*,
+// and §10's mitigations are themselves structured noise injected into the
+// predictor state — so the robustness evaluations need noise sources that
+// are composable, tunable, and above all reproducible.
+//
+// A Profile describes which injectors are armed and how hard; an Injector
+// is the per-machine instantiation, seeded from the machine seed exactly
+// like the RAND instruction and the transient-collapse noise model. Every
+// event the injector emits is a pure function of (Profile, seed, call
+// sequence), and the call sequence of a single machine is deterministic, so
+// fault-injected experiment reports inherit the harness determinism
+// contract: byte-identical at every Parallelism level.
+//
+// The injectors model, in the terms of the paper:
+//
+//   - PHR pollution (§5, §7): context-switch-like bursts of N
+//     attacker-invisible taken branches land in the path history register
+//     at asynchronous points during execution — a per-taken-branch hazard,
+//     exactly what preemptive OS activity does to a real attacker's
+//     carefully constructed history. Pollution can therefore land between
+//     an attack's PHR setup chain and the victim branch it targets, which
+//     is what makes it the sweep knob of the §9 robustness evaluation.
+//   - Victim misalignment (§6): the victim occasionally enters with its
+//     history slipped by one doublet (a zero-footprint shift), so the
+//     attacker's recovered alignment is off by one.
+//   - PHT decay/aliasing (§2.2, §10): predictor training updates are
+//     occasionally lost (counter decay) or land on an aliased PC
+//     (destructive interference from other processes' branches).
+//   - Cache-eviction noise (§9): pseudo-random line evictions perturb the
+//     Flush+Reload channel the way co-resident cache pressure does.
+//   - Latency jitter (§9): memory access latency wobbles by a few cycles,
+//     moving both timed measurements and transient-window lengths.
+package faultinject
+
+import "pathfinder/internal/phr"
+
+// Profile selects and scales the injectors. The zero value disables
+// everything; a Profile with only zero probabilities is equivalent to no
+// profile at all (machines skip injector construction entirely, so the
+// golden reports are untouched). Fields are JSON-tagged so a profile can
+// ride inside a pathfinderd job submission.
+type Profile struct {
+	// Salt perturbs the injector seed, letting two otherwise-identical runs
+	// draw independent fault sequences without moving the machine seed.
+	Salt int64 `json:"salt,omitempty"`
+
+	// PHRPollutionProb is the per-taken-branch probability of a
+	// context-switch burst: PHRPollutionBurst attacker-invisible taken
+	// branches are folded into the hart's path history register right after
+	// an architectural taken branch. Context switches are asynchronous, so
+	// the hazard is per branch retired, not per run; typical real-world
+	// rates are a few events per million branches.
+	PHRPollutionProb  float64 `json:"phr_pollution_prob,omitempty"`
+	PHRPollutionBurst int     `json:"phr_pollution_burst,omitempty"` // branches per burst; 0 means 12
+
+	// MisalignProb is the per-run probability of a one-doublet history slip
+	// (a zero-footprint shift), modeling victim misalignment.
+	MisalignProb float64 `json:"misalign_prob,omitempty"`
+
+	// PHTDropProb is the per-update probability that a conditional branch's
+	// predictor training update is lost (counter decay under pressure).
+	PHTDropProb float64 `json:"pht_drop_prob,omitempty"`
+
+	// PHTAliasProb is the per-update probability that the training update
+	// lands on an aliased branch address instead (destructive interference).
+	PHTAliasProb float64 `json:"pht_alias_prob,omitempty"`
+
+	// CacheEvictProb is the per-access probability that one pseudo-random
+	// cache line is evicted (co-resident cache pressure on the Flush+Reload
+	// channel).
+	CacheEvictProb float64 `json:"cache_evict_prob,omitempty"`
+
+	// JitterProb and JitterMag add a uniform ±JitterMag cycle wobble to a
+	// memory access latency with probability JitterProb per access.
+	JitterProb float64 `json:"jitter_prob,omitempty"`
+	JitterMag  int     `json:"jitter_mag,omitempty"` // cycles; 0 means 3
+}
+
+// Enabled reports whether any injector is armed. Machines only build an
+// Injector for enabled profiles, so a zero or nil profile adds no work to
+// the hot paths.
+func (p Profile) Enabled() bool {
+	return p.PHRPollutionProb > 0 || p.MisalignProb > 0 || p.PHTDropProb > 0 ||
+		p.PHTAliasProb > 0 || p.CacheEvictProb > 0 || p.JitterProb > 0
+}
+
+// burst resolves the pollution burst length default.
+func (p Profile) burst() int {
+	if p.PHRPollutionBurst > 0 {
+		return p.PHRPollutionBurst
+	}
+	return 12
+}
+
+// mag resolves the jitter magnitude default.
+func (p Profile) mag() int {
+	if p.JitterMag > 0 {
+		return p.JitterMag
+	}
+	return 3
+}
+
+// WithPollution returns a copy of the profile with the PHR-pollution
+// intensity replaced — the knob the noise-sweep evaluation turns.
+func (p Profile) WithPollution(prob float64, burst int) Profile {
+	p.PHRPollutionProb = prob
+	p.PHRPollutionBurst = burst
+	return p
+}
+
+// Default is the standard noise profile of the robustness evaluations: a
+// gentle mix of every injector, calibrated so the §9 AES byte-theft success
+// rate stays in the paper's 96–100% band (98.43% reported) while still
+// exercising every noise path. BENCH_noise.json records the calibration.
+func Default() Profile {
+	return Profile{
+		PHRPollutionProb:  0.00005,
+		PHRPollutionBurst: 8,
+		MisalignProb:      0.002,
+		PHTDropProb:       0.002,
+		PHTAliasProb:      0.001,
+		CacheEvictProb:    0.002,
+		JitterProb:        0.01,
+		JitterMag:         3,
+	}
+}
+
+// splitmix64 matches the simulator's PRNG so fault sequences compose with
+// the existing seed discipline.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (r *splitmix64) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Injector emits the fault events of one machine. Not safe for concurrent
+// use — a machine is single-threaded, and each sharded trial owns its own
+// machine and therefore its own injector.
+type Injector struct {
+	p   Profile
+	rng splitmix64
+}
+
+// NewInjector builds the injector for one machine. seed is the machine
+// seed; the profile's Salt folds in on top, so distinct trials (distinct
+// seeds) draw independent fault sequences while a fixed (Profile, seed)
+// pair always replays the same one.
+func NewInjector(p Profile, seed int64) *Injector {
+	in := &Injector{p: p}
+	in.Reset(seed)
+	return in
+}
+
+// Reset rewinds the injector to its as-built state for the given seed;
+// machine recycling uses it so a recycled machine is observationally
+// identical to a fresh one.
+func (in *Injector) Reset(seed int64) {
+	in.rng = splitmix64{s: (uint64(seed)^uint64(in.p.Salt)*0x9e3779b97f4a7c15)*2654435761 + 0x5afe}
+}
+
+// Profile returns the profile the injector was built from.
+func (in *Injector) Profile() Profile { return in.p }
+
+// RunBoundary applies the run-start events — misalignment slips — to the
+// hart's path history register: the victim occasionally enters with its
+// history shifted by one doublet.
+func (in *Injector) RunBoundary(reg *phr.Reg) {
+	if p := in.p.MisalignProb; p > 0 && in.rng.float() < p {
+		// A zero footprint is a pure one-doublet history shift.
+		reg.Update(0)
+	}
+}
+
+// BranchEvent fires after one architecturally taken branch: with
+// probability PHRPollutionProb a context-switch burst of attacker-invisible
+// branches is folded into the path history register. The injected branches
+// update the PHR only — never the trace, the stats, or the BTB — exactly
+// like the OS branches of §7.1 minus the fixed entry/exit structure.
+// Landing mid-run means a burst can separate an attack's PHR setup from the
+// victim branch it targets, which boundary-only pollution never could.
+func (in *Injector) BranchEvent(reg *phr.Reg) {
+	if p := in.p.PHRPollutionProb; p > 0 && in.rng.float() < p {
+		for i, n := 0, in.p.burst(); i < n; i++ {
+			r := in.rng.next()
+			// Random low address bits are all the footprint sees (Fig. 2):
+			// branch bits [15:0], target bits [5:0].
+			reg.UpdateBranch(r&0xffff, (r>>16)&0x3f)
+		}
+	}
+}
+
+// TrainingTarget filters one predictor training update for the branch at
+// pc: it returns the address the update should land on and whether it
+// should be applied at all. Most calls return (pc, true) without drawing
+// from the RNG.
+func (in *Injector) TrainingTarget(pc uint64) (uint64, bool) {
+	if p := in.p.PHTDropProb; p > 0 && in.rng.float() < p {
+		return pc, false
+	}
+	if p := in.p.PHTAliasProb; p > 0 && in.rng.float() < p {
+		// Flip one of the index/tag-visible low PC bits so the update trains
+		// an aliased entry instead of the architectural one.
+		return pc ^ (1 << (in.rng.next() % 13)), true
+	}
+	return pc, true
+}
+
+// CacheEvict decides whether one pseudo-random cache line is evicted after
+// a memory access, returning the selector value for cache.Cache.EvictNth.
+func (in *Injector) CacheEvict() (uint64, bool) {
+	if p := in.p.CacheEvictProb; p > 0 && in.rng.float() < p {
+		return in.rng.next(), true
+	}
+	return 0, false
+}
+
+// JitterLatency perturbs one access latency by up to ±JitterMag cycles.
+// The result never drops below one cycle.
+func (in *Injector) JitterLatency(lat int) int {
+	if p := in.p.JitterProb; p > 0 && in.rng.float() < p {
+		mag := in.p.mag()
+		lat += int(in.rng.next()%uint64(2*mag+1)) - mag
+		if lat < 1 {
+			lat = 1
+		}
+	}
+	return lat
+}

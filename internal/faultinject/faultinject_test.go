@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"testing"
+
+	"pathfinder/internal/phr"
+)
+
+func TestZeroProfileDisabled(t *testing.T) {
+	if (Profile{}).Enabled() {
+		t.Fatal("zero profile reports enabled")
+	}
+	if !Default().Enabled() {
+		t.Fatal("default profile reports disabled")
+	}
+	if !(Profile{JitterProb: 0.1}).Enabled() {
+		t.Fatal("jitter-only profile reports disabled")
+	}
+}
+
+// TestInjectorDeterminism pins the core contract: a fixed (Profile, seed)
+// pair replays the exact same fault sequence, and Reset rewinds it.
+func TestInjectorDeterminism(t *testing.T) {
+	p := Default().WithPollution(0.5, 4)
+	type event struct {
+		reg   string
+		drop  bool
+		alias uint64
+		evict uint64
+		eok   bool
+		lat   int
+	}
+	record := func(in *Injector) []event {
+		var evs []event
+		reg := phr.New(194)
+		for i := 0; i < 200; i++ {
+			in.RunBoundary(reg)
+			in.BranchEvent(reg)
+			pc, ok := in.TrainingTarget(0x00ab_3c40)
+			r, eok := in.CacheEvict()
+			evs = append(evs, event{
+				reg:   reg.String(),
+				drop:  !ok,
+				alias: pc,
+				evict: r,
+				eok:   eok,
+				lat:   in.JitterLatency(300),
+			})
+		}
+		return evs
+	}
+	a := record(NewInjector(p, 31))
+	b := record(NewInjector(p, 31))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverges between identical injectors: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	in := NewInjector(p, 31)
+	record(in)
+	in.Reset(31)
+	c := record(in)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("event %d diverges after Reset: %+v vs %+v", i, a[i], c[i])
+		}
+	}
+	d := record(NewInjector(p, 32))
+	same := true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds replayed an identical fault sequence")
+	}
+}
+
+// TestSaltIndependence: the same seed under different salts draws different
+// sequences — the knob the noise sweep uses to decorrelate repeats.
+func TestSaltIndependence(t *testing.T) {
+	base := Profile{PHRPollutionProb: 1, PHRPollutionBurst: 4}
+	salted := base
+	salted.Salt = 99
+	a, b := phr.New(194), phr.New(194)
+	NewInjector(base, 7).BranchEvent(a)
+	NewInjector(salted, 7).BranchEvent(b)
+	if a.Equal(b) {
+		t.Fatal("salted injector polluted the PHR identically to the unsalted one")
+	}
+}
+
+func TestBranchEventPollutes(t *testing.T) {
+	reg := phr.New(194)
+	in := NewInjector(Profile{PHRPollutionProb: 1, PHRPollutionBurst: 6}, 1)
+	in.BranchEvent(reg)
+	if reg.IsZero() {
+		t.Fatal("pollution burst left the PHR zero")
+	}
+	quiet := phr.New(194)
+	NewInjector(Profile{MisalignProb: 1}, 1).BranchEvent(quiet)
+	if !quiet.IsZero() {
+		t.Fatal("pollution-free profile touched the PHR on a branch event")
+	}
+}
+
+func TestMisalignIsPureShift(t *testing.T) {
+	reg := phr.New(194)
+	reg.SetDoublet(0, 3)
+	in := NewInjector(Profile{MisalignProb: 1}, 1)
+	in.RunBoundary(reg)
+	if got := reg.Doublet(1); got != 3 {
+		t.Fatalf("misalign slip: doublet 1 = %v, want the shifted 3", got)
+	}
+	if got := reg.Doublet(0); got != 0 {
+		t.Fatalf("misalign slip shifted in a non-zero doublet: %v", got)
+	}
+}
+
+func TestTrainingTargetDropAndAlias(t *testing.T) {
+	in := NewInjector(Profile{PHTDropProb: 1}, 3)
+	if _, ok := in.TrainingTarget(0x40); ok {
+		t.Fatal("drop-all profile applied a training update")
+	}
+	in = NewInjector(Profile{PHTAliasProb: 1}, 3)
+	pc, ok := in.TrainingTarget(0x40)
+	if !ok || pc == 0x40 {
+		t.Fatalf("alias-all profile: got (%#x, %v), want an aliased applied update", pc, ok)
+	}
+	in = NewInjector(Profile{JitterProb: 1}, 3) // armed, but no PHT noise
+	if pc, ok := in.TrainingTarget(0x40); !ok || pc != 0x40 {
+		t.Fatalf("noise-free PHT path perturbed the update: (%#x, %v)", pc, ok)
+	}
+}
+
+func TestJitterBoundsAndFloor(t *testing.T) {
+	in := NewInjector(Profile{JitterProb: 1, JitterMag: 5}, 9)
+	for i := 0; i < 1000; i++ {
+		lat := in.JitterLatency(300)
+		if lat < 295 || lat > 305 {
+			t.Fatalf("jitter out of ±5 band: %d", lat)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if lat := in.JitterLatency(1); lat < 1 {
+			t.Fatalf("jitter produced sub-cycle latency %d", lat)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"context"
+	"time"
+)
+
+// Retry is the bounded-attempt policy shared by the fallible drivers
+// (ReadPHRRandomEval, ExtendedReadEval, Fig6PathfinderAES,
+// Fig7ImageRecovery, AESLeakEval). A unit of work — one trial, one image,
+// one evaluation case — that fails is re-run on a freshly reseeded machine
+// up to Attempts times; a fresh seed redraws every training coin of the
+// capture, which is what makes retrying a probabilistic read worthwhile.
+// Units that exhaust their attempts degrade into partial results recorded
+// in the report (Fig7Result.Err, ReadPHRReport.Failures, ...) instead of
+// aborting the sweep; only context cancellation aborts.
+//
+// The zero value preserves historical behaviour: three attempts (the old
+// Fig7-only constant) and no waiting between them — a deterministic
+// simulator's failures are seed-bound, not time-bound, so immediate retries
+// are the norm. Backoff exists for callers driving real shared resources
+// (the pathfinderd job layer configures it for requeued jobs).
+type Retry struct {
+	// Attempts is the maximum number of tries per unit of work; 0 selects 3.
+	Attempts int
+
+	// Backoff is the wait before the second attempt; it doubles per further
+	// attempt. 0 disables waiting entirely.
+	Backoff time.Duration
+
+	// MaxBackoff caps the grown backoff; 0 selects 8×Backoff.
+	MaxBackoff time.Duration
+}
+
+// attempts resolves the attempt budget default.
+func (r Retry) attempts() int {
+	if r.Attempts > 0 {
+		return r.Attempts
+	}
+	return 3
+}
+
+// Delay returns the wait before the given attempt (1-based over retries;
+// attempt 0 never waits): exponential growth from Backoff, capped at
+// MaxBackoff, with a deterministic ±25% jitter drawn from seed so a fleet
+// of retrying units decorrelates without losing reproducibility.
+func (r Retry) Delay(attempt int, seed int64) time.Duration {
+	if r.Backoff <= 0 || attempt <= 0 {
+		return 0
+	}
+	max := r.MaxBackoff
+	if max <= 0 {
+		max = 8 * r.Backoff
+	}
+	d := r.Backoff
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	g := rng{s: uint64(seed)*0x9e3779b97f4a7c15 + uint64(attempt)}
+	frac := float64(g.next()>>11) / (1 << 53) // [0, 1)
+	return time.Duration(float64(d) * (0.75 + 0.5*frac))
+}
+
+// Do runs fn(attempt) for attempt = 0, 1, ... until it succeeds or the
+// budget is spent, waiting Delay between attempts. It returns nil on the
+// first success, ctx.Err() as soon as the context dies, and otherwise the
+// last attempt's error. fn derives its machine seed from the attempt index
+// so the whole retry chain stays a pure function of (Options, arguments).
+func (r Retry) Do(ctx context.Context, seed int64, fn func(attempt int) error) error {
+	var err error
+	for attempt := 0; attempt < r.attempts(); attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if attempt > 0 {
+			if werr := sleepCtx(ctx, r.Delay(attempt, seed)); werr != nil {
+				return werr
+			}
+		}
+		if err = fn(attempt); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// sleepCtx waits for d or until ctx dies, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryDoSucceedsAfterFailures(t *testing.T) {
+	var got []int
+	err := Retry{}.Do(context.Background(), 1, func(attempt int) error {
+		got = append(got, attempt)
+		if attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success on third attempt", err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("attempt sequence = %v, want [0 1 2]", got)
+	}
+}
+
+func TestRetryDoExhaustsBudget(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry{Attempts: 2}.Do(context.Background(), 1, func(int) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, want the last attempt error", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want the configured budget of 2", calls)
+	}
+}
+
+func TestRetryDoHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := Retry{}.Do(ctx, 1, func(int) error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) || called {
+		t.Fatalf("Do = %v (called=%v), want context.Canceled before any attempt", err, called)
+	}
+
+	// Cancellation between attempts must win over the retry budget.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	attempts := 0
+	err = Retry{}.Do(ctx2, 1, func(int) error {
+		attempts++
+		cancel2()
+		return errors.New("fail")
+	})
+	if !errors.Is(err, context.Canceled) || attempts != 1 {
+		t.Fatalf("Do = %v after %d attempts, want context.Canceled after 1", err, attempts)
+	}
+}
+
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	r := Retry{Attempts: 5, Backoff: 100 * time.Millisecond}
+	if d := r.Delay(0, 7); d != 0 {
+		t.Fatalf("attempt 0 delay = %v, want 0", d)
+	}
+	if d := (Retry{}).Delay(3, 7); d != 0 {
+		t.Fatalf("zero-backoff delay = %v, want 0", d)
+	}
+	for attempt := 1; attempt <= 4; attempt++ {
+		base := r.Backoff << uint(attempt-1)
+		if max := 8 * r.Backoff; base > max {
+			base = max
+		}
+		d1 := r.Delay(attempt, 42)
+		d2 := r.Delay(attempt, 42)
+		if d1 != d2 {
+			t.Fatalf("attempt %d delay not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		lo := time.Duration(float64(base) * 0.75)
+		hi := time.Duration(float64(base) * 1.25)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("attempt %d delay %v outside jitter band [%v, %v]", attempt, d1, lo, hi)
+		}
+	}
+	if r.Delay(1, 1) == r.Delay(1, 2) {
+		t.Fatal("distinct seeds drew identical jitter")
+	}
+	// The cap binds: far-out attempts never exceed 1.25 × MaxBackoff.
+	capped := Retry{Attempts: 20, Backoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+	if d := capped.Delay(15, 3); d > time.Duration(float64(4*time.Millisecond)*1.25) {
+		t.Fatalf("capped delay = %v, want ≤ 5ms", d)
+	}
+}

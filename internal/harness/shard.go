@@ -65,7 +65,10 @@ func shard(ctx context.Context, workers, n int, fn func(i int) error) error {
 				return err
 			}
 		}
-		return nil
+		// A cancellation that lands during the final index must surface
+		// exactly like the parallel path's post-wait check below — callers
+		// rely on shard never returning nil for a dead context.
+		return ctx.Err()
 	}
 	var (
 		next     atomic.Int64

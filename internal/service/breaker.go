@@ -1,0 +1,111 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// failureClass buckets terminal failures for the breaker and the metrics
+// surface: a timeout, a panic, and an ordinary error are different diseases
+// even though all three land the job in StateFailed.
+type failureClass string
+
+const (
+	failTimeout failureClass = "timeout"
+	failPanic   failureClass = "panic"
+	failError   failureClass = "error"
+)
+
+// Breaker states, exposed as gauge values on /metrics and /readyz.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+// breaker is a per-experiment circuit breaker. An experiment that fails
+// `threshold` consecutive times stops accepting submissions (open) until
+// `cooldown` passes; the first submission after the cooldown is admitted as
+// a probe (half-open), and its outcome decides between closing the circuit
+// and re-opening it. Cancellations are not failures — they say nothing
+// about the experiment — and only terminal outcomes move the state.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	exps      map[string]*expBreaker
+}
+
+type expBreaker struct {
+	state       int
+	consecutive int
+	openedAt    time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       now,
+		exps:      make(map[string]*expBreaker),
+	}
+}
+
+// allow admits or rejects a submission for the experiment.
+func (b *breaker) allow(experiment string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.exps[experiment]
+	if e == nil {
+		return nil
+	}
+	switch e.state {
+	case breakerOpen:
+		if wait := b.cooldown - b.now().Sub(e.openedAt); wait > 0 {
+			return fmt.Errorf("%w: experiment %q has failed %d consecutive runs, retry in %s",
+				ErrBreakerOpen, experiment, e.consecutive, wait.Round(time.Millisecond))
+		}
+		// Cooldown over: admit this one submission as the probe.
+		e.state = breakerHalfOpen
+		return nil
+	case breakerHalfOpen:
+		return fmt.Errorf("%w: experiment %q is probing after repeated failures, retry shortly",
+			ErrBreakerOpen, experiment)
+	}
+	return nil
+}
+
+// record feeds one terminal job outcome into the breaker.
+func (b *breaker) record(experiment string, success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.exps[experiment]
+	if success {
+		if e != nil {
+			delete(b.exps, experiment)
+		}
+		return
+	}
+	if e == nil {
+		e = &expBreaker{}
+		b.exps[experiment] = e
+	}
+	e.consecutive++
+	if e.state == breakerHalfOpen || e.consecutive >= b.threshold {
+		e.state = breakerOpen
+		e.openedAt = b.now()
+	}
+}
+
+// snapshot returns the state gauge of every experiment the breaker tracks.
+func (b *breaker) snapshot() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.exps))
+	for exp, e := range b.exps {
+		out[exp] = e.state
+	}
+	return out
+}

@@ -49,6 +49,8 @@ type job struct {
 	result    json.RawMessage
 	errMsg    string
 	stats     cpu.Counters
+	attempts  int    // worker pickups so far (including the current one)
+	lastErr   string // error that parked the job on a retry timer
 
 	// cancel aborts the in-flight run; non-nil only while running.
 	cancel func()
@@ -69,6 +71,7 @@ type JobView struct {
 	Started    *time.Time      `json:"started_at,omitempty"`
 	Finished   *time.Time      `json:"finished_at,omitempty"`
 	DurationMS int64           `json:"duration_ms,omitempty"`
+	Attempts   int             `json:"attempts,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	SimStats   *cpu.Counters   `json:"sim_stats,omitempty"`
@@ -83,6 +86,7 @@ func (j *job) view() JobView {
 		Batch:      j.batch,
 		State:      j.state,
 		Submitted:  j.submitted,
+		Attempts:   j.attempts,
 		Result:     j.result,
 		Error:      j.errMsg,
 	}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"pathfinder/internal/cpu"
+)
+
+// journalRecord is one JSONL line of the write-ahead job journal. Every
+// job-state transition appends exactly one record before the transition is
+// acknowledged, so a crash at any instant leaves a journal from which the
+// full job table — and the set of jobs that must be re-queued — can be
+// reconstructed.
+type journalRecord struct {
+	Op   string    `json:"op"` // submit | start | retry | finish
+	Job  string    `json:"job"`
+	Time time.Time `json:"time"`
+
+	// submit
+	Experiment string  `json:"experiment,omitempty"`
+	Params     *Params `json:"params,omitempty"`
+	Batch      string  `json:"batch,omitempty"`
+	TimeoutMS  int64   `json:"timeout_ms,omitempty"`
+
+	// start | retry
+	Attempt int `json:"attempt,omitempty"`
+
+	// finish
+	State  State           `json:"state,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Stats  *cpu.Counters   `json:"stats,omitempty"`
+}
+
+// Journal record operations.
+const (
+	opSubmit = "submit"
+	opStart  = "start"
+	opRetry  = "retry"
+	opFinish = "finish"
+)
+
+// journal is the append-only JSONL writer. Appends are serialized by its
+// own mutex; the Service additionally appends while holding its job-table
+// lock, so journal order always matches state-transition order.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(rec journalRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(append(raw, '\n'))
+	return err
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// replayedJob is the reconstruction of one job from its journal records.
+type replayedJob struct {
+	id         string
+	experiment string
+	params     Params
+	batch      string
+	timeout    time.Duration
+	submitted  time.Time
+
+	starts    int // attempts consumed before the crash
+	lastStart time.Time
+
+	finished bool
+	finState State
+	finErr   string
+	result   json.RawMessage
+	stats    cpu.Counters
+	finTime  time.Time
+}
+
+// replayJournal reads the journal at path and reconstructs every job it
+// describes, in submission order, together with the highest sequence number
+// any job or batch ID used. A missing file is an empty journal. Corrupt or
+// truncated lines — the tail a crash mid-append leaves behind — are skipped
+// with a logged warning, never an error: the journal is the recovery path,
+// and refusing to start over one torn record would turn a crash into an
+// outage.
+func replayJournal(path string, log *slog.Logger) (jobs []*replayedJob, maxSeq uint64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: reading journal: %w", err)
+	}
+	defer f.Close()
+
+	byID := make(map[string]*replayedJob)
+	bumpSeq := func(id, prefix string) {
+		var n uint64
+		if _, err := fmt.Sscanf(id, prefix+"-%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			log.Warn("journal: skipping corrupt record", "line", line, "err", err)
+			continue
+		}
+		switch rec.Op {
+		case opSubmit:
+			if rec.Job == "" || rec.Experiment == "" {
+				log.Warn("journal: skipping submit record without job or experiment", "line", line)
+				continue
+			}
+			if _, dup := byID[rec.Job]; dup {
+				log.Warn("journal: skipping duplicate submit", "line", line, "job", rec.Job)
+				continue
+			}
+			r := &replayedJob{
+				id:         rec.Job,
+				experiment: rec.Experiment,
+				batch:      rec.Batch,
+				timeout:    time.Duration(rec.TimeoutMS) * time.Millisecond,
+				submitted:  rec.Time,
+			}
+			if rec.Params != nil {
+				r.params = *rec.Params
+			}
+			byID[rec.Job] = r
+			jobs = append(jobs, r)
+			bumpSeq(rec.Job, "job")
+			if rec.Batch != "" {
+				bumpSeq(rec.Batch, "batch")
+			}
+		case opStart:
+			r := byID[rec.Job]
+			if r == nil || r.finished {
+				log.Warn("journal: skipping stray start record", "line", line, "job", rec.Job)
+				continue
+			}
+			r.starts++
+			r.lastStart = rec.Time
+		case opRetry:
+			// Informational: the attempt count is derived from start records,
+			// so a retry record needs no replay action beyond existing.
+			if byID[rec.Job] == nil {
+				log.Warn("journal: skipping stray retry record", "line", line, "job", rec.Job)
+			}
+		case opFinish:
+			r := byID[rec.Job]
+			if r == nil || r.finished {
+				log.Warn("journal: skipping stray finish record", "line", line, "job", rec.Job)
+				continue
+			}
+			if !rec.State.terminal() {
+				log.Warn("journal: skipping finish record with non-terminal state", "line", line, "job", rec.Job, "state", string(rec.State))
+				continue
+			}
+			r.finished = true
+			r.finState = rec.State
+			r.finErr = rec.Error
+			r.result = rec.Result
+			r.finTime = rec.Time
+			if rec.Stats != nil {
+				r.stats = *rec.Stats
+			}
+		default:
+			log.Warn("journal: skipping record with unknown op", "line", line, "op", rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// An oversized or unreadable tail: everything parsed so far is still
+		// a valid prefix of the history.
+		log.Warn("journal: stopped before end of file", "line", line, "err", err)
+	}
+	return jobs, maxSeq, nil
+}

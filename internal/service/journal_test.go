@@ -1,0 +1,169 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeJournalLines(t *testing.T, dir string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(dir, "journal.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestJournalReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := openJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	p := Params{Seed: 7, Trials: 3}
+	records := []journalRecord{
+		{Op: opSubmit, Job: "job-000001", Time: now, Experiment: "echo", Params: &p, TimeoutMS: 60000},
+		{Op: opStart, Job: "job-000001", Time: now, Attempt: 1},
+		{Op: opFinish, Job: "job-000001", Time: now, State: StateDone, Result: json.RawMessage(`{"n":1}`)},
+		{Op: opSubmit, Job: "job-000002", Time: now, Experiment: "echo", Params: &p, Batch: "batch-000003"},
+		{Op: opStart, Job: "job-000002", Time: now, Attempt: 1},
+		{Op: opRetry, Job: "job-000002", Time: now, Attempt: 1, Error: "transient"},
+		{Op: opStart, Job: "job-000002", Time: now, Attempt: 2},
+	}
+	for _, rec := range records {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, maxSeq, err := replayJournal(filepath.Join(dir, "journal.jsonl"), slog.New(slog.DiscardHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if maxSeq != 3 {
+		t.Fatalf("maxSeq = %d, want 3 (the batch ID outranks both job IDs)", maxSeq)
+	}
+	j1, j2 := jobs[0], jobs[1]
+	if !j1.finished || j1.finState != StateDone || string(j1.result) != `{"n":1}` {
+		t.Fatalf("job 1 replay = %+v, want finished done with its result", j1)
+	}
+	if j1.params.Seed != 7 || j1.params.Trials != 3 || j1.timeout != time.Minute {
+		t.Fatalf("job 1 params/timeout not preserved: %+v", j1)
+	}
+	if j2.finished || j2.starts != 2 || j2.batch != "batch-000003" {
+		t.Fatalf("job 2 replay = %+v, want unfinished with 2 starts", j2)
+	}
+}
+
+func TestJournalReplayMissingFileIsEmpty(t *testing.T) {
+	jobs, maxSeq, err := replayJournal(filepath.Join(t.TempDir(), "journal.jsonl"), slog.New(slog.DiscardHandler))
+	if err != nil || len(jobs) != 0 || maxSeq != 0 {
+		t.Fatalf("missing journal: jobs=%v maxSeq=%d err=%v, want empty", jobs, maxSeq, err)
+	}
+}
+
+// TestJournalReplaySkipsCorruptTail covers the crash-mid-append case: the
+// torn last line must be skipped with a logged warning while every record
+// before it replays normally.
+func TestJournalReplaySkipsCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJournalLines(t, dir,
+		`{"op":"submit","job":"job-000001","experiment":"echo","time":"2026-08-06T12:00:00Z"}`,
+		`{"op":"start","job":"job-000001","attempt":1,"time":"2026-08-06T12:00:01Z"}`,
+		`{"op":"finish","job":"job-000001","state":"done","time":"2026-08-06T12:00:02Z"}`,
+		`{"op":"submit","job":"job-000002","experiment":"ec`, // torn mid-append
+	)
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	jobs, maxSeq, err := replayJournal(path, logger)
+	if err != nil {
+		t.Fatalf("corrupt tail surfaced as an error: %v", err)
+	}
+	if len(jobs) != 1 || !jobs[0].finished {
+		t.Fatalf("replayed %d jobs, want only the intact finished one", len(jobs))
+	}
+	if maxSeq != 1 {
+		t.Fatalf("maxSeq = %d, want 1 (torn submit must not count)", maxSeq)
+	}
+	if !strings.Contains(buf.String(), "skipping corrupt record") {
+		t.Fatalf("corrupt tail skipped without a logged warning; log:\n%s", buf.String())
+	}
+}
+
+// TestJournalReplaySkipsStrayRecords: records referencing unknown jobs,
+// duplicate submits, and unknown ops are all warnings, never errors.
+func TestJournalReplaySkipsStrayRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := writeJournalLines(t, dir,
+		`{"op":"start","job":"job-000009","attempt":1}`,
+		`{"op":"submit","job":"job-000001","experiment":"echo"}`,
+		`{"op":"submit","job":"job-000001","experiment":"echo"}`,
+		`{"op":"finish","job":"job-000007","state":"done"}`,
+		`{"op":"warp","job":"job-000001"}`,
+		`{"op":"finish","job":"job-000001","state":"running"}`,
+	)
+	var buf bytes.Buffer
+	jobs, _, err := replayJournal(path, slog.New(slog.NewTextHandler(&buf, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].finished || jobs[0].starts != 0 {
+		t.Fatalf("stray records leaked into replay state: %+v", jobs)
+	}
+	for _, want := range []string{"stray start", "duplicate submit", "stray finish", "unknown op", "non-terminal state"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("log missing %q warning; log:\n%s", want, buf.String())
+		}
+	}
+}
+
+// FuzzJournalReplay is the satellite fuzz target: no journal content —
+// corrupt, truncated, adversarial, or enormous — may panic the replay path.
+// Corrupt tails are skipped with a warning; replay must always return.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"op":"submit","job":"job-000001","experiment":"echo"}` + "\n"))
+	f.Add([]byte(`{"op":"submit","job":"job-000001","experiment":"echo"}` + "\n" +
+		`{"op":"start","job":"job-000001","attempt":1}` + "\n" +
+		`{"op":"finish","job":"job-000001","state":"done","result":{"n":1}}` + "\n"))
+	f.Add([]byte(`{"op":"finish","job":"job-000001","state":"done"}` + "\n" + `{"op":"sub`))
+	f.Add([]byte(`{"op":"submit","job":"job-00000000000000000000001","experiment":"e"}` + "\n"))
+	f.Add([]byte("\x00\xff\xfe garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "journal.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		jobs, _, err := replayJournal(path, slog.New(slog.DiscardHandler))
+		if err != nil {
+			t.Fatalf("replay returned an error for on-disk content: %v", err)
+		}
+		// Whatever replayed must be internally consistent: unique IDs, and
+		// finished jobs carry terminal states.
+		seen := make(map[string]bool, len(jobs))
+		for _, j := range jobs {
+			if seen[j.id] {
+				t.Fatalf("duplicate job %s in replay", j.id)
+			}
+			seen[j.id] = true
+			if j.finished && !j.finState.terminal() {
+				t.Fatalf("job %s finished with non-terminal state %q", j.id, j.finState)
+			}
+		}
+	})
+}

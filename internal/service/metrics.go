@@ -47,6 +47,9 @@ type Metrics struct {
 	started   uint64
 	finished  map[string]map[State]uint64 // by experiment, terminal state
 	latency   map[string]*histogram       // by experiment
+	retried   map[string]uint64           // by experiment
+	failures  map[string]map[failureClass]uint64
+	recovered uint64
 	sim       cpu.Counters
 }
 
@@ -56,6 +59,8 @@ func newMetrics(workers int) *Metrics {
 		submitted: make(map[string]uint64),
 		finished:  make(map[string]map[State]uint64),
 		latency:   make(map[string]*histogram),
+		retried:   make(map[string]uint64),
+		failures:  make(map[string]map[failureClass]uint64),
 	}
 }
 
@@ -89,6 +94,29 @@ func (m *Metrics) jobFinished(experiment string, st State, dur time.Duration, st
 	m.sim.Add(stats)
 }
 
+func (m *Metrics) jobRetried(experiment string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retried[experiment]++
+}
+
+func (m *Metrics) jobFailed(experiment string, class failureClass) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byClass := m.failures[experiment]
+	if byClass == nil {
+		byClass = make(map[failureClass]uint64)
+		m.failures[experiment] = byClass
+	}
+	byClass[class]++
+}
+
+func (m *Metrics) jobsRecovered(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recovered += uint64(n)
+}
+
 // SimCounters returns the aggregated simulator counters.
 func (m *Metrics) SimCounters() cpu.Counters {
 	m.mu.Lock()
@@ -99,7 +127,7 @@ func (m *Metrics) SimCounters() cpu.Counters {
 // Expose renders the full exposition. Current state counts and the queue
 // gauge come from the live job table so a scrape is always consistent with
 // GET /v1/jobs.
-func (m *Metrics) Expose(states map[State]int, queueDepth int) string {
+func (m *Metrics) Expose(states map[State]int, queueDepth int, breakers map[string]int) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -139,6 +167,33 @@ func (m *Metrics) Expose(states map[State]int, queueDepth int) string {
 				w("pathfinderd_jobs_finished_total{experiment=%q,state=%q} %d\n", exp, string(st), n)
 			}
 		}
+	}
+
+	w("# HELP pathfinderd_job_retries_total failed attempts re-queued under the retry policy, by experiment\n")
+	w("# TYPE pathfinderd_job_retries_total counter\n")
+	for _, exp := range sortedKeys(m.retried) {
+		w("pathfinderd_job_retries_total{experiment=%q} %d\n", exp, m.retried[exp])
+	}
+
+	w("# HELP pathfinderd_job_failures_total terminal failures by experiment and class\n")
+	w("# TYPE pathfinderd_job_failures_total counter\n")
+	for _, exp := range sortedKeys(m.failures) {
+		byClass := m.failures[exp]
+		for _, class := range []failureClass{failTimeout, failPanic, failError} {
+			if n, ok := byClass[class]; ok {
+				w("pathfinderd_job_failures_total{experiment=%q,class=%q} %d\n", exp, string(class), n)
+			}
+		}
+	}
+
+	w("# HELP pathfinderd_jobs_recovered_total jobs re-queued from the journal at startup\n")
+	w("# TYPE pathfinderd_jobs_recovered_total counter\n")
+	w("pathfinderd_jobs_recovered_total %d\n", m.recovered)
+
+	w("# HELP pathfinderd_breaker_state per-experiment circuit breaker (0 closed, 1 half-open, 2 open)\n")
+	w("# TYPE pathfinderd_breaker_state gauge\n")
+	for _, exp := range sortedKeys(breakers) {
+		w("pathfinderd_breaker_state{experiment=%q} %d\n", exp, breakers[exp])
 	}
 
 	w("# HELP pathfinderd_job_duration_seconds wall time per finished job\n")

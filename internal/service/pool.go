@@ -5,13 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
 	"pathfinder/internal/cpu"
+	"pathfinder/internal/harness"
 )
 
 // Sentinel errors surfaced to API handlers.
@@ -25,11 +30,14 @@ var (
 	ErrNotFound = errors.New("service: no such job")
 	// ErrFinished is returned by Cancel on an already-terminal job.
 	ErrFinished = errors.New("service: job already finished")
+	// ErrBreakerOpen is returned by Submit while an experiment's circuit
+	// breaker is open after repeated failures; the HTTP layer maps it to 503.
+	ErrBreakerOpen = errors.New("service: circuit breaker open")
 )
 
 // Config tunes a Service. The zero value is usable: GOMAXPROCS workers, a
 // 256-deep queue, a 2-minute default per-job timeout, the standard
-// experiment registry, and a discarding logger.
+// experiment registry, a discarding logger, no persistence, and no retries.
 type Config struct {
 	Workers        int              // worker goroutines; <=0 means GOMAXPROCS
 	QueueDepth     int              // bounded queue capacity; <=0 means 256
@@ -37,6 +45,31 @@ type Config struct {
 	Registry       *Registry        // experiment registry; nil means NewRegistry()
 	Logger         *slog.Logger     // structured logger; nil discards
 	Clock          func() time.Time // test hook; nil means time.Now
+
+	// DataDir enables durability: every job transition is appended to
+	// <DataDir>/journal.jsonl before it is acknowledged, and Open replays
+	// the journal on startup, re-queuing jobs that were pending or running
+	// when the previous process died. Empty keeps the service in-memory.
+	DataDir string
+
+	// MaxAttempts is the per-job attempt budget: a job whose runner fails is
+	// re-queued with backoff until the budget is spent. <=0 means 1 — every
+	// failure is terminal, the historical behavior.
+	MaxAttempts int
+
+	// RetryBackoff is the base delay before a failed job re-enters the
+	// queue; attempt N waits ~2^(N-1) times this, with deterministic jitter,
+	// capped at 8x. <=0 means 500ms.
+	RetryBackoff time.Duration
+
+	// BreakerThreshold is the number of consecutive terminal failures after
+	// which an experiment's circuit breaker opens and submissions are
+	// rejected with ErrBreakerOpen. <=0 means 5.
+	BreakerThreshold int
+
+	// BreakerCooldown is how long an open breaker waits before admitting a
+	// probe submission. <=0 means 30s.
+	BreakerCooldown time.Duration
 }
 
 // Service owns the job table, the bounded queue, and the worker pool. All
@@ -48,19 +81,44 @@ type Service struct {
 	log     *slog.Logger
 	metrics *Metrics
 	now     func() time.Time
+	breaker *breaker
+	retry   harness.Retry
+	journal *journal // nil when Config.DataDir is empty
 
 	queue chan *job
 	wg    sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // submission order, for stable listings
-	seq      uint64
-	draining bool
+	mu          sync.Mutex
+	jobs        map[string]*job
+	order       []string // submission order, for stable listings
+	seq         uint64
+	draining    bool
+	retryTimers map[string]*time.Timer // pending re-enqueues, by job ID
 }
 
-// New builds a Service and starts its worker pool.
+// New builds an in-memory Service and starts its worker pool. Durability
+// requires Open; New panics if Config.DataDir is set, because silently
+// dropping persistence would be worse.
 func New(cfg Config) *Service {
+	if cfg.DataDir != "" {
+		panic("service: New cannot open a data directory, use Open")
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err) // unreachable: every error path needs a DataDir
+	}
+	return s
+}
+
+// Open builds a Service and starts its worker pool. With Config.DataDir
+// set, it first replays <DataDir>/journal.jsonl: jobs that already finished
+// are restored terminal (ID, state, result and error intact), and jobs that
+// were pending or running when the previous process died are re-queued —
+// unless their journaled starts already spent the attempt budget, in which
+// case they are finalized failed rather than crash-looped. Job and batch
+// sequence numbers resume past the highest replayed ID, so restarts never
+// reuse an ID.
+func Open(cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -79,21 +137,141 @@ func New(cfg Config) *Service {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	s := &Service{
-		cfg:     cfg,
-		reg:     cfg.Registry,
-		log:     cfg.Logger,
-		metrics: newMetrics(cfg.Workers),
-		now:     cfg.Clock,
-		queue:   make(chan *job, cfg.QueueDepth),
-		jobs:    make(map[string]*job),
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 1
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 500 * time.Millisecond
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+
+	var (
+		replayed []*replayedJob
+		maxSeq   uint64
+		jr       *journal
+	)
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating data dir: %w", err)
+		}
+		path := filepath.Join(cfg.DataDir, "journal.jsonl")
+		var err error
+		replayed, maxSeq, err = replayJournal(path, cfg.Logger)
+		if err != nil {
+			return nil, err
+		}
+		if jr, err = openJournal(path); err != nil {
+			return nil, err
+		}
+	}
+
+	// The queue must be able to hold every recovered pending job even when
+	// the configured depth is smaller than the backlog the crash left.
+	pending := 0
+	for _, r := range replayed {
+		if !r.finished && r.starts < cfg.MaxAttempts {
+			pending++
+		}
+	}
+	depth := cfg.QueueDepth
+	if pending > depth {
+		depth = pending
+	}
+
+	s := &Service{
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		log:         cfg.Logger,
+		metrics:     newMetrics(cfg.Workers),
+		now:         cfg.Clock,
+		breaker:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
+		retry:       harness.Retry{Attempts: cfg.MaxAttempts, Backoff: cfg.RetryBackoff},
+		journal:     jr,
+		queue:       make(chan *job, depth),
+		jobs:        make(map[string]*job),
+		retryTimers: make(map[string]*time.Timer),
+	}
+	s.seq = maxSeq
+	recovered := s.install(replayed)
+
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker(i)
 	}
-	s.log.Info("service started", "workers", cfg.Workers, "queue_depth", cfg.QueueDepth)
-	return s
+	s.log.Info("service started", "workers", cfg.Workers, "queue_depth", depth,
+		"data_dir", cfg.DataDir, "recovered", recovered, "replayed", len(replayed))
+	return s, nil
+}
+
+// install rebuilds the job table from replayed journal state and re-queues
+// the unfinished jobs, returning how many were re-queued. Called before the
+// workers start, so no locking is needed yet.
+func (s *Service) install(replayed []*replayedJob) int {
+	recovered := 0
+	for _, r := range replayed {
+		j := &job{
+			id:         r.id,
+			experiment: r.experiment,
+			params:     r.params,
+			batch:      r.batch,
+			timeout:    r.timeout,
+			submitted:  r.submitted,
+			attempts:   r.starts,
+		}
+		if j.timeout <= 0 {
+			j.timeout = s.cfg.DefaultTimeout
+		}
+		switch {
+		case r.finished:
+			j.state = r.finState
+			j.errMsg = r.finErr
+			j.result = r.result
+			j.stats = r.stats
+			j.started = r.lastStart
+			j.finished = r.finTime
+			if j.started.IsZero() {
+				j.started = j.finished
+			}
+		case r.starts >= s.cfg.MaxAttempts:
+			// The crash consumed the last attempt; re-running would loop a
+			// crashing job forever.
+			j.state = StateFailed
+			j.errMsg = fmt.Sprintf("recovered after crash: %d journaled start(s) exhausted the attempt budget of %d",
+				r.starts, s.cfg.MaxAttempts)
+			j.started = r.lastStart
+			j.finished = s.now()
+			if j.started.IsZero() {
+				j.started = j.finished
+			}
+			s.appendJournal(journalRecord{Op: opFinish, Job: j.id, Time: j.finished, State: j.state, Error: j.errMsg})
+			s.log.Warn("job finalized on recovery", "job", j.id, "reason", j.errMsg)
+		default:
+			j.state = StatePending
+			s.queue <- j // capacity reserved above
+			recovered++
+			s.log.Info("job re-queued on recovery", "job", j.id, "experiment", j.experiment, "attempts_used", j.attempts)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	s.metrics.jobsRecovered(recovered)
+	return recovered
+}
+
+// appendJournal writes one record, logging rather than failing on error: a
+// full disk must not take the in-memory service down with it.
+func (s *Service) appendJournal(rec journalRecord) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(rec); err != nil {
+		s.log.Warn("journal append failed", "op", rec.Op, "job", rec.Job, "err", err)
+	}
 }
 
 // Registry exposes the experiment registry (tests register extra specs).
@@ -114,6 +292,9 @@ func (s *Service) Submit(experiment string, p Params, batch string, timeout time
 	}
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
+	}
+	if err := s.breaker.allow(experiment); err != nil {
+		return JobView{}, err
 	}
 
 	s.mu.Lock()
@@ -142,6 +323,11 @@ func (s *Service) Submit(experiment string, p Params, batch string, timeout time
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.appendJournal(journalRecord{
+		Op: opSubmit, Job: j.id, Time: j.submitted,
+		Experiment: experiment, Params: &resolved, Batch: batch,
+		TimeoutMS: timeout.Milliseconds(),
+	})
 	v := j.view()
 	s.mu.Unlock()
 
@@ -269,9 +455,16 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	j.cancelRequested = true
 	var cancel func()
 	if j.state == StatePending {
+		// A pending job may be sitting in the queue or waiting on a retry
+		// timer; either way it finalizes here and the worker/timer skips it.
+		if t := s.retryTimers[id]; t != nil {
+			t.Stop()
+			delete(s.retryTimers, id)
+		}
 		j.state = StateCancelled
 		j.finished = s.now()
 		j.started = j.finished
+		s.appendJournal(journalRecord{Op: opFinish, Job: id, Time: j.finished, State: StateCancelled})
 		s.metrics.jobFinished(j.experiment, StateCancelled, 0, j.stats)
 	} else if j.cancel != nil {
 		cancel = j.cancel
@@ -297,6 +490,16 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		return errors.New("service: Shutdown called twice")
 	}
 	s.draining = true
+	// Jobs parked on retry timers would otherwise dangle pending forever:
+	// stop the timers and finalize them with their last error. The journal
+	// records them failed, so a later restart does not resurrect them.
+	for id, t := range s.retryTimers {
+		t.Stop()
+		delete(s.retryTimers, id)
+		if j := s.jobs[id]; j != nil && j.state == StatePending {
+			s.finalizeLocked(j, StateFailed, "shutdown before retry: "+j.lastErr)
+		}
+	}
 	s.mu.Unlock()
 	close(s.queue)
 
@@ -321,8 +524,26 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		<-done
 	}
+	if s.journal != nil {
+		if cerr := s.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	s.log.Info("service drained")
 	return err
+}
+
+// finalizeLocked moves a non-terminal job to a terminal state outside the
+// worker path (cancel-on-shutdown, retry-timer teardown). Caller holds s.mu.
+func (s *Service) finalizeLocked(j *job, st State, msg string) {
+	j.state = st
+	j.errMsg = msg
+	j.finished = s.now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	s.appendJournal(journalRecord{Op: opFinish, Job: j.id, Time: j.finished, State: st, Error: msg})
+	s.metrics.jobFinished(j.experiment, st, 0, j.stats)
 }
 
 // worker drains the queue until Shutdown closes it.
@@ -348,6 +569,7 @@ func (s *Service) runJob(workerID int, j *job) {
 		j.errMsg = fmt.Sprintf("experiment %q vanished from the registry", j.experiment)
 		j.started = s.now()
 		j.finished = j.started
+		s.appendJournal(journalRecord{Op: opFinish, Job: j.id, Time: j.finished, State: StateFailed, Error: j.errMsg})
 		s.metrics.jobFinished(j.experiment, StateFailed, 0, j.stats)
 		s.mu.Unlock()
 		return
@@ -356,11 +578,14 @@ func (s *Service) runJob(workerID int, j *job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = s.now()
+	j.attempts++
+	attempt := j.attempts
+	s.appendJournal(journalRecord{Op: opStart, Job: j.id, Time: j.started, Attempt: attempt})
 	s.metrics.jobStarted(j.experiment)
 	s.mu.Unlock()
 	defer cancel()
 
-	s.log.Info("job started", "job", j.id, "experiment", j.experiment, "worker", workerID)
+	s.log.Info("job started", "job", j.id, "experiment", j.experiment, "worker", workerID, "attempt", attempt)
 
 	result, stats, err := runRecovered(ctx, exp.Run, j.params)
 
@@ -383,6 +608,13 @@ func (s *Service) runJob(workerID int, j *job) {
 			err = context.Canceled
 		}
 		j.errMsg = err.Error()
+	case err != nil && j.attempts < s.cfg.MaxAttempts && !s.draining:
+		// Attempt budget left: back to pending, re-enqueued after a backoff
+		// with deterministic jitter. The journal's retry record plus the
+		// next start record keep the attempt count recoverable.
+		s.scheduleRetryLocked(j, err)
+		s.mu.Unlock()
+		return
 	case errors.Is(err, context.DeadlineExceeded):
 		j.state = StateFailed
 		j.errMsg = fmt.Sprintf("timeout after %s", j.timeout)
@@ -394,11 +626,87 @@ func (s *Service) runJob(workerID int, j *job) {
 		j.result = raw
 	}
 	state, dur := j.state, j.finished.Sub(j.started)
+	s.appendJournal(journalRecord{
+		Op: opFinish, Job: j.id, Time: j.finished,
+		State: state, Error: j.errMsg, Result: j.result, Stats: statsPtr(stats),
+	})
 	s.metrics.jobFinished(j.experiment, state, dur, stats)
 	s.mu.Unlock()
 
+	switch state {
+	case StateDone:
+		s.breaker.record(j.experiment, true)
+	case StateFailed:
+		s.breaker.record(j.experiment, false)
+		s.metrics.jobFailed(j.experiment, classifyFailure(err, j.errMsg))
+	}
+
 	s.log.Info("job finished", "job", j.id, "experiment", j.experiment,
-		"state", string(state), "duration", dur, "err", j.errMsg)
+		"state", string(state), "duration", dur, "attempts", j.attempts, "err", j.errMsg)
+}
+
+// scheduleRetryLocked parks a failed job as pending and arms the timer that
+// re-enqueues it. Caller holds s.mu.
+func (s *Service) scheduleRetryLocked(j *job, cause error) {
+	j.state = StatePending
+	j.lastErr = cause.Error()
+	j.finished = time.Time{}
+	delay := s.retry.Delay(j.attempts, retrySeed(j.id))
+	s.appendJournal(journalRecord{Op: opRetry, Job: j.id, Time: s.now(), Attempt: j.attempts, Error: j.lastErr})
+	s.metrics.jobRetried(j.experiment)
+	id := j.id
+	s.retryTimers[id] = time.AfterFunc(delay, func() { s.requeue(id) })
+	s.log.Warn("job retry scheduled", "job", id, "experiment", j.experiment,
+		"attempt", j.attempts, "of", s.cfg.MaxAttempts, "delay", delay, "err", j.lastErr)
+}
+
+// requeue moves a retry-parked job back into the queue when its backoff
+// timer fires. The draining check under the lock makes the send safe:
+// Shutdown flips draining before closing the queue, also under the lock.
+func (s *Service) requeue(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.retryTimers, id)
+	j := s.jobs[id]
+	if j == nil || j.state != StatePending {
+		return // cancelled (or otherwise finalized) while waiting
+	}
+	if s.draining {
+		s.finalizeLocked(j, StateFailed, "shutdown before retry: "+j.lastErr)
+		return
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.finalizeLocked(j, StateFailed, "queue full on retry: "+j.lastErr)
+	}
+}
+
+// retrySeed derives the deterministic backoff-jitter seed from a job ID.
+func retrySeed(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64())
+}
+
+// classifyFailure buckets a terminal failure for the metrics surface.
+func classifyFailure(err error, msg string) failureClass {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return failTimeout
+	case strings.HasPrefix(msg, "experiment panicked"):
+		return failPanic
+	default:
+		return failError
+	}
+}
+
+// statsPtr boxes non-zero counters for the journal's omitempty field.
+func statsPtr(c cpu.Counters) *cpu.Counters {
+	if c == (cpu.Counters{}) {
+		return nil
+	}
+	return &c
 }
 
 // runRecovered invokes the runner, converting a panic into an error so one

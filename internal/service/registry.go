@@ -10,6 +10,7 @@ import (
 	"pathfinder/internal/attack"
 	"pathfinder/internal/bpu"
 	"pathfinder/internal/cpu"
+	"pathfinder/internal/faultinject"
 	"pathfinder/internal/harness"
 )
 
@@ -29,6 +30,15 @@ type Params struct {
 	Quality  int     `json:"quality,omitempty"`  // fig7: JPEG quality
 	Images   int     `json:"images,omitempty"`   // fig7: test-set prefix length
 	Noise    float64 `json:"noise,omitempty"`    // aes: transient-collapse probability
+
+	// Faults arms the deterministic fault-injection layer for the job's
+	// machines; nil leaves it off. aes_noise uses it as the sweep's base
+	// profile (nil = faultinject.Default).
+	Faults *faultinject.Profile `json:"faults,omitempty"`
+
+	// Intensities are the aes_noise PHR-pollution hazard rates to sweep;
+	// empty selects harness.DefaultNoiseIntensities.
+	Intensities []float64 `json:"intensities,omitempty"`
 }
 
 // ArchConfig resolves a microarchitecture name to its Table 1 config. The
@@ -51,7 +61,7 @@ func (p Params) harnessOptions() (harness.Options, error) {
 	if err != nil {
 		return harness.Options{}, err
 	}
-	return harness.Options{Arch: arch, Seed: p.Seed}, nil
+	return harness.Options{Arch: arch, Seed: p.Seed, Faults: p.Faults}, nil
 }
 
 // Runner executes one experiment. It must honor ctx cancellation, and
@@ -146,6 +156,12 @@ func (r *Registry) Resolve(name string, p Params) (Params, error) {
 	}
 	if p.Noise == 0 {
 		p.Noise = d.Noise
+	}
+	if p.Faults == nil {
+		p.Faults = d.Faults
+	}
+	if len(p.Intensities) == 0 {
+		p.Intensities = d.Intensities
 	}
 	return p, nil
 }
@@ -308,6 +324,23 @@ func NewRegistry() *Registry {
 				return nil, cpu.Counters{}, err
 			}
 			return res, res.Stats, nil
+		},
+	})
+
+	reg(Experiment{
+		Name:        "aes_noise",
+		Description: "§9 robustness: AES byte-theft accuracy swept over PHR-pollution intensity",
+		Defaults:    Params{Trials: 24, Noise: 0.015},
+		Run: func(ctx context.Context, p Params) (any, cpu.Counters, error) {
+			opts, err := p.harnessOptions()
+			if err != nil {
+				return nil, cpu.Counters{}, err
+			}
+			rep, err := harness.AESNoiseSweep(ctx, opts, p.Trials, p.Noise, p.Intensities)
+			if err != nil {
+				return nil, cpu.Counters{}, err
+			}
+			return rep, rep.Stats, nil
 		},
 	})
 

@@ -48,6 +48,7 @@ type errorBody struct {
 // Handler returns the service's HTTP API:
 //
 //	GET  /healthz               liveness + drain status
+//	GET  /readyz                readiness: admission state + per-experiment breakers
 //	GET  /metrics               Prometheus text exposition
 //	GET  /v1/experiments        registry listing with per-experiment defaults
 //	POST /v1/jobs               submit one job
@@ -74,9 +75,31 @@ func (s *Service) Handler() http.Handler {
 		})
 	})
 
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		breakers := s.breaker.snapshot()
+		// Ready means Submit would be admitted: not draining and queue has
+		// room. An open breaker degrades a single experiment, not the whole
+		// service, so it is reported but does not flip readiness.
+		ready := !draining && s.QueueDepth() < cap(s.queue)
+		status := http.StatusOK
+		if !ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
+			"ready":    ready,
+			"draining": draining,
+			"queue":    s.QueueDepth(),
+			"capacity": cap(s.queue),
+			"breakers": breakers,
+		})
+	})
+
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		fmt.Fprint(w, s.metrics.Expose(s.StateCounts(), s.QueueDepth()))
+		fmt.Fprint(w, s.metrics.Expose(s.StateCounts(), s.QueueDepth(), s.breaker.snapshot()))
 	})
 
 	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
@@ -220,7 +243,7 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining), errors.Is(err, ErrBreakerOpen):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrFinished):
 		status = http.StatusConflict
