@@ -1,0 +1,232 @@
+// Command benchgate compares a `go test -bench` run against a committed
+// baseline and fails on regressions, so a hot-path slowdown breaks CI
+// instead of landing silently.
+//
+//	go test -run='^$' -bench=. -benchmem -benchtime=100x ./internal/... | tee bench.txt
+//	go run ./cmd/benchgate -baseline BENCH_baseline.json -input bench.txt
+//
+// The gate is asymmetric on purpose:
+//
+//   - ns/op may drift up to the tolerance band (default 25%) before
+//     failing — wall-clock numbers wobble across runs and runners.
+//   - allocs/op must not increase at all. Allocation counts are exact and
+//     host-independent, so any increase is a real code change.
+//
+// A baseline entry whose benchmark is missing from the run also fails:
+// renaming or deleting a gated benchmark must be a deliberate baseline
+// edit, never a silent drop of coverage. Benchmarks present in the run but
+// absent from the baseline are reported as ungated, not failed, so new
+// benchmarks can land before their numbers settle.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference file. Keys of Benchmarks are
+// "import/path.BenchmarkName" with the GOMAXPROCS suffix stripped.
+type Baseline struct {
+	Description  string                    `json:"description,omitempty"`
+	TolerancePct float64                   `json:"tolerance_pct"`
+	Benchmarks   map[string]BaselineResult `json:"benchmarks"`
+}
+
+// BaselineResult is the reference numbers for one benchmark.
+type BaselineResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Measurement is one parsed benchmark line. allocsKnown distinguishes a
+// run without -benchmem (no allocs column) from a measured zero.
+type Measurement struct {
+	NsPerOp     float64
+	AllocsPerOp int64
+	allocsKnown bool
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(out)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+	inputPath := fs.String("input", "-", "go test -bench output to check (- = stdin)")
+	tolerance := fs.Float64("tolerance", -1, "ns/op tolerance percent (-1 = use the baseline file's)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+	tol := base.TolerancePct
+	if *tolerance >= 0 {
+		tol = *tolerance
+	}
+
+	in := stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBenchOutput(in)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+
+	failures, report := gate(base, measured, tol)
+	for _, line := range report {
+		fmt.Fprintln(out, line)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s) against %s", len(failures), *baselinePath)
+	}
+	fmt.Fprintf(out, "benchgate: %d benchmark(s) within %.0f%% ns/op tolerance, no alloc regressions\n",
+		len(base.Benchmarks), tol)
+	return nil
+}
+
+func loadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Baseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in baseline", path)
+	}
+	if base.TolerancePct <= 0 {
+		base.TolerancePct = 25
+	}
+	return &base, nil
+}
+
+// benchLine matches one result line. The trailing -N GOMAXPROCS suffix is
+// stripped so baselines stay portable across worker shapes; sub-benchmark
+// names keep their slashes.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9]+) allocs/op)?`)
+
+// parseBenchOutput reads `go test -bench` text, tracking the current
+// "pkg:" header so results are keyed "import/path.BenchmarkName". A
+// benchmark that appears several times (e.g. -count > 1) keeps its fastest
+// ns/op and its worst allocs/op: noise should not fail the gate, real
+// allocation growth should.
+func parseBenchOutput(r io.Reader) (map[string]Measurement, error) {
+	results := make(map[string]Measurement)
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		meas := Measurement{NsPerOp: ns}
+		if m[4] != "" {
+			allocs, err := strconv.ParseInt(m[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+			meas.AllocsPerOp = allocs
+			meas.allocsKnown = true
+		}
+		key := m[1]
+		if pkg != "" {
+			key = pkg + "." + m[1]
+		}
+		if prev, ok := results[key]; ok {
+			if prev.NsPerOp < meas.NsPerOp {
+				meas.NsPerOp = prev.NsPerOp
+			}
+			if prev.allocsKnown && prev.AllocsPerOp > meas.AllocsPerOp {
+				meas.AllocsPerOp = prev.AllocsPerOp
+			}
+			meas.allocsKnown = meas.allocsKnown || prev.allocsKnown
+		}
+		results[key] = meas
+	}
+	return results, sc.Err()
+}
+
+// gate checks every baseline entry against the run and returns the failure
+// keys plus a human-readable report (one line per gated benchmark, sorted).
+func gate(base *Baseline, measured map[string]Measurement, tolerancePct float64) (failures, report []string) {
+	keys := make([]string, 0, len(base.Benchmarks))
+	for k := range base.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		want := base.Benchmarks[key]
+		got, ok := measured[key]
+		if !ok {
+			failures = append(failures, key)
+			report = append(report, fmt.Sprintf("FAIL %s: missing from run (gated benchmark removed or renamed?)", key))
+			continue
+		}
+		delta := 100 * (got.NsPerOp - want.NsPerOp) / want.NsPerOp
+		switch {
+		case delta > tolerancePct:
+			failures = append(failures, key)
+			report = append(report, fmt.Sprintf("FAIL %s: %.1f ns/op vs baseline %.1f (%+.1f%% > %.0f%% tolerance)",
+				key, got.NsPerOp, want.NsPerOp, delta, tolerancePct))
+		case got.allocsKnown && got.AllocsPerOp > want.AllocsPerOp:
+			failures = append(failures, key)
+			report = append(report, fmt.Sprintf("FAIL %s: %d allocs/op vs baseline %d (any alloc increase fails)",
+				key, got.AllocsPerOp, want.AllocsPerOp))
+		default:
+			report = append(report, fmt.Sprintf("ok   %s: %.1f ns/op (%+.1f%%), %d allocs/op",
+				key, got.NsPerOp, delta, got.AllocsPerOp))
+		}
+	}
+
+	// Ungated benchmarks are informational: new benchmarks may land before
+	// their baseline entry, but the gate says so rather than hiding it.
+	var extra []string
+	for k := range measured {
+		if _, ok := base.Benchmarks[k]; !ok {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		report = append(report, fmt.Sprintf("note %s: not in baseline (ungated)", k))
+	}
+	return failures, report
+}

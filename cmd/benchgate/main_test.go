@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: pathfinder/internal/phr
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkUpdate-8   	     100	        32.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFold-8     	     100	        29.1 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	pathfinder/internal/phr	0.011s
+pkg: pathfinder/internal/cache
+BenchmarkAccess/construct-8 	     100	    150000 ns/op	 1146880 B/op	       2 allocs/op
+BenchmarkAccess/hot-8       	     100	        17.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const passingBaseline = `{
+  "tolerance_pct": 25,
+  "benchmarks": {
+    "pathfinder/internal/phr.BenchmarkUpdate": {"ns_per_op": 31.6, "allocs_per_op": 0},
+    "pathfinder/internal/phr.BenchmarkFold": {"ns_per_op": 28.6, "allocs_per_op": 0},
+    "pathfinder/internal/cache.BenchmarkAccess/hot": {"ns_per_op": 15.0, "allocs_per_op": 0}
+  }
+}`
+
+func TestParseBenchOutputKeysAndSuffixes(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got["pathfinder/internal/phr.BenchmarkUpdate"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped or pkg not tracked; keys: %v", keys(got))
+	}
+	if m.NsPerOp != 32.0 || m.AllocsPerOp != 0 || !m.allocsKnown {
+		t.Fatalf("BenchmarkUpdate parsed as %+v", m)
+	}
+	sub, ok := got["pathfinder/internal/cache.BenchmarkAccess/construct"]
+	if !ok || sub.AllocsPerOp != 2 {
+		t.Fatalf("sub-benchmark parsed as %+v (present=%v)", sub, ok)
+	}
+}
+
+func TestParseBenchOutputRepeatsKeepBestNsWorstAllocs(t *testing.T) {
+	run := `pkg: p
+BenchmarkX-8 	100	50.0 ns/op	0 B/op	0 allocs/op
+BenchmarkX-8 	100	40.0 ns/op	16 B/op	1 allocs/op
+BenchmarkX-8 	100	60.0 ns/op	0 B/op	0 allocs/op
+`
+	got, err := parseBenchOutput(strings.NewReader(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got["p.BenchmarkX"]
+	if m.NsPerOp != 40.0 {
+		t.Errorf("ns/op = %v, want the fastest repeat 40.0", m.NsPerOp)
+	}
+	if m.AllocsPerOp != 1 {
+		t.Errorf("allocs/op = %v, want the worst repeat 1", m.AllocsPerOp)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-baseline", writeBaseline(t, passingBaseline),
+	}, strings.NewReader(sampleRun), &out)
+	if err != nil {
+		t.Fatalf("gate failed on within-tolerance run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no alloc regressions") {
+		t.Errorf("missing success summary:\n%s", out.String())
+	}
+	// The sub-benchmark with no baseline entry is noted, not failed.
+	if !strings.Contains(out.String(), "note pathfinder/internal/cache.BenchmarkAccess/construct") {
+		t.Errorf("ungated benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnNsRegression(t *testing.T) {
+	base := `{"tolerance_pct": 25, "benchmarks": {
+		"pathfinder/internal/phr.BenchmarkUpdate": {"ns_per_op": 20.0, "allocs_per_op": 0}}}`
+	var out strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t, base)}, strings.NewReader(sampleRun), &out)
+	if err == nil {
+		t.Fatalf("32 ns/op vs 20 ns/op baseline passed a 25%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL pathfinder/internal/phr.BenchmarkUpdate") {
+		t.Errorf("failure not attributed:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnAnyAllocRegression(t *testing.T) {
+	// ns/op is fine (well inside tolerance), but the run reports 2 allocs
+	// where the baseline has 0 — must fail regardless of the time band.
+	base := `{"tolerance_pct": 25, "benchmarks": {
+		"p.BenchmarkY": {"ns_per_op": 100.0, "allocs_per_op": 0}}}`
+	runText := "pkg: p\nBenchmarkY-8 	100	99.0 ns/op	64 B/op	2 allocs/op\n"
+	var out strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t, base)}, strings.NewReader(runText), &out)
+	if err == nil {
+		t.Fatalf("alloc regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "any alloc increase fails") {
+		t.Errorf("alloc failure not attributed:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	base := `{"tolerance_pct": 25, "benchmarks": {
+		"p.BenchmarkGone": {"ns_per_op": 10.0, "allocs_per_op": 0}}}`
+	var out strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t, base)}, strings.NewReader(sampleRun), &out)
+	if err == nil {
+		t.Fatalf("missing gated benchmark passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "missing from run") {
+		t.Errorf("missing-benchmark failure not attributed:\n%s", out.String())
+	}
+}
+
+func TestToleranceFlagOverridesBaseline(t *testing.T) {
+	// 32.0 vs 31.6 is +1.3%: passes at 25%, fails at 1%.
+	var out strings.Builder
+	err := run([]string{
+		"-baseline", writeBaseline(t, passingBaseline), "-tolerance", "1",
+	}, strings.NewReader(sampleRun), &out)
+	if err == nil {
+		t.Fatalf("1%% override did not tighten the gate:\n%s", out.String())
+	}
+}
+
+func keys(m map[string]Measurement) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

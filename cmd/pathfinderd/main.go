@@ -16,8 +16,10 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,6 +43,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	dataDir := fs.String("data-dir", "", "directory for the durable job journal (empty = in-memory only)")
 	maxAttempts := fs.Int("max-attempts", 1, "per-job attempt budget (1 = no retries)")
 	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "base backoff before a failed job is retried")
+	resultCache := fs.Int("result-cache", 256, "result-cache capacity in entries (0 = disabled)")
+	pprofAddr := fs.String("pprof-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +64,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-max-attempts must be positive, got %d", *maxAttempts)
 	case *retryBackoff <= 0:
 		return fmt.Errorf("-retry-backoff must be positive, got %s", *retryBackoff)
+	case *resultCache < 0:
+		return fmt.Errorf("-result-cache must be >= 0 (0 disables), got %d", *resultCache)
+	// Port 0 is exempt: two ephemeral binds always land on distinct ports.
+	case *pprofAddr != "" && *pprofAddr == *addr && !strings.HasSuffix(*addr, ":0"):
+		return fmt.Errorf("-pprof-addr must differ from -addr: profiling stays off the public API listener")
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -67,16 +76,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	logger := slog.New(slog.NewTextHandler(out, nil))
 	svc, err := service.Open(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *jobTimeout,
-		Logger:         logger,
-		DataDir:        *dataDir,
-		MaxAttempts:    *maxAttempts,
-		RetryBackoff:   *retryBackoff,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *jobTimeout,
+		Logger:          logger,
+		DataDir:         *dataDir,
+		MaxAttempts:     *maxAttempts,
+		RetryBackoff:    *retryBackoff,
+		ResultCacheSize: *resultCache,
 	})
 	if err != nil {
 		return err
+	}
+
+	// The pprof endpoints get their own listener and mux: the public API
+	// handler never gains /debug/pprof/ routes, so profiling can be bound
+	// to localhost while the API faces the network.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pprofSrv = &http.Server{Handler: pprofMux()}
+		fmt.Fprintf(out, "pprof listening on http://%s/debug/pprof/\n", pln.Addr())
+		go func() { _ = pprofSrv.Serve(pln) }()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -101,9 +125,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("pprof shutdown: %w", err)
+		}
+	}
 	if err := svc.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	fmt.Fprintln(out, "pathfinderd drained and stopped")
 	return nil
+}
+
+// pprofMux registers the net/http/pprof handlers on a private mux instead
+// of http.DefaultServeMux, so nothing else sharing the process default mux
+// ever inherits the profiling routes.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

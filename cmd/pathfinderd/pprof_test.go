@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"pathfinder/internal/service"
+)
+
+// TestPprofMuxServesProfiles pins the private mux: the index and the
+// individual profile endpoints respond on it.
+func TestPprofMuxServesProfiles(t *testing.T) {
+	srv := httptest.NewServer(pprofMux())
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %d %s", path, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestPublicAPIHasNoPprof is the leak check: the service's public handler
+// must not expose the profiling routes, with or without a pprof listener
+// configured elsewhere in the process.
+func TestPublicAPIHasNoPprof(t *testing.T) {
+	s := service.New(service.Config{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/profile"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s on the public API: %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDaemonPprofListener boots the daemon with -pprof-addr and verifies
+// the profiling surface answers on its own listener while the API listener
+// 404s it — the two muxes never share routes.
+func TestDaemonPprofListener(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0", "-workers", "1"}, &out)
+	}()
+	defer cancel()
+
+	apiRE := regexp.MustCompile(`pathfinderd listening on (http://[0-9.:]+)`)
+	pprofRE := regexp.MustCompile(`pprof listening on (http://[0-9.:]+)/debug/pprof/`)
+	var api, prof string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := out.String()
+		if m, p := apiRE.FindStringSubmatch(s), pprofRE.FindStringSubmatch(s); m != nil && p != nil {
+			api, prof = m[1], p[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if api == "" || prof == "" {
+		t.Fatalf("daemon never reported both addresses; output:\n%s", out.String())
+	}
+
+	status := func(url string) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status(prof + "/debug/pprof/"); got != http.StatusOK {
+		t.Errorf("pprof listener /debug/pprof/: %d, want 200", got)
+	}
+	if got := status(api + "/debug/pprof/"); got != http.StatusNotFound {
+		t.Errorf("API listener /debug/pprof/: %d, want 404", got)
+	}
+	if got := status(api + "/healthz"); got != http.StatusOK {
+		t.Errorf("API listener /healthz: %d, want 200", got)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; output:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit; output:\n%s", out.String())
+	}
+}
+
+// TestPprofAddrValidation rejects a pprof listener colliding with the API
+// address up front.
+func TestPprofAddrValidation(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-addr", ":8321", "-pprof-addr", ":8321"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-pprof-addr") {
+		t.Fatalf("colliding addresses accepted: %v", err)
+	}
+}

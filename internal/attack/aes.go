@@ -111,6 +111,24 @@ func (a *AESAttack) RecoverControlFlow() error {
 	return nil
 }
 
+// AdoptRecovery installs a phase-1 recovery completed elsewhere — typically
+// replayed from the harness warm-state cache alongside a machine-snapshot
+// restore — exactly as if this attack's own RecoverControlFlow had produced
+// it. The result is shared, not copied; it is immutable after recovery
+// (Fork relies on the same property). Any poison bookkeeping is cleared:
+// adopting a recovery only makes sense on a machine whose predictor state
+// matches the recovery's post-phase-1 checkpoint, which has no live poison.
+func (a *AESAttack) AdoptRecovery(rec *core.ExtendedResult) error {
+	if rec == nil || !rec.Path.Complete {
+		return fmt.Errorf("attack: adopting an incomplete control-flow recovery")
+	}
+	a.Rec = rec
+	a.loopBrPC = rec.CaptureProgram.MustSymbol("aes_loopbr")
+	a.entryBrPC = rec.CaptureProgram.MustSymbol("aes_entrycheck")
+	a.lastPoison = nil
+	return nil
+}
+
 // LoopIterations returns the recovered trip count of the encryption loop —
 // the Figure 6 readout (9 for AES-128).
 func (a *AESAttack) LoopIterations() int {

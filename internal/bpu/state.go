@@ -1,0 +1,156 @@
+package bpu
+
+import (
+	"slices"
+
+	"pathfinder/internal/pht"
+)
+
+// Snapshot state for the checkpoint layer: flat copies of every predictor
+// structure in the Unit, following the pht state conventions — Save reuses
+// destination storage, Restore panics on a structural mismatch, Hash chains
+// a cheap FNV-1a style fold.
+
+// CBPState is a saved CBP: base table, tagged tables, and the periodic
+// usefulness-decay clock. The clock matters: two CBPs with identical tables
+// but different update counts diverge at the next DecayUseful boundary.
+type CBPState struct {
+	arch    string
+	base    pht.BaseState
+	tables  []pht.TaggedState
+	updates uint64
+}
+
+// Save copies the CBP into dst, reusing dst's storage.
+func (c *CBP) Save(dst *CBPState) {
+	dst.arch = c.cfg.Name
+	c.Base.Save(&dst.base)
+	if len(dst.tables) != len(c.Tables) {
+		dst.tables = make([]pht.TaggedState, len(c.Tables))
+	}
+	for i, t := range c.Tables {
+		t.Save(&dst.tables[i])
+	}
+	dst.updates = c.updates
+}
+
+// Restore overwrites the CBP from a saved state. The state must come from a
+// CBP of the same microarchitecture.
+func (c *CBP) Restore(s *CBPState) {
+	if s.arch != c.cfg.Name || len(s.tables) != len(c.Tables) {
+		panic("bpu: restore CBP state across microarchitectures")
+	}
+	c.Base.Restore(&s.base)
+	for i, t := range c.Tables {
+		t.Restore(&s.tables[i])
+	}
+	c.updates = s.updates
+}
+
+// Hash folds the saved CBP into h.
+func (s *CBPState) Hash(h uint64) uint64 {
+	h = s.base.Hash(h)
+	for i := range s.tables {
+		h = s.tables[i].Hash(h)
+	}
+	return mix(h, s.updates)
+}
+
+// BTBState is a saved BTB entry array.
+type BTBState struct {
+	entries []btbEntry
+}
+
+// Save copies the BTB into dst, reusing dst's storage.
+func (b *BTB) Save(dst *BTBState) {
+	dst.entries = append(dst.entries[:0], b.entries...)
+}
+
+// Restore overwrites the BTB from a saved state of identical size.
+func (b *BTB) Restore(s *BTBState) {
+	if len(s.entries) != len(b.entries) {
+		panic("bpu: restore BTB state with mismatched geometry")
+	}
+	copy(b.entries, s.entries)
+}
+
+// Hash folds the saved BTB into h.
+func (s *BTBState) Hash(h uint64) uint64 {
+	for i := range s.entries {
+		if s.entries[i].key == 0 {
+			continue
+		}
+		h = mix(h, s.entries[i].key)
+		h = mix(h, s.entries[i].target)
+	}
+	return h
+}
+
+// IBPState is a saved IBP, serialized as key-sorted pairs so its hash (and
+// a restored map's iteration-independent content) is deterministic.
+type IBPState struct {
+	keys, targets []uint64
+}
+
+// Save copies the IBP into dst, reusing dst's storage.
+func (p *IBP) Save(dst *IBPState) {
+	dst.keys = dst.keys[:0]
+	dst.targets = dst.targets[:0]
+	for k := range p.targets {
+		dst.keys = append(dst.keys, k)
+	}
+	slices.Sort(dst.keys)
+	for _, k := range dst.keys {
+		dst.targets = append(dst.targets, p.targets[k])
+	}
+}
+
+// Restore overwrites the IBP from a saved state.
+func (p *IBP) Restore(s *IBPState) {
+	clear(p.targets)
+	for i, k := range s.keys {
+		p.targets[k] = s.targets[i]
+	}
+}
+
+// Hash folds the saved IBP into h.
+func (s *IBPState) Hash(h uint64) uint64 {
+	for i := range s.keys {
+		h = mix(h, s.keys[i])
+		h = mix(h, s.targets[i])
+	}
+	return h
+}
+
+// UnitState is a saved Unit: every predictor structure of one physical core.
+type UnitState struct {
+	cbp CBPState
+	btb BTBState
+	ibp IBPState
+}
+
+// Save copies the Unit into dst, reusing dst's storage.
+func (u *Unit) Save(dst *UnitState) {
+	u.CBP.Save(&dst.cbp)
+	u.BTB.Save(&dst.btb)
+	u.IBP.Save(&dst.ibp)
+}
+
+// Restore overwrites the Unit from a saved state.
+func (u *Unit) Restore(s *UnitState) {
+	u.CBP.Restore(&s.cbp)
+	u.BTB.Restore(&s.btb)
+	u.IBP.Restore(&s.ibp)
+}
+
+// Hash folds the saved Unit into h.
+func (s *UnitState) Hash(h uint64) uint64 {
+	h = s.cbp.Hash(h)
+	h = s.btb.Hash(h)
+	return s.ibp.Hash(h)
+}
+
+// mix is one FNV-1a style step over a 64-bit word.
+func mix(h, w uint64) uint64 {
+	return (h ^ w) * 0x100000001b3
+}

@@ -1,0 +1,55 @@
+package cache
+
+// State is a saved Cache for the checkpoint layer: one flat copy of every
+// line plus the LRU clock and the cumulative counters. The clock is
+// observable state — replacement decisions compare lru stamps — so a
+// restored cache must get it back to stay cycle-accurate.
+type State struct {
+	sets, ways int
+	tick       uint64
+	hits       uint64
+	misses     uint64
+	flushes    uint64
+	lines      []line // sets*ways, set-major
+}
+
+// Save copies the cache into dst, reusing dst's storage. New does not
+// retain its backing array, so the copy walks the per-set slices.
+func (c *Cache) Save(dst *State) {
+	dst.sets, dst.ways = len(c.sets), c.ways
+	dst.tick, dst.hits, dst.misses, dst.flushes = c.tick, c.hits, c.misses, c.flushes
+	n := len(c.sets) * c.ways
+	if cap(dst.lines) < n {
+		dst.lines = make([]line, n)
+	}
+	dst.lines = dst.lines[:n]
+	for i, set := range c.sets {
+		copy(dst.lines[i*c.ways:(i+1)*c.ways], set)
+	}
+}
+
+// Restore overwrites the cache from a saved state of identical geometry.
+func (c *Cache) Restore(s *State) {
+	if s.sets != len(c.sets) || s.ways != c.ways {
+		panic("cache: restore state with mismatched geometry")
+	}
+	c.tick, c.hits, c.misses, c.flushes = s.tick, s.hits, s.misses, s.flushes
+	for i, set := range c.sets {
+		copy(set, s.lines[i*c.ways:(i+1)*c.ways])
+	}
+}
+
+// Hash folds the saved cache into h (FNV-1a style, valid lines only).
+func (s *State) Hash(h uint64) uint64 {
+	mix := func(h, w uint64) uint64 { return (h ^ w) * 0x100000001b3 }
+	h = mix(h, s.tick)
+	for i := range s.lines {
+		if s.lines[i].key == 0 {
+			continue
+		}
+		h = mix(h, uint64(i))
+		h = mix(h, s.lines[i].key)
+		h = mix(h, s.lines[i].lru)
+	}
+	return h
+}

@@ -48,6 +48,40 @@ func BenchmarkRunBranchLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshot measures capturing full predictor-visible state into a
+// reused Snapshot — the once-per-configuration cost of priming the harness
+// warm-state cache after training.
+func BenchmarkSnapshot(b *testing.B) {
+	p := benchProgram(b, 256)
+	m := New(Options{Seed: 1})
+	if err := m.Run(p, "main"); err != nil {
+		b.Fatal(err)
+	}
+	var snap Snapshot
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SnapshotInto(&snap)
+	}
+}
+
+// BenchmarkRestore measures rewinding a machine to a warm snapshot — the
+// per-trial cost that replaces re-running the training loop when the
+// warm-state cache hits.
+func BenchmarkRestore(b *testing.B) {
+	p := benchProgram(b, 256)
+	m := New(Options{Seed: 1})
+	if err := m.Run(p, "main"); err != nil {
+		b.Fatal(err)
+	}
+	snap := m.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RestoreFrom(snap)
+	}
+}
+
 // BenchmarkRecycle measures resetting a machine to power-on state, the
 // per-trial overhead the harness machine pools pay instead of cpu.New.
 func BenchmarkRecycle(b *testing.B) {

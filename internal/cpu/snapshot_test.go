@@ -1,0 +1,223 @@
+package cpu
+
+import (
+	"testing"
+
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/faultinject"
+	"pathfinder/internal/isa"
+	"pathfinder/internal/refmodel"
+)
+
+// snapWorkload is a branchy, noisy, memory-touching program: a loop whose
+// inner branch direction is data-dependent on the RAND stream, with loads,
+// stores, flushes and a call in the body, so every snapshot-captured
+// structure (PHTs, BTB, cache, PHR, per-branch stats, hart rng) moves.
+func snapWorkload(t *testing.T) *isa.Program {
+	t.Helper()
+	return mustAssemble(t, func(a *isa.Assembler) {
+		a.Label("main")
+		a.MovI(isa.R1, 0)      // i
+		a.MovI(isa.R2, 0)      // acc
+		a.MovI(isa.R7, 0x9000) // buffer base
+		a.MovI(isa.R9, 1)
+		a.MovI(isa.R10, 64)
+		a.Label("loop")
+		a.Rand(isa.R3)
+		a.And(isa.R4, isa.R3, isa.R9) // low bit decides the data branch
+		a.Br(isa.EQ, isa.R4, isa.R9, "odd")
+		a.St(isa.R7, 0, isa.R3)
+		a.Jmp("merge")
+		a.Org(0x1f00)
+		a.Label("odd")
+		a.Ld(isa.R5, isa.R7, 0)
+		a.Add(isa.R2, isa.R2, isa.R5)
+		a.Clflush(isa.R7, 0)
+		a.Call("leaf")
+		a.Label("merge")
+		a.AddI(isa.R7, isa.R7, 64)
+		a.AddI(isa.R1, isa.R1, 1)
+		a.Br(isa.LT, isa.R1, isa.R10, "loop")
+		a.Halt()
+		a.Org(0x4000)
+		a.Label("leaf")
+		a.AddI(isa.R2, isa.R2, 3)
+		a.Ret()
+	})
+}
+
+// observe collects everything a snapshot promises to preserve.
+type observation struct {
+	stats   Counters
+	regs    [isa.NumRegs]uint64
+	phr     [7]uint64
+	loopBr  BranchStat
+	cacheH  uint64
+	cacheM  uint64
+	cacheF  uint64
+	snapSum uint64
+}
+
+func observeMachine(m *Machine, p *isa.Program) observation {
+	h, ms, f := m.Data.Stats()
+	return observation{
+		stats:   m.Stats(),
+		regs:    m.Hart(0).regs,
+		phr:     m.Hart(0).PHR.Words(),
+		loopBr:  m.Branch(p.MustSymbol("loop") + 8), // the trailing loop branch
+		cacheH:  h,
+		cacheM:  ms,
+		cacheF:  f,
+		snapSum: m.Snapshot().Hash(),
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	for _, noise := range []float64{0, 0.3} {
+		p := snapWorkload(t)
+		opts := Options{Arch: bpu.RaptorLake, Seed: 11, Noise: noise}
+		m := New(opts)
+		if err := m.Run(p, "main"); err != nil {
+			t.Fatal(err)
+		}
+		snap := m.Snapshot()
+		if snap.Hash() != m.Snapshot().Hash() {
+			t.Fatalf("noise=%v: re-snapshotting an untouched machine changed the hash", noise)
+		}
+
+		// Continuation A from the checkpoint.
+		if err := m.Run(p, "main"); err != nil {
+			t.Fatal(err)
+		}
+		want := observeMachine(m, p)
+
+		// Rewind and run the identical continuation.
+		m.RestoreFrom(snap)
+		if got := m.Snapshot().Hash(); got != snap.Hash() {
+			t.Fatalf("noise=%v: restored state hash %#x, want %#x", noise, got, snap.Hash())
+		}
+		if err := m.Run(p, "main"); err != nil {
+			t.Fatal(err)
+		}
+		if got := observeMachine(m, p); got != want {
+			t.Fatalf("noise=%v: continuation after restore diverged:\n got %+v\nwant %+v", noise, got, want)
+		}
+	}
+}
+
+func TestSnapshotRestoreIntoFreshMachine(t *testing.T) {
+	p := snapWorkload(t)
+	opts := Options{Arch: bpu.AlderLake, Seed: 23, Noise: 0.2}
+	m1 := New(opts)
+	if err := m1.Run(p, "main"); err != nil {
+		t.Fatal(err)
+	}
+	snap := m1.Snapshot()
+	if err := m1.Run(p, "main"); err != nil {
+		t.Fatal(err)
+	}
+	want := observeMachine(m1, p)
+
+	// A brand-new machine adopting the snapshot must continue identically.
+	// Memory is not captured, so the driver (this test) re-establishes the
+	// bytes the continuation reads — here, the buffer the loop stores to.
+	m2 := New(opts)
+	m2.RestoreFrom(snap)
+	for addr := uint64(0x9000); addr < 0x9000+64*64; addr += 8 {
+		m2.Mem.Write64(addr, m1.Mem.Read64(addr))
+	}
+	if err := m2.Run(p, "main"); err != nil {
+		t.Fatal(err)
+	}
+	if got := observeMachine(m2, p); got != want {
+		t.Fatalf("fresh machine after restore diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotHashDiscriminates(t *testing.T) {
+	p := snapWorkload(t)
+	run := func(seed int64) *Snapshot {
+		m := New(Options{Seed: seed})
+		if err := m.Run(p, "main"); err != nil {
+			t.Fatal(err)
+		}
+		return m.Snapshot()
+	}
+	if run(1).Hash() != run(1).Hash() {
+		t.Fatal("identical runs produced different snapshot hashes")
+	}
+	if run(1).Hash() == run(2).Hash() {
+		t.Fatal("different seeds produced identical snapshot hashes")
+	}
+}
+
+func TestSnapshotWithFaultsRoundTrip(t *testing.T) {
+	p := snapWorkload(t)
+	prof := faultinject.Default()
+	opts := Options{Seed: 7, Faults: &prof}
+	m := New(opts)
+	if err := m.Run(p, "main"); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if err := m.Run(p, "main"); err != nil {
+		t.Fatal(err)
+	}
+	want := observeMachine(m, p)
+	m.RestoreFrom(snap)
+	if err := m.Run(p, "main"); err != nil {
+		t.Fatal(err)
+	}
+	if got := observeMachine(m, p); got != want {
+		t.Fatalf("faulted continuation after restore diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReseedMatchesFreshMachine(t *testing.T) {
+	p := snapWorkload(t)
+	fresh := New(Options{Seed: 99, Noise: 0.3})
+	if err := fresh.Run(p, "main"); err != nil {
+		t.Fatal(err)
+	}
+
+	reseeded := New(Options{Seed: 5, Noise: 0.3})
+	reseeded.Reseed(99)
+	if err := reseeded.Run(p, "main"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := observeMachine(reseeded, p), observeMachine(fresh, p); got != want {
+		t.Fatalf("reseeded machine diverged from fresh machine:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+
+	snap := New(Options{Arch: bpu.RaptorLake}).Snapshot()
+	mustPanic("arch mismatch", func() {
+		New(Options{Arch: bpu.Skylake}).RestoreFrom(snap)
+	})
+	mustPanic("hart mismatch", func() {
+		New(Options{Arch: bpu.RaptorLake, Harts: 2}).RestoreFrom(snap)
+	})
+	prof := faultinject.Default()
+	mustPanic("fault armament mismatch", func() {
+		New(Options{Arch: bpu.RaptorLake, Faults: &prof}).RestoreFrom(snap)
+	})
+	oracle := refmodel.NewPredictor
+	mustPanic("snapshot with custom predictor", func() {
+		New(Options{NewPredictor: oracle}).Snapshot()
+	})
+	mustPanic("restore with custom predictor", func() {
+		m := New(Options{Arch: bpu.RaptorLake, NewPredictor: oracle})
+		m.RestoreFrom(snap)
+	})
+}

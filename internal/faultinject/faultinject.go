@@ -169,6 +169,14 @@ func (in *Injector) Reset(seed int64) {
 // Profile returns the profile the injector was built from.
 func (in *Injector) Profile() Profile { return in.p }
 
+// State returns the injector's PRNG state, the only mutable word it owns.
+// The checkpoint layer (cpu.Machine.Snapshot) captures it so a restored
+// machine replays the identical fault sequence.
+func (in *Injector) State() uint64 { return in.rng.s }
+
+// SetState rewinds the injector's PRNG to a previously captured State.
+func (in *Injector) SetState(s uint64) { in.rng.s = s }
+
 // RunBoundary applies the run-start events — misalignment slips — to the
 // hart's path history register: the victim occasionally enters with its
 // history shifted by one doublet.

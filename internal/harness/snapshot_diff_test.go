@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"testing"
+
+	"pathfinder/internal/aes"
+	"pathfinder/internal/attack"
+	"pathfinder/internal/bpu"
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/refmodel"
+	"pathfinder/internal/trace"
+)
+
+// Differential validation of the checkpointing layer: a machine restored
+// from a snapshot must be indistinguishable — branch by branch — from the
+// machine that did the training itself, and both must keep agreeing with
+// the internal/refmodel oracle. The stream-level test reuses the PR 2
+// trace/differential runner; the driver-level test runs the §9 AES
+// experiment workload end to end.
+
+func TestSnapshotRestoreDifferentialVsOracle(t *testing.T) {
+	for _, cfg := range []bpu.Config{bpu.AlderLake, bpu.RaptorLake} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			stream := trace.RandomStream(0xdecaf, 6000)
+			train, probe := stream[:4000], stream[4000:]
+
+			// Train a machine's predictor unit and hart PHR through the
+			// replay harness, then checkpoint it.
+			mf := cpu.New(cpu.Options{Arch: cfg})
+			fresh := trace.Impl{Name: "trained", CBP: mf.BPU.CBP, H: mf.Hart(0).PHR}
+			trace.Replay(fresh, train)
+			snap := mf.Snapshot()
+
+			// Restored machine vs the freshly trained one, in lockstep over
+			// the probe suffix.
+			mr := cpu.New(cpu.Options{Arch: cfg})
+			mr.RestoreFrom(snap)
+			restored := trace.Impl{Name: "restored", CBP: mr.BPU.CBP, H: mr.Hart(0).PHR}
+			if d := trace.Diff(fresh, restored, probe); d != nil {
+				t.Fatalf("restored machine diverges from its trainer at step %d (%+v): %s",
+					d.Step, d.Branch, d.Reason)
+			}
+
+			// A second restore vs the oracle trained from scratch on the same
+			// prefix: the checkpoint must not perturb the bpu/refmodel parity.
+			mr2 := cpu.New(cpu.Options{Arch: cfg})
+			mr2.RestoreFrom(snap)
+			restored2 := trace.Impl{Name: "restored", CBP: mr2.BPU.CBP, H: mr2.Hart(0).PHR}
+			oracle := trace.NewOracle(cfg)
+			trace.Replay(oracle, train)
+			if d := trace.Diff(restored2, oracle, probe); d != nil {
+				t.Fatalf("restored machine diverges from the oracle at step %d (%+v): %s",
+					d.Step, d.Branch, d.Reason)
+			}
+		})
+	}
+}
+
+func TestSnapshotRestoreAESDriverDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	opts := cpu.Options{Seed: 31}
+	pt := aes.Block{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+	// The trainer runs phase 1 itself, checkpoints, then continues with one
+	// unpoisoned capture run.
+	m1 := cpu.New(opts)
+	a1, err := attack.NewAESAttack(m1, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.RecoverControlFlow(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m1.Snapshot()
+
+	// A fresh machine adopts the checkpoint (fork installs the victim
+	// memory, restore rewinds the microarchitectural state) and runs the
+	// identical continuation.
+	m2 := cpu.New(opts)
+	a2, err := a1.Fork(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.RestoreFrom(snap)
+
+	a1.Ctx.SetPlaintext(m1, pt)
+	a2.Ctx.SetPlaintext(m2, pt)
+	if err := m1.Run(a1.Rec.CaptureProgram, "cap_main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(a2.Rec.CaptureProgram, "cap_main"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m2.Snapshot().Hash(), m1.Snapshot().Hash(); got != want {
+		t.Fatalf("restored machine state %#x after capture run, trainer has %#x", got, want)
+	}
+	if got, want := m2.Stats(), m1.Stats(); got != want {
+		t.Fatalf("restored machine counters %+v, trainer has %+v", got, want)
+	}
+
+	// The same workload on the refmodel oracle, freshly trained: every
+	// prediction must agree, so the aggregated counters — cycles include the
+	// mispredict penalty — must match both machines exactly.
+	m3 := cpu.New(cpu.Options{Seed: 31, NewPredictor: refmodel.NewPredictor})
+	a3, err := attack.NewAESAttack(m3, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a3.RecoverControlFlow(); err != nil {
+		t.Fatal(err)
+	}
+	a3.Ctx.SetPlaintext(m3, pt)
+	if err := m3.Run(a3.Rec.CaptureProgram, "cap_main"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m3.Stats(), m2.Stats(); got != want {
+		t.Fatalf("oracle counters %+v diverge from restored machine's %+v", got, want)
+	}
+}

@@ -22,6 +22,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -264,6 +265,41 @@ type Program struct {
 	labelIdx  map[string]int // label name -> instruction index, for Reindex
 	addrStale bool           // byAddr lags the Instrs addresses (sorted; use binary search)
 	symStale  bool           // Symbols lags the Instrs addresses (resolve via labelIdx)
+}
+
+// Hash returns a content hash of the program: an FNV-1a style fold over
+// every instruction's predictor-visible fields plus the sorted symbol
+// table. Two programs with equal hashes train identical predictor state
+// from identical starting conditions, which is what lets the harness
+// warm-state cache use it as a content address. Sym strings and the lazily
+// derived index maps are excluded; instruction addresses and targets (the
+// fields the PHR footprint actually sees) are what matter.
+func (p *Program) Hash() uint64 {
+	const prime = 0x100000001b3
+	h := uint64(0xcbf29ce484222325)
+	mix := func(w uint64) { h = (h ^ w) * prime }
+	mix(uint64(len(p.Instrs)))
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		mix(in.Addr)
+		mix(uint64(in.Op)<<32 | uint64(in.Cond)<<24 |
+			uint64(in.Rd)<<16 | uint64(in.Rs)<<8 | uint64(in.Rt))
+		mix(uint64(in.Vd))
+		mix(uint64(in.Imm))
+		mix(in.Target)
+	}
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for j := 0; j < len(name); j++ {
+			mix(uint64(name[j]))
+		}
+		mix(p.Symbols[name])
+	}
+	return h
 }
 
 // IndexOf maps an instruction address to its program-order index.

@@ -51,6 +51,10 @@ type Metrics struct {
 	failures  map[string]map[failureClass]uint64
 	recovered uint64
 	sim       cpu.Counters
+
+	rcHits   map[string]uint64 // result-cache hits, by experiment
+	rcMisses map[string]uint64 // result-cache misses, by experiment
+	rcDedup  map[string]uint64 // jobs deduplicated onto an in-flight run
 }
 
 func newMetrics(workers int) *Metrics {
@@ -61,7 +65,28 @@ func newMetrics(workers int) *Metrics {
 		latency:   make(map[string]*histogram),
 		retried:   make(map[string]uint64),
 		failures:  make(map[string]map[failureClass]uint64),
+		rcHits:    make(map[string]uint64),
+		rcMisses:  make(map[string]uint64),
+		rcDedup:   make(map[string]uint64),
 	}
+}
+
+func (m *Metrics) resultCacheHit(experiment string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rcHits[experiment]++
+}
+
+func (m *Metrics) resultCacheMiss(experiment string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rcMisses[experiment]++
+}
+
+func (m *Metrics) resultCacheDedup(experiment string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rcDedup[experiment]++
 }
 
 func (m *Metrics) jobSubmitted(experiment string) {
@@ -127,7 +152,7 @@ func (m *Metrics) SimCounters() cpu.Counters {
 // Expose renders the full exposition. Current state counts and the queue
 // gauge come from the live job table so a scrape is always consistent with
 // GET /v1/jobs.
-func (m *Metrics) Expose(states map[State]int, queueDepth int, breakers map[string]int) string {
+func (m *Metrics) Expose(states map[State]int, queueDepth int, breakers map[string]int, resultEntries int) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -185,6 +210,28 @@ func (m *Metrics) Expose(states map[State]int, queueDepth int, breakers map[stri
 			}
 		}
 	}
+
+	w("# HELP pathfinderd_result_cache_hits_total jobs served from the result cache, by experiment\n")
+	w("# TYPE pathfinderd_result_cache_hits_total counter\n")
+	for _, exp := range sortedKeys(m.rcHits) {
+		w("pathfinderd_result_cache_hits_total{experiment=%q} %d\n", exp, m.rcHits[exp])
+	}
+
+	w("# HELP pathfinderd_result_cache_misses_total jobs that missed the result cache, by experiment\n")
+	w("# TYPE pathfinderd_result_cache_misses_total counter\n")
+	for _, exp := range sortedKeys(m.rcMisses) {
+		w("pathfinderd_result_cache_misses_total{experiment=%q} %d\n", exp, m.rcMisses[exp])
+	}
+
+	w("# HELP pathfinderd_result_cache_dedup_total jobs deduplicated onto an identical in-flight run, by experiment\n")
+	w("# TYPE pathfinderd_result_cache_dedup_total counter\n")
+	for _, exp := range sortedKeys(m.rcDedup) {
+		w("pathfinderd_result_cache_dedup_total{experiment=%q} %d\n", exp, m.rcDedup[exp])
+	}
+
+	w("# HELP pathfinderd_result_cache_entries results currently held in the bounded LRU\n")
+	w("# TYPE pathfinderd_result_cache_entries gauge\n")
+	w("pathfinderd_result_cache_entries %d\n", resultEntries)
 
 	w("# HELP pathfinderd_jobs_recovered_total jobs re-queued from the journal at startup\n")
 	w("# TYPE pathfinderd_jobs_recovered_total counter\n")

@@ -71,7 +71,7 @@ func TestHistogramExpositionCumulative(t *testing.T) {
 	for _, d := range durations {
 		m.jobFinished("obs2", StateDone, d, cpu.Counters{})
 	}
-	exp := m.Expose(map[State]int{}, 0, nil)
+	exp := m.Expose(map[State]int{}, 0, nil, 0)
 
 	bucket := func(le string) int {
 		return metricValue(t, exp, fmt.Sprintf(`pathfinderd_job_duration_seconds_bucket{experiment="obs2",le="%s"}`, le))

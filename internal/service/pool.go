@@ -70,6 +70,16 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker waits before admitting a
 	// probe submission. <=0 means 30s.
 	BreakerCooldown time.Duration
+
+	// ResultCacheSize bounds the in-memory result cache: finished results
+	// are kept in an LRU keyed by (experiment, canonical resolved params),
+	// and an identical later job is served from the cache — or deduplicated
+	// onto an identical in-flight run — instead of re-simulated. The
+	// drivers are deterministic functions of their resolved parameters, so
+	// a cached result is byte-identical to a fresh run's. Journal replay
+	// repopulates the cache on startup. <=0 disables caching, the
+	// historical behavior.
+	ResultCacheSize int
 }
 
 // Service owns the job table, the bounded queue, and the worker pool. All
@@ -83,7 +93,8 @@ type Service struct {
 	now     func() time.Time
 	breaker *breaker
 	retry   harness.Retry
-	journal *journal // nil when Config.DataDir is empty
+	journal *journal     // nil when Config.DataDir is empty
+	results *resultCache // nil when Config.ResultCacheSize <= 0
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -192,6 +203,7 @@ func Open(cfg Config) (*Service, error) {
 		breaker:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock),
 		retry:       harness.Retry{Attempts: cfg.MaxAttempts, Backoff: cfg.RetryBackoff},
 		journal:     jr,
+		results:     newResultCache(cfg.ResultCacheSize),
 		queue:       make(chan *job, depth),
 		jobs:        make(map[string]*job),
 		retryTimers: make(map[string]*time.Timer),
@@ -236,6 +248,14 @@ func (s *Service) install(replayed []*replayedJob) int {
 			j.finished = r.finTime
 			if j.started.IsZero() {
 				j.started = j.finished
+			}
+			// A replayed success re-seeds the result cache, so a restarted
+			// daemon serves repeats of already-journaled work without
+			// re-simulating it.
+			if s.results != nil && j.state == StateDone && len(j.result) > 0 {
+				if key, ok := resultKeyFor(j.experiment, j.params); ok {
+					s.results.put(key, &resultEntry{result: j.result, stats: j.stats})
+				}
 			}
 		case r.starts >= s.cfg.MaxAttempts:
 			// The crash consumed the last attempt; re-running would loop a
@@ -587,15 +607,7 @@ func (s *Service) runJob(workerID int, j *job) {
 
 	s.log.Info("job started", "job", j.id, "experiment", j.experiment, "worker", workerID, "attempt", attempt)
 
-	result, stats, err := runRecovered(ctx, exp.Run, j.params)
-
-	var raw json.RawMessage
-	if err == nil {
-		raw, err = json.Marshal(result)
-		if err != nil {
-			err = fmt.Errorf("marshaling result: %w", err)
-		}
-	}
+	raw, stats, err := s.execute(ctx, exp.Run, j)
 
 	s.mu.Lock()
 	j.cancel = nil
@@ -643,6 +655,75 @@ func (s *Service) runJob(workerID int, j *job) {
 
 	s.log.Info("job finished", "job", j.id, "experiment", j.experiment,
 		"state", string(state), "duration", dur, "attempts", j.attempts, "err", j.errMsg)
+}
+
+// execute produces one job's marshaled result: served from the result
+// cache on a key hit, adopted from an identical in-flight job (dedup), or
+// computed by running the experiment. Only clean successes enter the cache;
+// a cancelled run is not cached even when the runner managed to finish, so
+// a cancelled-but-complete result can never masquerade as a success for the
+// next submitter.
+func (s *Service) execute(ctx context.Context, run Runner, j *job) (json.RawMessage, cpu.Counters, error) {
+	key, keyOK := resultKey{}, false
+	if s.results != nil {
+		key, keyOK = resultKeyFor(j.experiment, j.params)
+	}
+	if !keyOK {
+		result, stats, err := runRecovered(ctx, run, j.params)
+		return marshalResult(result, stats, err)
+	}
+	if e, ok := s.results.get(key); ok {
+		s.metrics.resultCacheHit(j.experiment)
+		return e.result, e.stats, nil
+	}
+	s.metrics.resultCacheMiss(j.experiment)
+	deduped := false
+	for {
+		flight, leader := s.results.begin(key)
+		if leader {
+			result, stats, err := runRecovered(ctx, run, j.params)
+			raw, stats, err := marshalResult(result, stats, err)
+			var entry *resultEntry
+			if err == nil && !s.cancelRequested(j) {
+				entry = &resultEntry{result: raw, stats: stats}
+			}
+			s.results.finish(key, flight, entry)
+			return raw, stats, err
+		}
+		if !deduped {
+			deduped = true
+			s.metrics.resultCacheDedup(j.experiment)
+		}
+		select {
+		case <-flight.done:
+			if flight.entry != nil {
+				return flight.entry.result, flight.entry.stats, nil
+			}
+			// The leader failed or was cancelled; loop and run for real
+			// (possibly becoming the next leader).
+		case <-ctx.Done():
+			return nil, cpu.Counters{}, ctx.Err()
+		}
+	}
+}
+
+// cancelRequested reads the job's cancellation flag under the lock.
+func (s *Service) cancelRequested(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.cancelRequested
+}
+
+// marshalResult serializes a successful runner outcome.
+func marshalResult(result any, stats cpu.Counters, err error) (json.RawMessage, cpu.Counters, error) {
+	if err != nil {
+		return nil, stats, err
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return nil, stats, fmt.Errorf("marshaling result: %w", err)
+	}
+	return raw, stats, nil
 }
 
 // scheduleRetryLocked parks a failed job as pending and arms the timer that

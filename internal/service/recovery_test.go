@@ -108,7 +108,7 @@ func TestCrashRecovery(t *testing.T) {
 		t.Fatalf("job table holds %d jobs, want 5 (4 recovered + 1 new)", got)
 	}
 
-	exp := s.metrics.Expose(s.StateCounts(), s.QueueDepth(), nil)
+	exp := s.metrics.Expose(s.StateCounts(), s.QueueDepth(), nil, s.results.len())
 	if n := metricValue(t, exp, "pathfinderd_jobs_recovered_total"); n != 2 {
 		t.Fatalf("recovered_total = %d, want 2 (jobs 2 and 3)", n)
 	}

@@ -54,7 +54,7 @@ func TestJobRetrySucceedsWithinBudget(t *testing.T) {
 	if got.State != StateDone || got.Attempts != 3 {
 		t.Fatalf("state=%s attempts=%d err=%q, want done after 3 attempts", got.State, got.Attempts, got.Error)
 	}
-	exp := s.metrics.Expose(s.StateCounts(), s.QueueDepth(), nil)
+	exp := s.metrics.Expose(s.StateCounts(), s.QueueDepth(), nil, s.results.len())
 	if n := metricValue(t, exp, `pathfinderd_job_retries_total{experiment="flaky"}`); n != 2 {
 		t.Fatalf("retries_total = %d, want 2", n)
 	}
@@ -263,7 +263,7 @@ func TestRunRecoveredPanicPath(t *testing.T) {
 		return err == nil && got.State == StateDone
 	})
 
-	exp := s.metrics.Expose(s.StateCounts(), s.QueueDepth(), nil)
+	exp := s.metrics.Expose(s.StateCounts(), s.QueueDepth(), nil, s.results.len())
 	if n := metricValue(t, exp, `pathfinderd_job_failures_total{experiment="bomb",class="panic"}`); n != 1 {
 		t.Fatalf("panic failure class = %d, want 1", n)
 	}
@@ -313,7 +313,7 @@ func TestCancelMetricsCounters(t *testing.T) {
 		t.Fatalf("cancel on finished job: err = %v, want ErrFinished", err)
 	}
 
-	exp := s.metrics.Expose(s.StateCounts(), s.QueueDepth(), nil)
+	exp := s.metrics.Expose(s.StateCounts(), s.QueueDepth(), nil, s.results.len())
 	if n := metricValue(t, exp, `pathfinderd_jobs_finished_total{experiment="blocker",state="cancelled"}`); n != 2 {
 		t.Fatalf("cancelled counter = %d, want 2 (queued + running)", n)
 	}

@@ -99,7 +99,7 @@ func (s *Service) Handler() http.Handler {
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		fmt.Fprint(w, s.metrics.Expose(s.StateCounts(), s.QueueDepth(), s.breaker.snapshot()))
+		fmt.Fprint(w, s.metrics.Expose(s.StateCounts(), s.QueueDepth(), s.breaker.snapshot(), s.results.len()))
 	})
 
 	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
