@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The distributed-execution acceptance scenario on real binaries: a sweep
+// sharded across a coordinator and two workers must render the exact bytes
+// the standalone daemon renders, and must still render them when a worker
+// is SIGKILLed mid-sweep and its leases migrate.
+
+const clusterSweep = `{"experiment":"aes",` +
+	`"params":{"trials":2,"noise":-1},` +
+	`"sweep":{"archs":["alderlake","skylake"],"seeds":[1,2,3,4,5,6]}}`
+
+// buildDaemon compiles the binary once per test into tmp.
+func buildDaemon(t *testing.T, tmp string) string {
+	t.Helper()
+	bin := filepath.Join(tmp, "pathfinderd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary with args and waits for its address line.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out syncBuffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrRE := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			return cmd, m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+	return nil, ""
+}
+
+func stopDaemon(cmd *exec.Cmd) {
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}
+}
+
+// submitBatch posts body to base and returns the batch ID.
+func submitBatch(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch submit: %d %s", resp.StatusCode, raw)
+	}
+	var v struct {
+		Batch string `json:"batch"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v.Batch
+}
+
+// fetchReport polls the canonical report until the batch completes.
+func fetchReport(t *testing.T, base, batch string, timeout time.Duration) []byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/batch/" + batch + "/report")
+		if err == nil {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return raw
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("batch %s never completed on %s", batch, base)
+	return nil
+}
+
+// metricValue scrapes one un-labeled or exact-labeled sample from /metrics.
+func metricValue(t *testing.T, base, metric string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(metric) + ` ([0-9.e+-]+)$`)
+	if m := re.FindStringSubmatch(string(raw)); m != nil {
+		var v float64
+		fmt.Sscanf(m[1], "%g", &v)
+		return v
+	}
+	return 0
+}
+
+func TestClusterBinariesMatchStandalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test: builds and runs real binaries")
+	}
+	tmp := t.TempDir()
+	bin := buildDaemon(t, tmp)
+
+	// Reference bytes from the standalone daemon.
+	sa, saBase := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	want := fetchReport(t, saBase, submitBatch(t, saBase, clusterSweep), 120*time.Second)
+	stopDaemon(sa)
+
+	// The same sweep sharded over a coordinator and two workers.
+	coord, coordBase := startDaemon(t, bin,
+		"-role", "coordinator", "-addr", "127.0.0.1:0",
+		"-dispatch-interval", "20ms", "-lease-ttl", "2s")
+	defer stopDaemon(coord)
+	w0, _ := startDaemon(t, bin,
+		"-role", "worker", "-addr", "127.0.0.1:0", "-coordinator", coordBase,
+		"-node-name", "w0", "-heartbeat", "50ms", "-workers", "2")
+	defer stopDaemon(w0)
+	w1, w1Base := startDaemon(t, bin,
+		"-role", "worker", "-addr", "127.0.0.1:0", "-coordinator", coordBase,
+		"-node-name", "w1", "-heartbeat", "50ms", "-workers", "2")
+	defer stopDaemon(w1)
+
+	got := fetchReport(t, coordBase, submitBatch(t, coordBase, clusterSweep), 180*time.Second)
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster report diverges from standalone:\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// The sweep holds one warm-shareable group per arch; every trial after a
+	// group's first lookup restores instead of re-warming, so each worker
+	// that ran anything shows warm-cache hits: training demonstrably skipped.
+	hits := metricValue(t, w1Base, `pathfinderd_worker_warm_cache_total{outcome="hit"}`)
+	assigns := metricValue(t, w1Base, "pathfinderd_worker_assignments_total")
+	if assigns > 0 && hits == 0 {
+		t.Errorf("worker w1 accepted %v assignments but recorded zero warm-cache hits", assigns)
+	}
+}
+
+func TestClusterWorkerSIGKILLConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test: builds and runs real binaries")
+	}
+	tmp := t.TempDir()
+	bin := buildDaemon(t, tmp)
+
+	sa, saBase := startDaemon(t, bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	want := fetchReport(t, saBase, submitBatch(t, saBase, clusterSweep), 120*time.Second)
+	stopDaemon(sa)
+
+	// Aggressive lease timing so the kill recovers within test patience.
+	coord, coordBase := startDaemon(t, bin,
+		"-role", "coordinator", "-addr", "127.0.0.1:0",
+		"-dispatch-interval", "20ms", "-lease-ttl", "500ms", "-max-assigns", "5")
+	defer stopDaemon(coord)
+	w0, _ := startDaemon(t, bin,
+		"-role", "worker", "-addr", "127.0.0.1:0", "-coordinator", coordBase,
+		"-node-name", "w0", "-heartbeat", "50ms", "-workers", "2")
+	defer stopDaemon(w0)
+	w1, _ := startDaemon(t, bin,
+		"-role", "worker", "-addr", "127.0.0.1:0", "-coordinator", coordBase,
+		"-node-name", "w1", "-heartbeat", "50ms", "-workers", "2")
+
+	batch := submitBatch(t, coordBase, clusterSweep)
+
+	// Kill w1 without ceremony once it holds work; its leases must lapse and
+	// migrate to w0.
+	deadline := time.Now().Add(30 * time.Second)
+	for metricValue(t, coordBase, `pathfinderd_cluster_assignments_total{worker="w1"}`) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("w1 never got an assignment")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := w1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	w1.Wait()
+
+	got := fetchReport(t, coordBase, batch, 180*time.Second)
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-SIGKILL cluster report diverges from standalone:\ngot:  %s\nwant: %s", got, want)
+	}
+	if n := metricValue(t, coordBase, "pathfinderd_cluster_lease_reassignments_total"); n < 1 {
+		t.Logf("note: kill landed between assignments (reassignments=%v); convergence still verified", n)
+	}
+}

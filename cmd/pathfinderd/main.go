@@ -2,7 +2,14 @@
 // pool of simulators drains a bounded job queue, and an HTTP/JSON surface
 // submits jobs, runs µarch sweeps, reports results, and exposes metrics.
 //
+// It runs in one of three roles. Standalone (the default) is the single-node
+// service. A coordinator owns the cluster job table and shards sweeps across
+// workers; a worker joins a coordinator, executes assignments on its local
+// pool, and exchanges content-addressed warm snapshots with its peers.
+//
 //	pathfinderd -addr :8321 -workers 4
+//	pathfinderd -role coordinator -addr :8321
+//	pathfinderd -role worker -addr :8322 -coordinator http://coord:8321 -node-name w0
 //	curl -s localhost:8321/v1/experiments
 //	curl -s -XPOST localhost:8321/v1/jobs -d '{"experiment":"fig4","params":{"seed":7}}'
 package main
@@ -23,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"pathfinder/internal/cluster"
 	"pathfinder/internal/service"
 )
 
@@ -35,6 +43,7 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pathfinderd", flag.ContinueOnError)
 	fs.SetOutput(out)
+	role := fs.String("role", "standalone", "process role: standalone | coordinator | worker")
 	addr := fs.String("addr", ":8321", "listen address")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 256, "bounded job-queue depth")
@@ -45,6 +54,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "base backoff before a failed job is retried")
 	resultCache := fs.Int("result-cache", 256, "result-cache capacity in entries (0 = disabled)")
 	pprofAddr := fs.String("pprof-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
+	// Cluster flags. -coordinator, -self-url, -node-name and -heartbeat
+	// shape a worker; -lease-ttl, -dispatch-interval, -max-assigns and
+	// -max-inflight shape a coordinator.
+	coordURL := fs.String("coordinator", "", "worker: coordinator base URL (required for -role worker)")
+	selfURL := fs.String("self-url", "", "worker: URL peers reach this node at (default: derived from the listener)")
+	nodeName := fs.String("node-name", "", "worker: stable cluster-unique name (default: hostname-port)")
+	heartbeat := fs.Duration("heartbeat", time.Second, "worker: heartbeat interval")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "coordinator: assignment lease; jobs on silent workers requeue after this")
+	dispatchEvery := fs.Duration("dispatch-interval", 50*time.Millisecond, "coordinator: scheduling tick")
+	maxAssigns := fs.Int("max-assigns", 3, "coordinator: accepted assignments one job may consume before failing")
+	maxInflight := fs.Int("max-inflight", 4, "coordinator: max leases per worker")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,27 +86,126 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-retry-backoff must be positive, got %s", *retryBackoff)
 	case *resultCache < 0:
 		return fmt.Errorf("-result-cache must be >= 0 (0 disables), got %d", *resultCache)
+	case *heartbeat <= 0:
+		return fmt.Errorf("-heartbeat must be positive, got %s", *heartbeat)
+	case *leaseTTL <= 0:
+		return fmt.Errorf("-lease-ttl must be positive, got %s", *leaseTTL)
+	case *dispatchEvery <= 0:
+		return fmt.Errorf("-dispatch-interval must be positive, got %s", *dispatchEvery)
+	case *maxAssigns <= 0:
+		return fmt.Errorf("-max-assigns must be positive, got %d", *maxAssigns)
+	case *maxInflight <= 0:
+		return fmt.Errorf("-max-inflight must be positive, got %d", *maxInflight)
 	// Port 0 is exempt: two ephemeral binds always land on distinct ports.
 	case *pprofAddr != "" && *pprofAddr == *addr && !strings.HasSuffix(*addr, ":0"):
 		return fmt.Errorf("-pprof-addr must differ from -addr: profiling stays off the public API listener")
 	}
+	switch *role {
+	case "standalone", "coordinator":
+		if *coordURL != "" {
+			return fmt.Errorf("-coordinator only applies to -role worker")
+		}
+	case "worker":
+		if *coordURL == "" {
+			return fmt.Errorf("-role worker requires -coordinator")
+		}
+	default:
+		return fmt.Errorf("-role must be standalone, coordinator or worker, got %q", *role)
+	}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
 	logger := slog.New(slog.NewTextHandler(out, nil))
-	svc, err := service.Open(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		DefaultTimeout:  *jobTimeout,
-		Logger:          logger,
-		DataDir:         *dataDir,
-		MaxAttempts:     *maxAttempts,
-		RetryBackoff:    *retryBackoff,
-		ResultCacheSize: *resultCache,
-	})
-	if err != nil {
-		return err
+
+	// Role-specific setup: each branch yields the API handler plus a drain
+	// function; listening and shutdown are shared below.
+	var (
+		handler http.Handler
+		drain   func(context.Context) error
+		started func(ln net.Addr) error // post-listen hook (worker join)
+	)
+	switch *role {
+	case "coordinator":
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Logger:               logger,
+			LeaseTTL:             *leaseTTL,
+			DispatchEvery:        *dispatchEvery,
+			MaxAssigns:           *maxAssigns,
+			MaxInflightPerWorker: *maxInflight,
+			DefaultTimeout:       *jobTimeout,
+			DataDir:              *dataDir,
+		})
+		if err != nil {
+			return err
+		}
+		handler = coord.Handler()
+		drain = coord.Shutdown
+
+	default: // standalone and worker both run a local service
+		svc, err := service.Open(service.Config{
+			Workers:         *workers,
+			QueueDepth:      *queue,
+			DefaultTimeout:  *jobTimeout,
+			Logger:          logger,
+			DataDir:         *dataDir,
+			MaxAttempts:     *maxAttempts,
+			RetryBackoff:    *retryBackoff,
+			ResultCacheSize: *resultCache,
+		})
+		if err != nil {
+			return err
+		}
+		if *role == "standalone" {
+			handler = svc.Handler()
+			drain = svc.Shutdown
+			break
+		}
+		var wk *cluster.Worker
+		// The worker's handler is built before the listener exists; the
+		// self URL and default node name need the bound port, so the worker
+		// itself is constructed in the post-listen hook.
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if wk == nil {
+				http.Error(w, "worker still joining", http.StatusServiceUnavailable)
+				return
+			}
+			wk.Handler().ServeHTTP(w, r)
+		})
+		started = func(a net.Addr) error {
+			self := *selfURL
+			if self == "" {
+				self = "http://" + reachableHostPort(a)
+			}
+			name := *nodeName
+			if name == "" {
+				host, err := os.Hostname()
+				if err != nil || host == "" {
+					host = "worker"
+				}
+				_, port, _ := net.SplitHostPort(a.String())
+				name = host + "-" + port
+			}
+			w, err := cluster.NewWorker(cluster.WorkerConfig{
+				Name:        name,
+				Coordinator: *coordURL,
+				SelfURL:     self,
+				Heartbeat:   *heartbeat,
+				Logger:      logger,
+			}, svc)
+			if err != nil {
+				return err
+			}
+			w.Start()
+			wk = w
+			fmt.Fprintf(out, "worker %s joined %s as %s\n", name, *coordURL, self)
+			return nil
+		}
+		drain = func(dctx context.Context) error {
+			if wk != nil {
+				wk.Stop()
+			}
+			return svc.Shutdown(dctx)
+		}
 	}
 
 	// The pprof endpoints get their own listener and mux: the public API
@@ -108,8 +227,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "pathfinderd listening on http://%s\n", ln.Addr())
+	if started != nil {
+		if err := started(ln.Addr()); err != nil {
+			ln.Close()
+			return err
+		}
+	}
 
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -130,11 +255,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return fmt.Errorf("pprof shutdown: %w", err)
 		}
 	}
-	if err := svc.Shutdown(shutCtx); err != nil {
+	if err := drain(shutCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	fmt.Fprintln(out, "pathfinderd drained and stopped")
 	return nil
+}
+
+// reachableHostPort rewrites a listener address into something peers can
+// dial: the unspecified host (":8322" binds [::] or 0.0.0.0) becomes
+// loopback, which is correct for the single-machine clusters the default
+// serves — multi-host deployments pass -self-url.
+func reachableHostPort(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }
 
 // pprofMux registers the net/http/pprof handlers on a private mux instead

@@ -1,0 +1,116 @@
+package bpu
+
+import (
+	"fmt"
+
+	"pathfinder/internal/pht"
+	"pathfinder/internal/wire"
+)
+
+// Wire codec for the saved predictor states, used by the cpu.Snapshot
+// binary encoding. Sparse structures (BTB, IBP) encode only live entries,
+// mirroring their Hash folds; the CBP encodes its tables in order plus the
+// decay clock.
+
+// EncodeWire appends the saved CBP to w.
+func (s *CBPState) EncodeWire(w *wire.Writer) {
+	w.String(s.arch)
+	s.base.EncodeWire(w)
+	w.U32(uint32(len(s.tables)))
+	for i := range s.tables {
+		s.tables[i].EncodeWire(w)
+	}
+	w.U64(s.updates)
+}
+
+// DecodeWire reads a saved CBP from r, replacing s.
+func (s *CBPState) DecodeWire(r *wire.Reader) {
+	s.arch = r.String()
+	s.base.DecodeWire(r)
+	n := r.Len(64)
+	if len(s.tables) != n {
+		s.tables = make([]pht.TaggedState, n)
+	}
+	for i := range s.tables {
+		s.tables[i].DecodeWire(r)
+	}
+	s.updates = r.U64()
+}
+
+// EncodeWire appends the saved BTB to w: total geometry, then the live
+// entries as (index, key, target).
+func (s *BTBState) EncodeWire(w *wire.Writer) {
+	w.U32(uint32(len(s.entries)))
+	live := 0
+	for i := range s.entries {
+		if s.entries[i].key != 0 {
+			live++
+		}
+	}
+	w.U32(uint32(live))
+	for i := range s.entries {
+		if s.entries[i].key == 0 {
+			continue
+		}
+		w.U32(uint32(i))
+		w.U64(s.entries[i].key)
+		w.U64(s.entries[i].target)
+	}
+}
+
+// DecodeWire reads a saved BTB from r, replacing s.
+func (s *BTBState) DecodeWire(r *wire.Reader) {
+	n := r.Len(1 << 24)
+	if cap(s.entries) < n {
+		s.entries = make([]btbEntry, n)
+	}
+	s.entries = s.entries[:n]
+	clear(s.entries)
+	live := r.Len(n)
+	for k := 0; k < live; k++ {
+		i := int(r.U32())
+		if r.Err() != nil {
+			return
+		}
+		if i >= n {
+			r.Fail(fmt.Errorf("bpu: wire BTB entry %d out of geometry %d", i, n))
+			return
+		}
+		s.entries[i].key = r.U64()
+		s.entries[i].target = r.U64()
+	}
+}
+
+// EncodeWire appends the saved IBP to w as its key-sorted pairs.
+func (s *IBPState) EncodeWire(w *wire.Writer) {
+	w.U32(uint32(len(s.keys)))
+	for i := range s.keys {
+		w.U64(s.keys[i])
+		w.U64(s.targets[i])
+	}
+}
+
+// DecodeWire reads a saved IBP from r, replacing s.
+func (s *IBPState) DecodeWire(r *wire.Reader) {
+	n := r.Len(1 << 24)
+	s.keys = s.keys[:0]
+	s.targets = s.targets[:0]
+	for i := 0; i < n; i++ {
+		s.keys = append(s.keys, r.U64())
+		s.targets = append(s.targets, r.U64())
+	}
+}
+
+// EncodeWire appends the saved Unit to w.
+func (s *UnitState) EncodeWire(w *wire.Writer) {
+	s.cbp.EncodeWire(w)
+	s.btb.EncodeWire(w)
+	s.ibp.EncodeWire(w)
+}
+
+// DecodeWire reads a saved Unit from r, replacing s.
+func (s *UnitState) DecodeWire(r *wire.Reader) {
+	s.cbp.DecodeWire(r)
+	s.btb.DecodeWire(r)
+	s.ibp.DecodeWire(r)
+}

@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"fmt"
+
+	"pathfinder/internal/wire"
+)
+
+// Wire codec for the saved cache state, used by the cpu.Snapshot binary
+// encoding. Lines are sparse on the wire — only valid (key != 0) lines are
+// emitted, mirroring Hash — so a mostly-cold cache costs a few bytes.
+
+// EncodeWire appends the saved cache to w.
+func (s *State) EncodeWire(w *wire.Writer) {
+	w.U32(uint32(s.sets))
+	w.U32(uint32(s.ways))
+	w.U64(s.tick)
+	w.U64(s.hits)
+	w.U64(s.misses)
+	w.U64(s.flushes)
+	live := 0
+	for i := range s.lines {
+		if s.lines[i].key != 0 {
+			live++
+		}
+	}
+	w.U32(uint32(live))
+	for i := range s.lines {
+		if s.lines[i].key == 0 {
+			continue
+		}
+		w.U32(uint32(i))
+		w.U64(s.lines[i].key)
+		w.U64(s.lines[i].lru)
+	}
+}
+
+// DecodeWire reads a saved cache from r, replacing s.
+func (s *State) DecodeWire(r *wire.Reader) {
+	s.sets = int(r.U32())
+	s.ways = int(r.U32())
+	s.tick = r.U64()
+	s.hits = r.U64()
+	s.misses = r.U64()
+	s.flushes = r.U64()
+	if r.Err() != nil {
+		return
+	}
+	if s.sets < 0 || s.ways < 0 || s.sets*s.ways > 1<<26 {
+		r.Fail(fmt.Errorf("cache: wire geometry %dx%d out of range", s.sets, s.ways))
+		return
+	}
+	n := s.sets * s.ways
+	if cap(s.lines) < n {
+		s.lines = make([]line, n)
+	}
+	s.lines = s.lines[:n]
+	clear(s.lines)
+	live := r.Len(n)
+	for k := 0; k < live; k++ {
+		i := int(r.U32())
+		if r.Err() != nil {
+			return
+		}
+		if i >= n {
+			r.Fail(fmt.Errorf("cache: wire line %d out of geometry %d", i, n))
+			return
+		}
+		s.lines[i].key = r.U64()
+		s.lines[i].lru = r.U64()
+	}
+}

@@ -1,0 +1,908 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/service"
+)
+
+// CoordinatorConfig tunes a Coordinator. The zero value is usable: default
+// lease and dispatch timing, the standard registry, a discarding logger,
+// and no persistence.
+type CoordinatorConfig struct {
+	Registry *service.Registry // experiment registry; nil means NewRegistry()
+	Logger   *slog.Logger      // nil discards
+	Clock    func() time.Time  // test hook; nil means time.Now
+
+	// LeaseTTL is how long an assignment stays owned without a heartbeat
+	// listing the job. <=0 means 10s.
+	LeaseTTL time.Duration
+	// WorkerExpiry is how long after its last heartbeat a worker is still
+	// assignable. <=0 means 3×LeaseTTL.
+	WorkerExpiry time.Duration
+	// DispatchEvery is the scheduling tick. <=0 means 50ms. Submissions,
+	// results and heartbeats additionally kick the dispatcher immediately.
+	DispatchEvery time.Duration
+	// MaxAssigns bounds how many accepted assignments one job may consume
+	// (initial assignment plus lease-expiry reassignments) before it is
+	// finalized failed. <=0 means 3.
+	MaxAssigns int
+	// MaxInflightPerWorker bounds the leases one worker may hold — the
+	// coordinator-side queue bound that keeps a sweep from piling onto one
+	// node. <=0 means 4.
+	MaxInflightPerWorker int
+	// MaxPending bounds the unassigned queue. <=0 means 4096.
+	MaxPending int
+	// DefaultTimeout is the per-job timeout when a submission names none.
+	// <=0 means 2 minutes.
+	DefaultTimeout time.Duration
+
+	// DataDir enables the coordinator journal: every job transition is
+	// appended to <DataDir>/coordinator.jsonl and replayed on startup.
+	DataDir string
+
+	// HTTPClient performs assignments; nil uses a 10s-timeout client.
+	HTTPClient *http.Client
+}
+
+// workerState is one worker's live record, built entirely from heartbeats.
+type workerState struct {
+	name      string
+	addr      string
+	lastSeen  time.Time
+	inflight  map[string]struct{} // cluster job IDs under lease here
+	queue     int
+	capacity  int
+	saturated bool              // last assignment got 429; cleared by the next heartbeat
+	warm      map[string]string // warm key → snapshot content hash
+}
+
+// clusterJob is the coordinator's mutable job record, guarded by
+// Coordinator.mu past the immutable header.
+type clusterJob struct {
+	id         string
+	experiment string
+	params     service.Params // resolved
+	batch      string
+	timeout    time.Duration
+
+	state           service.State
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+	assignedTo      string
+	leaseExpiry     time.Time
+	assigns         int // accepted assignments consumed
+	workerAttempts  int // attempts the finishing worker reported
+	result          json.RawMessage
+	errMsg          string
+	stats           cpu.Counters
+	cancelRequested bool
+}
+
+// view projects the job; caller holds Coordinator.mu.
+func (j *clusterJob) view() JobView {
+	v := JobView{JobView: service.JobView{
+		ID:         j.id,
+		Experiment: j.experiment,
+		Params:     j.params,
+		Batch:      j.batch,
+		State:      j.state,
+		Submitted:  j.submitted,
+		Attempts:   j.workerAttempts,
+		Result:     j.result,
+		Error:      j.errMsg,
+	}, Worker: j.assignedTo}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+		if !j.started.IsZero() {
+			v.DurationMS = j.finished.Sub(j.started).Milliseconds()
+		}
+	}
+	if j.stats != (cpu.Counters{}) {
+		s := j.stats
+		v.SimStats = &s
+	}
+	return v
+}
+
+// Coordinator owns the cluster job table, the pending queue, the worker
+// directory, and the dispatch loop that pushes assignments to workers.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	reg     *service.Registry
+	log     *slog.Logger
+	now     func() time.Time
+	client  *http.Client
+	metrics *coordMetrics
+	journal *coordJournal // nil without DataDir
+
+	mu       sync.Mutex
+	jobs     map[string]*clusterJob
+	order    []string // submission order
+	pending  []string // unassigned job IDs, FIFO
+	workers  map[string]*workerState
+	affinity map[string]map[string]time.Time // warm group → worker → last success
+	seq      uint64
+	closed   bool
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator, replays its journal when DataDir is
+// set, and starts the dispatch loop.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = service.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.WorkerExpiry <= 0 {
+		cfg.WorkerExpiry = 3 * cfg.LeaseTTL
+	}
+	if cfg.DispatchEvery <= 0 {
+		cfg.DispatchEvery = 50 * time.Millisecond
+	}
+	if cfg.MaxAssigns <= 0 {
+		cfg.MaxAssigns = 3
+	}
+	if cfg.MaxInflightPerWorker <= 0 {
+		cfg.MaxInflightPerWorker = 4
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4096
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 2 * time.Minute
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	c := &Coordinator{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		log:      cfg.Logger,
+		now:      cfg.Clock,
+		client:   cfg.HTTPClient,
+		metrics:  newCoordMetrics(),
+		jobs:     make(map[string]*clusterJob),
+		workers:  make(map[string]*workerState),
+		affinity: make(map[string]map[string]time.Time),
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: creating data dir: %w", err)
+		}
+		path := filepath.Join(cfg.DataDir, "coordinator.jsonl")
+		replayed, maxSeq, err := replayCoordJournal(path, cfg.Logger)
+		if err != nil {
+			return nil, err
+		}
+		if c.journal, err = openCoordJournal(path); err != nil {
+			return nil, err
+		}
+		c.seq = maxSeq
+		recovered := 0
+		for _, r := range replayed {
+			j := &clusterJob{
+				id:         r.id,
+				experiment: r.experiment,
+				params:     r.params,
+				batch:      r.batch,
+				timeout:    r.timeout,
+				submitted:  r.submitted,
+			}
+			if j.timeout <= 0 {
+				j.timeout = cfg.DefaultTimeout
+			}
+			if r.finished {
+				j.state = r.finState
+				j.errMsg = r.finErr
+				j.result = r.result
+				j.stats = r.stats
+				j.finished = r.finTime
+				j.started = r.finTime
+			} else {
+				j.state = service.StatePending
+				c.pending = append(c.pending, j.id)
+				recovered++
+			}
+			c.jobs[j.id] = j
+			c.order = append(c.order, j.id)
+		}
+		c.metrics.add(func(m *coordMetrics) { m.jobsRecovered += uint64(recovered) })
+		c.log.Info("coordinator journal replayed", "jobs", len(replayed), "recovered", recovered)
+	}
+
+	c.wg.Add(1)
+	go c.loop()
+	return c, nil
+}
+
+// Shutdown stops admission and the dispatch loop. Workers keep running
+// their in-flight jobs; their results land in the journal of the next
+// coordinator incarnation via the worker resend loop.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: coordinator Shutdown called twice")
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		<-done
+	}
+	if c.journal != nil {
+		if cerr := c.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// kickDispatch nudges the loop without blocking.
+func (c *Coordinator) kickDispatch() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the scheduling goroutine: expire leases, then dispatch.
+func (c *Coordinator) loop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.DispatchEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		case <-c.kick:
+		}
+		c.expireLeases()
+		c.dispatch()
+	}
+}
+
+// appendJournal logs rather than fails, mirroring the service journal.
+func (c *Coordinator) appendJournal(rec coordRecord) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.append(rec); err != nil {
+		c.log.Warn("coordinator journal append failed", "op", rec.Op, "job", rec.Job, "err", err)
+	}
+}
+
+// Submit validates against the registry, records the job and queues it for
+// assignment. Mirrors service.Service.Submit semantics.
+func (c *Coordinator) Submit(experiment string, p service.Params, batch string, timeout time.Duration) (JobView, error) {
+	resolved, err := c.reg.Resolve(experiment, p)
+	if err != nil {
+		return JobView{}, err
+	}
+	if timeout <= 0 {
+		timeout = c.cfg.DefaultTimeout
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return JobView{}, service.ErrDraining
+	}
+	if len(c.pending) >= c.cfg.MaxPending {
+		c.mu.Unlock()
+		return JobView{}, service.ErrQueueFull
+	}
+	c.seq++
+	j := &clusterJob{
+		id:         fmt.Sprintf("cjob-%06d", c.seq),
+		experiment: experiment,
+		params:     resolved,
+		batch:      batch,
+		timeout:    timeout,
+		state:      service.StatePending,
+		submitted:  c.now(),
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.pending = append(c.pending, j.id)
+	c.appendJournal(coordRecord{
+		Op: copSubmit, Job: j.id, Time: j.submitted,
+		Experiment: experiment, Params: &resolved, Batch: batch,
+		TimeoutMS: timeout.Milliseconds(),
+	})
+	v := j.view()
+	c.mu.Unlock()
+
+	c.metrics.add(func(m *coordMetrics) { m.submitted++ })
+	c.kickDispatch()
+	c.log.Info("cluster job submitted", "job", j.id, "experiment", experiment, "batch", batch)
+	return v, nil
+}
+
+// SubmitSweep expands archs × seeds over base params into one batch,
+// mirroring service.Service.SubmitSweep.
+func (c *Coordinator) SubmitSweep(experiment string, base service.Params, archs []string, seeds []int64, timeout time.Duration) (string, []JobView, error) {
+	if len(archs) == 0 {
+		archs = []string{base.Arch}
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{base.Seed}
+	}
+	for _, a := range archs {
+		if _, err := service.ArchConfig(a); err != nil {
+			return "", nil, err
+		}
+	}
+	if _, err := c.reg.Resolve(experiment, base); err != nil {
+		return "", nil, err
+	}
+	if n := len(archs) * len(seeds); n > c.cfg.MaxPending {
+		return "", nil, fmt.Errorf("%w: sweep of %d jobs exceeds pending bound %d", service.ErrQueueFull, n, c.cfg.MaxPending)
+	}
+
+	c.mu.Lock()
+	c.seq++
+	batch := fmt.Sprintf("cbatch-%06d", c.seq)
+	c.mu.Unlock()
+
+	views := make([]JobView, 0, len(archs)*len(seeds))
+	for _, a := range archs {
+		for _, seed := range seeds {
+			p := base
+			p.Arch = a
+			p.Seed = seed
+			v, err := c.Submit(experiment, p, batch, timeout)
+			if err != nil {
+				return batch, views, err
+			}
+			views = append(views, v)
+		}
+	}
+	return batch, views, nil
+}
+
+// Get returns one job's view.
+func (c *Coordinator) Get(id string) (JobView, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return JobView{}, service.ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// List returns matching jobs in submission order.
+func (c *Coordinator) List(f service.ListFilter) []JobView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobView, 0, len(c.order))
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if f.State != "" && j.state != f.State {
+			continue
+		}
+		if f.Batch != "" && j.batch != f.Batch {
+			continue
+		}
+		if f.Experiment != "" && j.experiment != f.Experiment {
+			continue
+		}
+		out = append(out, j.view())
+	}
+	return out
+}
+
+// Cancel aborts a job: an unassigned pending job finalizes immediately; an
+// assigned job is cancelled on its worker through the next heartbeat reply
+// and finalizes when the worker reports the cancelled result.
+func (c *Coordinator) Cancel(id string) (JobView, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return JobView{}, service.ErrNotFound
+	}
+	if terminal(j.state) {
+		return j.view(), service.ErrFinished
+	}
+	j.cancelRequested = true
+	if j.assignedTo == "" {
+		c.finalizeLocked(j, service.StateCancelled, "", nil, cpu.Counters{}, 0)
+	}
+	return j.view(), nil
+}
+
+// finalizeLocked moves a job to a terminal state. Caller holds c.mu.
+func (c *Coordinator) finalizeLocked(j *clusterJob, st service.State, errMsg string, result json.RawMessage, stats cpu.Counters, workerAttempts int) {
+	j.state = st
+	j.errMsg = errMsg
+	j.result = result
+	j.stats = stats
+	j.workerAttempts = workerAttempts
+	j.finished = c.now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	// assignedTo is kept: a terminal job's view shows which worker ran it
+	// (the scheduler ignores terminal jobs, so the stale lease is inert).
+	j.leaseExpiry = time.Time{}
+	c.appendJournal(coordRecord{
+		Op: copFinish, Job: j.id, Time: j.finished,
+		State: st, Error: errMsg, Result: result, Stats: statsPtr(stats),
+	})
+}
+
+func statsPtr(s cpu.Counters) *cpu.Counters {
+	if s == (cpu.Counters{}) {
+		return nil
+	}
+	return &s
+}
+
+// affinityGroup is the warm-routing key: jobs in the same group share
+// trainable warm state (the harness warm cache keys per-trial snapshots by
+// kind/arch/program/noise; within one experiment the program is fixed, so
+// experiment + canonical arch + noise identifies the reusable state).
+func affinityGroup(experiment string, p service.Params) string {
+	arch := p.Arch
+	if cfg, err := service.ArchConfig(p.Arch); err == nil {
+		arch = cfg.Name
+	}
+	return fmt.Sprintf("%s|%s|%g", experiment, arch, p.Noise)
+}
+
+// noteAffinityLocked records a successful completion for warm routing.
+func (c *Coordinator) noteAffinityLocked(j *clusterJob, worker string) {
+	g := affinityGroup(j.experiment, j.params)
+	byWorker := c.affinity[g]
+	if byWorker == nil {
+		byWorker = make(map[string]time.Time)
+		c.affinity[g] = byWorker
+	}
+	byWorker[worker] = c.now()
+}
+
+// expireLeases requeues jobs whose lease lapsed and prunes workers that
+// stopped heartbeating (requeuing their leases promptly rather than waiting
+// for each lease to lapse on its own).
+func (c *Coordinator) expireLeases() {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	for name, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.cfg.WorkerExpiry {
+			continue
+		}
+		for id := range w.inflight {
+			if j := c.jobs[id]; j != nil && !terminal(j.state) && j.assignedTo == name {
+				c.requeueLocked(j, fmt.Sprintf("worker %s expired", name))
+			}
+		}
+		delete(c.workers, name)
+		c.log.Warn("worker expired", "worker", name, "last_seen", w.lastSeen)
+	}
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.assignedTo != "" && !terminal(j.state) && now.After(j.leaseExpiry) {
+			c.requeueLocked(j, "lease expired")
+		}
+	}
+}
+
+// requeueLocked returns an assigned job to the pending queue — or finalizes
+// it failed once the assignment budget is spent. Caller holds c.mu.
+func (c *Coordinator) requeueLocked(j *clusterJob, reason string) {
+	if w := c.workers[j.assignedTo]; w != nil {
+		delete(w.inflight, j.id)
+	}
+	worker := j.assignedTo
+	j.assignedTo = ""
+	j.leaseExpiry = time.Time{}
+	if j.assigns >= c.cfg.MaxAssigns {
+		c.finalizeLocked(j, service.StateFailed,
+			fmt.Sprintf("%s after %d assignment(s), budget %d exhausted", reason, j.assigns, c.cfg.MaxAssigns),
+			nil, cpu.Counters{}, 0)
+		return
+	}
+	j.state = service.StatePending
+	j.started = time.Time{}
+	// Requeue at the front: a reassigned job is older than anything pending.
+	c.pending = append([]string{j.id}, c.pending...)
+	c.appendJournal(coordRecord{Op: copRequeue, Job: j.id, Time: c.now(), Worker: worker, Reason: reason})
+	c.metrics.add(func(m *coordMetrics) { m.reassigned++ })
+	c.log.Warn("cluster job requeued", "job", j.id, "worker", worker, "reason", reason, "assigns", j.assigns)
+}
+
+// assignment is one dispatch decision, executed outside the lock.
+type assignment struct {
+	job    *clusterJob
+	worker string
+	addr   string
+	req    RunRequest
+}
+
+// dispatch drains the pending queue onto assignable workers.
+func (c *Coordinator) dispatch() {
+	now := c.now()
+	c.mu.Lock()
+	var work []assignment
+	var remaining []string
+	for _, id := range c.pending {
+		j := c.jobs[id]
+		if j == nil || j.state != service.StatePending || j.assignedTo != "" || terminal(j.state) {
+			continue // cancelled or already handled
+		}
+		w := c.pickWorkerLocked(j, now)
+		if w == nil {
+			remaining = append(remaining, id)
+			continue
+		}
+		j.assignedTo = w.name
+		j.leaseExpiry = now.Add(c.cfg.LeaseTTL)
+		w.inflight[j.id] = struct{}{}
+		work = append(work, assignment{
+			job:    j,
+			worker: w.name,
+			addr:   w.addr,
+			req: RunRequest{
+				ID:         j.id,
+				Experiment: j.experiment,
+				Params:     j.params,
+				TimeoutMS:  j.timeout.Milliseconds(),
+			},
+		})
+	}
+	c.pending = remaining
+	c.mu.Unlock()
+
+	for _, a := range work {
+		c.sendAssignment(a)
+	}
+}
+
+// pickWorkerLocked selects the destination: least-loaded among the job's
+// warm-group holders, else least-loaded overall. Iteration is
+// name-sorted so ties break deterministically. Caller holds c.mu.
+func (c *Coordinator) pickWorkerLocked(j *clusterJob, now time.Time) *workerState {
+	holders := c.affinity[affinityGroup(j.experiment, j.params)]
+
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var best, bestHolder *workerState
+	for _, name := range names {
+		w := c.workers[name]
+		if now.Sub(w.lastSeen) > c.cfg.WorkerExpiry || w.saturated {
+			continue
+		}
+		if len(w.inflight) >= c.cfg.MaxInflightPerWorker {
+			continue
+		}
+		if best == nil || len(w.inflight) < len(best.inflight) {
+			best = w
+		}
+		if _, isHolder := holders[name]; isHolder {
+			if bestHolder == nil || len(w.inflight) < len(bestHolder.inflight) {
+				bestHolder = w
+			}
+		}
+	}
+	if len(holders) > 0 && best != nil {
+		if bestHolder != nil {
+			c.metrics.add(func(m *coordMetrics) { m.affinityHits++ })
+			return bestHolder
+		}
+		c.metrics.add(func(m *coordMetrics) { m.affinityMiss++ })
+	}
+	return best
+}
+
+// sendAssignment POSTs one assignment and settles the outcome: accepted
+// assignments consume budget and start the lease; a 429 marks the worker
+// saturated until its next heartbeat and requeues the job without consuming
+// budget; transport and other errors requeue likewise.
+func (c *Coordinator) sendAssignment(a assignment) {
+	body, _ := json.Marshal(a.req)
+	resp, err := c.client.Post(a.addr+"/v1/cluster/run", "application/json", bytes.NewReader(body))
+	status := 0
+	accepted := false
+	if err == nil {
+		status = resp.StatusCode
+		var rr RunResponse
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr)
+		resp.Body.Close()
+		accepted = status < 300 && rr.Accepted
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := a.job
+	if accepted {
+		if terminal(j.state) || j.assignedTo != a.worker {
+			return // raced with a result or a concurrent requeue
+		}
+		j.assigns++
+		c.appendJournal(coordRecord{Op: copAssign, Job: j.id, Time: c.now(), Worker: a.worker})
+		c.metrics.add(func(m *coordMetrics) { m.assigned[a.worker]++ })
+		c.log.Info("cluster job assigned", "job", j.id, "worker", a.worker, "assign", j.assigns)
+		return
+	}
+
+	if w := c.workers[a.worker]; w != nil {
+		delete(w.inflight, j.id)
+		if status == http.StatusTooManyRequests {
+			w.saturated = true
+		}
+	}
+	if terminal(j.state) || j.assignedTo != a.worker {
+		return
+	}
+	j.assignedTo = ""
+	j.leaseExpiry = time.Time{}
+	c.pending = append([]string{j.id}, c.pending...)
+	switch {
+	case status == http.StatusTooManyRequests:
+		c.metrics.add(func(m *coordMetrics) { m.backpressure++ })
+		c.log.Info("worker saturated, job requeued", "job", j.id, "worker", a.worker)
+	default:
+		c.metrics.add(func(m *coordMetrics) { m.assignErrors++ })
+		c.log.Warn("assignment failed, job requeued", "job", j.id, "worker", a.worker, "status", status, "err", err)
+	}
+}
+
+// handleHeartbeat ingests one worker heartbeat: refreshes the directory
+// entry, renews the leases of every job the worker still reports, updates
+// running-state progress, and returns the IDs the worker should cancel.
+func (c *Coordinator) handleHeartbeat(hb Heartbeat) HeartbeatReply {
+	now := c.now()
+	c.mu.Lock()
+	w := c.workers[hb.Worker]
+	if w == nil {
+		w = &workerState{name: hb.Worker, inflight: make(map[string]struct{})}
+		c.workers[hb.Worker] = w
+		c.log.Info("worker joined", "worker", hb.Worker, "addr", hb.Addr)
+	}
+	w.addr = hb.Addr
+	w.lastSeen = now
+	w.queue = hb.Queue
+	w.capacity = hb.Capacity
+	w.saturated = false
+	w.warm = make(map[string]string, len(hb.WarmKeys))
+	for _, ad := range hb.WarmKeys {
+		w.warm[ad.Key] = ad.Hash
+	}
+
+	reported := make(map[string]service.State, len(hb.Jobs))
+	for _, js := range hb.Jobs {
+		reported[js.ID] = js.State
+	}
+	var cancels []string
+	for id := range w.inflight {
+		j := c.jobs[id]
+		if j == nil || terminal(j.state) || j.assignedTo != hb.Worker {
+			delete(w.inflight, id)
+			continue
+		}
+		st, ok := reported[id]
+		if !ok {
+			// The worker does not (or does not yet) know this job — either
+			// the assignment is still in flight or the worker restarted.
+			// Leave the lease to expire on its own rather than guessing.
+			continue
+		}
+		j.leaseExpiry = now.Add(c.cfg.LeaseTTL)
+		if st == service.StateRunning && j.state == service.StatePending {
+			j.state = service.StateRunning
+			j.started = now
+		}
+		if j.cancelRequested {
+			cancels = append(cancels, id)
+		}
+	}
+	// Jobs the worker reports but no longer owns (lease lost, job finished
+	// elsewhere): cancel them so the worker stops spending cycles.
+	for id := range reported {
+		j := c.jobs[id]
+		if j == nil || terminal(j.state) || j.assignedTo != hb.Worker {
+			cancels = append(cancels, id)
+		}
+	}
+	c.mu.Unlock()
+
+	c.metrics.add(func(m *coordMetrics) {
+		m.heartbeats++
+		m.cancelsRelayed += uint64(len(cancels))
+	})
+	c.kickDispatch()
+	return HeartbeatReply{Cancel: cancels}
+}
+
+// handleResults ingests terminal results. Every ID is acked — even
+// duplicates and strays — so workers always drop their mapping; only the
+// first terminal result for a job mutates it.
+func (c *Coordinator) handleResults(p ResultsPush) ResultsReply {
+	reply := ResultsReply{Acked: make([]string, 0, len(p.Results))}
+	c.mu.Lock()
+	for _, r := range p.Results {
+		reply.Acked = append(reply.Acked, r.ID)
+		j := c.jobs[r.ID]
+		if j == nil {
+			continue
+		}
+		if terminal(j.state) {
+			c.metrics.add(func(m *coordMetrics) { m.dupResults++ })
+			continue
+		}
+		if !terminal(r.State) {
+			continue
+		}
+		// A worker that lost the lease may still report: a done result is
+		// always valid (the drivers are deterministic, so it is identical
+		// to what the new owner will produce), but a stale owner's failure
+		// or relayed cancellation must not clobber the live assignment.
+		if j.assignedTo != p.Worker && r.State != service.StateDone {
+			continue
+		}
+		if w := c.workers[p.Worker]; w != nil {
+			delete(w.inflight, r.ID)
+		}
+		st := r.State
+		if j.cancelRequested {
+			st = service.StateCancelled
+		}
+		var stats cpu.Counters
+		if r.Stats != nil {
+			stats = *r.Stats
+		}
+		j.assignedTo = p.Worker // credit the worker that actually finished
+		c.finalizeLocked(j, st, r.Error, r.Result, stats, r.Attempts)
+		if st == service.StateDone {
+			c.noteAffinityLocked(j, p.Worker)
+		}
+		c.metrics.add(func(m *coordMetrics) { m.results[st]++ })
+		c.log.Info("cluster job finished", "job", j.id, "worker", p.Worker, "state", string(st))
+	}
+	c.mu.Unlock()
+	c.kickDispatch()
+	return reply
+}
+
+// locateSnapshot answers a warm-key lookup with the freshest live holder,
+// excluding the requester itself.
+func (c *Coordinator) locateSnapshot(key, from string) (SnapshotLocation, bool) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var (
+		best     SnapshotLocation
+		bestSeen time.Time
+		found    bool
+	)
+	for name, w := range c.workers {
+		if name == from || now.Sub(w.lastSeen) > c.cfg.WorkerExpiry {
+			continue
+		}
+		hash, ok := w.warm[key]
+		if !ok {
+			continue
+		}
+		if !found || w.lastSeen.After(bestSeen) {
+			best = SnapshotLocation{Worker: name, Addr: w.addr, Hash: hash}
+			bestSeen = w.lastSeen
+			found = true
+		}
+	}
+	c.metrics.add(func(m *coordMetrics) {
+		if found {
+			m.locateHits++
+		} else {
+			m.locateMisses++
+		}
+	})
+	return best, found
+}
+
+// Status snapshots the cluster for /cluster/status.
+func (c *Coordinator) Status() StatusView {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sv := StatusView{Jobs: make(map[service.State]int, 5), Pending: len(c.pending)}
+	for _, st := range service.States() {
+		sv.Jobs[st] = 0
+	}
+	for _, j := range c.jobs {
+		sv.Jobs[j.state]++
+	}
+	for _, name := range sortedKeys(c.workers) {
+		w := c.workers[name]
+		keys := sortedKeys(w.warm)
+		sv.Workers = append(sv.Workers, WorkerStatus{
+			Name:       name,
+			Addr:       w.addr,
+			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+			Inflight:   len(w.inflight),
+			Queue:      w.queue,
+			Capacity:   w.capacity,
+			Saturated:  w.saturated,
+			WarmKeys:   keys,
+		})
+	}
+	return sv
+}
+
+// gauges samples the live state for /metrics.
+func (c *Coordinator) gauges() coordGauges {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := coordGauges{
+		inflight: make(map[string]int, len(c.workers)),
+		jobs:     make(map[service.State]int, 5),
+		pending:  len(c.pending),
+	}
+	for _, st := range service.States() {
+		g.jobs[st] = 0
+	}
+	for _, j := range c.jobs {
+		g.jobs[j.state]++
+	}
+	for name, w := range c.workers {
+		g.inflight[name] = len(w.inflight)
+		g.warmKeys += len(w.warm)
+		if now.Sub(w.lastSeen) <= c.cfg.WorkerExpiry {
+			g.workers++
+		}
+	}
+	return g
+}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/service"
+)
+
+// The coordinator journal: an append-only JSONL write-ahead log of cluster
+// job transitions, mirroring the service journal's shape and recovery
+// philosophy. Every submission, assignment, requeue and terminal result is
+// recorded before it is acknowledged, so a coordinator crash loses no
+// accepted work: on restart, terminal jobs are restored intact and
+// everything else re-enters the pending queue. Workers keep resending
+// unacked results across the restart, so jobs that finished during the
+// outage converge without re-execution; jobs reassigned redundantly produce
+// identical bytes anyway — the drivers are deterministic — and the first
+// terminal result wins.
+type coordRecord struct {
+	Op   string    `json:"op"` // submit | assign | requeue | finish
+	Job  string    `json:"job"`
+	Time time.Time `json:"time"`
+
+	// submit
+	Experiment string          `json:"experiment,omitempty"`
+	Params     *service.Params `json:"params,omitempty"`
+	Batch      string          `json:"batch,omitempty"`
+	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
+
+	// assign | requeue
+	Worker string `json:"worker,omitempty"`
+	Reason string `json:"reason,omitempty"`
+
+	// finish
+	State  service.State   `json:"state,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Stats  *cpu.Counters   `json:"stats,omitempty"`
+}
+
+// Coordinator journal operations.
+const (
+	copSubmit  = "submit"
+	copAssign  = "assign"
+	copRequeue = "requeue"
+	copFinish  = "finish"
+)
+
+// coordJournal serializes appends; the coordinator additionally appends
+// while holding its state lock, so journal order matches transition order.
+type coordJournal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openCoordJournal(path string) (*coordJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening coordinator journal: %w", err)
+	}
+	return &coordJournal{f: f}, nil
+}
+
+func (j *coordJournal) append(rec coordRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(append(raw, '\n'))
+	return err
+}
+
+func (j *coordJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// replayedCoordJob reconstructs one cluster job from its journal records.
+type replayedCoordJob struct {
+	id         string
+	experiment string
+	params     service.Params
+	batch      string
+	timeout    time.Duration
+	submitted  time.Time
+
+	finished bool
+	finState service.State
+	finErr   string
+	result   json.RawMessage
+	stats    cpu.Counters
+	finTime  time.Time
+}
+
+// replayCoordJournal reads the journal at path, reconstructing jobs in
+// submission order plus the highest sequence number used by a job or batch
+// ID. Corrupt lines — the tail of a mid-append crash — are skipped with a
+// warning, never an error. Assignment records restore nothing: a crash
+// invalidates every lease, so non-terminal jobs re-enter pending unassigned
+// with a fresh assignment budget.
+func replayCoordJournal(path string, log *slog.Logger) (jobs []*replayedCoordJob, maxSeq uint64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: reading coordinator journal: %w", err)
+	}
+	defer f.Close()
+
+	byID := make(map[string]*replayedCoordJob)
+	bumpSeq := func(id, prefix string) {
+		var n uint64
+		if _, err := fmt.Sscanf(id, prefix+"-%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+	}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec coordRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			log.Warn("coordinator journal: skipping corrupt record", "line", line, "err", err)
+			continue
+		}
+		switch rec.Op {
+		case copSubmit:
+			if rec.Job == "" || rec.Experiment == "" {
+				log.Warn("coordinator journal: skipping bare submit", "line", line)
+				continue
+			}
+			if _, dup := byID[rec.Job]; dup {
+				log.Warn("coordinator journal: skipping duplicate submit", "line", line, "job", rec.Job)
+				continue
+			}
+			r := &replayedCoordJob{
+				id:         rec.Job,
+				experiment: rec.Experiment,
+				batch:      rec.Batch,
+				timeout:    time.Duration(rec.TimeoutMS) * time.Millisecond,
+				submitted:  rec.Time,
+			}
+			if rec.Params != nil {
+				r.params = *rec.Params
+			}
+			byID[rec.Job] = r
+			jobs = append(jobs, r)
+			bumpSeq(rec.Job, "cjob")
+			if rec.Batch != "" {
+				bumpSeq(rec.Batch, "cbatch")
+			}
+		case copAssign, copRequeue:
+			if byID[rec.Job] == nil {
+				log.Warn("coordinator journal: skipping stray record", "line", line, "op", rec.Op, "job", rec.Job)
+			}
+		case copFinish:
+			r := byID[rec.Job]
+			if r == nil || r.finished {
+				log.Warn("coordinator journal: skipping stray finish", "line", line, "job", rec.Job)
+				continue
+			}
+			if !terminal(rec.State) {
+				log.Warn("coordinator journal: skipping non-terminal finish", "line", line, "job", rec.Job, "state", string(rec.State))
+				continue
+			}
+			r.finished = true
+			r.finState = rec.State
+			r.finErr = rec.Error
+			r.result = rec.Result
+			r.finTime = rec.Time
+			if rec.Stats != nil {
+				r.stats = *rec.Stats
+			}
+		default:
+			log.Warn("coordinator journal: skipping unknown op", "line", line, "op", rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Warn("coordinator journal: stopped before end of file", "line", line, "err", err)
+	}
+	return jobs, maxSeq, nil
+}

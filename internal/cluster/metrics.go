@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pathfinder/internal/service"
+)
+
+// coordMetrics is the coordinator's hand-rolled Prometheus surface,
+// following the service package's stdlib-only exposition idiom. Gauges
+// (workers, per-worker inflight, job states, pending queue) are sampled
+// from live coordinator state at scrape time so a scrape always matches
+// /cluster/status; everything here is the monotonic counters.
+type coordMetrics struct {
+	mu sync.Mutex
+
+	submitted      uint64
+	assigned       map[string]uint64 // by worker
+	affinityHits   uint64            // routed onto a warm-group holder
+	affinityMiss   uint64            // holders known but none assignable
+	backpressure   uint64            // 429-triggered requeues
+	reassigned     uint64            // lease-expiry requeues
+	assignErrors   uint64            // transport/5xx assignment failures
+	heartbeats     uint64
+	results        map[service.State]uint64
+	dupResults     uint64 // terminal results for already-terminal jobs
+	locateHits     uint64 // snapshot lookups answered with a holder
+	locateMisses   uint64
+	jobsRecovered  uint64 // re-queued from the journal at startup
+	cancelsRelayed uint64
+}
+
+func newCoordMetrics() *coordMetrics {
+	return &coordMetrics{
+		assigned: make(map[string]uint64),
+		results:  make(map[service.State]uint64),
+	}
+}
+
+func (m *coordMetrics) add(f func(*coordMetrics)) {
+	m.mu.Lock()
+	f(m)
+	m.mu.Unlock()
+}
+
+// coordGauges is the live state sampled at scrape time.
+type coordGauges struct {
+	workers  int
+	inflight map[string]int // by worker
+	jobs     map[service.State]int
+	pending  int
+	warmKeys int // advertised snapshot entries across live workers
+}
+
+// Expose renders the exposition text.
+func (m *coordMetrics) Expose(g coordGauges) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("# HELP pathfinderd_cluster_workers live workers (heartbeat within the expiry window)\n")
+	w("# TYPE pathfinderd_cluster_workers gauge\n")
+	w("pathfinderd_cluster_workers %d\n", g.workers)
+
+	w("# HELP pathfinderd_cluster_jobs cluster jobs by lifecycle state\n")
+	w("# TYPE pathfinderd_cluster_jobs gauge\n")
+	for _, st := range service.States() {
+		w("pathfinderd_cluster_jobs{state=%q} %d\n", string(st), g.jobs[st])
+	}
+
+	w("# HELP pathfinderd_cluster_pending jobs waiting for assignment\n")
+	w("# TYPE pathfinderd_cluster_pending gauge\n")
+	w("pathfinderd_cluster_pending %d\n", g.pending)
+
+	w("# HELP pathfinderd_cluster_worker_inflight leases held per worker\n")
+	w("# TYPE pathfinderd_cluster_worker_inflight gauge\n")
+	for _, name := range sortedKeys(g.inflight) {
+		w("pathfinderd_cluster_worker_inflight{worker=%q} %d\n", name, g.inflight[name])
+	}
+
+	w("# HELP pathfinderd_cluster_warm_keys snapshot advertisements across live workers\n")
+	w("# TYPE pathfinderd_cluster_warm_keys gauge\n")
+	w("pathfinderd_cluster_warm_keys %d\n", g.warmKeys)
+
+	w("# HELP pathfinderd_cluster_jobs_submitted_total cluster jobs accepted\n")
+	w("# TYPE pathfinderd_cluster_jobs_submitted_total counter\n")
+	w("pathfinderd_cluster_jobs_submitted_total %d\n", m.submitted)
+
+	w("# HELP pathfinderd_cluster_assignments_total accepted assignments, by worker\n")
+	w("# TYPE pathfinderd_cluster_assignments_total counter\n")
+	for _, name := range sortedKeys(m.assigned) {
+		w("pathfinderd_cluster_assignments_total{worker=%q} %d\n", name, m.assigned[name])
+	}
+
+	w("# HELP pathfinderd_cluster_affinity_total warm-affinity routing outcomes for jobs whose group has known holders\n")
+	w("# TYPE pathfinderd_cluster_affinity_total counter\n")
+	w("pathfinderd_cluster_affinity_total{outcome=\"hit\"} %d\n", m.affinityHits)
+	w("pathfinderd_cluster_affinity_total{outcome=\"miss\"} %d\n", m.affinityMiss)
+
+	w("# HELP pathfinderd_cluster_backpressure_requeues_total assignments bounced by worker 429s and requeued\n")
+	w("# TYPE pathfinderd_cluster_backpressure_requeues_total counter\n")
+	w("pathfinderd_cluster_backpressure_requeues_total %d\n", m.backpressure)
+
+	w("# HELP pathfinderd_cluster_lease_reassignments_total jobs requeued after a lease expired\n")
+	w("# TYPE pathfinderd_cluster_lease_reassignments_total counter\n")
+	w("pathfinderd_cluster_lease_reassignments_total %d\n", m.reassigned)
+
+	w("# HELP pathfinderd_cluster_assign_errors_total assignments that failed in transport or with a non-429 error\n")
+	w("# TYPE pathfinderd_cluster_assign_errors_total counter\n")
+	w("pathfinderd_cluster_assign_errors_total %d\n", m.assignErrors)
+
+	w("# HELP pathfinderd_cluster_heartbeats_total heartbeats received\n")
+	w("# TYPE pathfinderd_cluster_heartbeats_total counter\n")
+	w("pathfinderd_cluster_heartbeats_total %d\n", m.heartbeats)
+
+	w("# HELP pathfinderd_cluster_results_total terminal results received, by state\n")
+	w("# TYPE pathfinderd_cluster_results_total counter\n")
+	for _, st := range []service.State{service.StateDone, service.StateFailed, service.StateCancelled} {
+		if n, ok := m.results[st]; ok {
+			w("pathfinderd_cluster_results_total{state=%q} %d\n", string(st), n)
+		}
+	}
+
+	w("# HELP pathfinderd_cluster_duplicate_results_total results for already-terminal jobs (reassignment races)\n")
+	w("# TYPE pathfinderd_cluster_duplicate_results_total counter\n")
+	w("pathfinderd_cluster_duplicate_results_total %d\n", m.dupResults)
+
+	w("# HELP pathfinderd_cluster_snapshot_locates_total warm-key location lookups, by outcome\n")
+	w("# TYPE pathfinderd_cluster_snapshot_locates_total counter\n")
+	w("pathfinderd_cluster_snapshot_locates_total{outcome=\"hit\"} %d\n", m.locateHits)
+	w("pathfinderd_cluster_snapshot_locates_total{outcome=\"miss\"} %d\n", m.locateMisses)
+
+	w("# HELP pathfinderd_cluster_cancels_relayed_total cancellations relayed to workers via heartbeat replies\n")
+	w("# TYPE pathfinderd_cluster_cancels_relayed_total counter\n")
+	w("pathfinderd_cluster_cancels_relayed_total %d\n", m.cancelsRelayed)
+
+	w("# HELP pathfinderd_cluster_jobs_recovered_total jobs re-queued from the coordinator journal at startup\n")
+	w("# TYPE pathfinderd_cluster_jobs_recovered_total counter\n")
+	w("pathfinderd_cluster_jobs_recovered_total %d\n", m.jobsRecovered)
+
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,151 @@
+// Package cluster distributes pathfinderd across nodes: a coordinator
+// shards sweep batches over an HTTP/JSON control plane onto worker daemons,
+// each of which wraps a full service.Service. Three mechanisms carry the
+// design:
+//
+//   - Content-addressed snapshot exchange: workers advertise the warm-state
+//     snapshots they hold (harness warm-cache entries, addressed by the
+//     snapshot's own FNV-1a content hash) in every heartbeat, and a worker
+//     that misses warm state fetches the identical snapshot from the peer
+//     that trained it instead of re-training.
+//   - Warm-affinity scheduling: the coordinator routes a job toward workers
+//     that recently completed work in the same (experiment, arch, noise)
+//     group — the workers whose warm caches the job will hit — falling back
+//     to the least-loaded live worker, with bounded per-worker queues and
+//     429 backpressure feeding a coordinator-side requeue.
+//   - Lease-based ownership: every assignment carries a lease renewed by
+//     worker heartbeats; a dead or wedged worker's leases expire and its
+//     jobs are reassigned. Because every experiment driver is a
+//     deterministic function of its resolved parameters, duplicate
+//     executions from reassignment races produce identical results and the
+//     first terminal result simply wins.
+//
+// The determinism contract is end-to-end: a batch report served by the
+// coordinator is byte-identical to the standalone service's report for the
+// same sweep, at any worker count, across worker crashes.
+package cluster
+
+import (
+	"encoding/json"
+
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/service"
+)
+
+// RunRequest is the coordinator→worker job assignment (POST
+// /v1/cluster/run). Params arrive fully resolved — the coordinator owns
+// validation and default-filling, so every worker runs exactly the same
+// resolved work regardless of local registry defaults.
+type RunRequest struct {
+	ID         string         `json:"id"` // cluster job ID
+	Experiment string         `json:"experiment"`
+	Params     service.Params `json:"params"`
+	TimeoutMS  int64          `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse acknowledges an assignment. A worker that already holds the
+// job replies Accepted without resubmitting, making assignment idempotent
+// under coordinator retries.
+type RunResponse struct {
+	ID       string `json:"id"`
+	Accepted bool   `json:"accepted"`
+}
+
+// Heartbeat is the worker→coordinator liveness and progress report (POST
+// /v1/cluster/heartbeat). Listing a job ID renews its lease; the warm-key
+// advertisements feed the coordinator's snapshot-location index.
+type Heartbeat struct {
+	Worker   string      `json:"worker"`
+	Addr     string      `json:"addr"` // worker base URL, for assignments and peer fetches
+	Queue    int         `json:"queue"`
+	Capacity int         `json:"capacity"` // worker pool size
+	Jobs     []JobStatus `json:"jobs,omitempty"`
+	WarmKeys []WarmAd    `json:"warm_keys,omitempty"`
+}
+
+// JobStatus is one in-flight job's state as the worker sees it.
+type JobStatus struct {
+	ID    string        `json:"id"` // cluster job ID
+	State service.State `json:"state"`
+}
+
+// WarmAd advertises one exchangeable warm-cache entry: the harness warm key
+// (canonical string spelling) and the content hash of the snapshot behind
+// it, which doubles as the snapshot's address on the serving worker
+// (GET {addr}/snapshots/{hash}).
+type WarmAd struct {
+	Key  string `json:"key"`
+	Hash string `json:"hash"` // %016x of cpu.Snapshot.Hash()
+}
+
+// HeartbeatReply carries coordinator→worker instructions piggybacked on the
+// heartbeat: cluster job IDs the worker should cancel (client-cancelled, or
+// reassigned elsewhere after a lease loss).
+type HeartbeatReply struct {
+	Cancel []string `json:"cancel,omitempty"`
+}
+
+// ResultsPush delivers terminal jobs worker→coordinator (POST
+// /v1/cluster/results). The worker keeps resending a result until the
+// coordinator acks its ID, so completions survive coordinator restarts.
+type ResultsPush struct {
+	Worker  string      `json:"worker"`
+	Results []JobResult `json:"results"`
+}
+
+// JobResult is one terminal job outcome.
+type JobResult struct {
+	ID       string          `json:"id"` // cluster job ID
+	State    service.State   `json:"state"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Stats    *cpu.Counters   `json:"stats,omitempty"`
+	Attempts int             `json:"attempts,omitempty"` // worker-local attempts
+}
+
+// ResultsReply acks processed results; the worker drops its local mapping
+// for every acked ID.
+type ResultsReply struct {
+	Acked []string `json:"acked"`
+}
+
+// SnapshotLocation answers a warm-key lookup (GET /v1/cluster/snapshots):
+// which live worker holds the snapshot for a key, and under which content
+// hash to fetch it.
+type SnapshotLocation struct {
+	Worker string `json:"worker"`
+	Addr   string `json:"addr"`
+	Hash   string `json:"hash"`
+}
+
+// WorkerStatus is one worker's row in GET /cluster/status.
+type WorkerStatus struct {
+	Name       string   `json:"name"`
+	Addr       string   `json:"addr"`
+	LastSeenMS int64    `json:"last_seen_ms"` // since last heartbeat
+	Inflight   int      `json:"inflight"`     // leases held
+	Queue      int      `json:"queue"`
+	Capacity   int      `json:"capacity"`
+	Saturated  bool     `json:"saturated,omitempty"`
+	WarmKeys   []string `json:"warm_keys,omitempty"`
+}
+
+// StatusView is the GET /cluster/status body.
+type StatusView struct {
+	Workers []WorkerStatus        `json:"workers"`
+	Jobs    map[service.State]int `json:"jobs"`
+	Pending int                   `json:"pending"` // unassigned queue length
+}
+
+// JobView is the coordinator's job projection: the service view plus the
+// worker holding the lease. The embedded fields keep the JSON shape a
+// superset of the standalone API's.
+type JobView struct {
+	service.JobView
+	Worker string `json:"worker,omitempty"`
+}
+
+// terminal mirrors the service-internal state predicate.
+func terminal(s service.State) bool {
+	return s == service.StateDone || s == service.StateFailed || s == service.StateCancelled
+}

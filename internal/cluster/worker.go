@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/harness"
+	"pathfinder/internal/service"
+)
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// Name identifies the worker to the coordinator; it must be unique per
+	// cluster and stable across heartbeats.
+	Name string
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// SelfURL is this worker's advertised base URL — the address the
+	// coordinator assigns jobs to and peers fetch snapshots from.
+	SelfURL string
+	// Heartbeat is the heartbeat/result-push interval. <=0 means 1s.
+	Heartbeat time.Duration
+
+	Logger     *slog.Logger // nil discards
+	HTTPClient *http.Client // nil uses a 10s-timeout client
+}
+
+// workerMetrics are the worker-side cluster counters, appended to the
+// wrapped service's /metrics exposition.
+type workerMetrics struct {
+	assignments    atomic.Uint64 // accepted /v1/cluster/run requests
+	rejected       atomic.Uint64 // assignments bounced with 429
+	resultsPushed  atomic.Uint64
+	snapshotServes atomic.Uint64 // peer snapshot downloads served
+	heartbeatErrs  atomic.Uint64
+}
+
+// Worker wraps a full service.Service as one cluster execution node: it
+// accepts assignments over HTTP, heartbeats progress and warm-key
+// advertisements to the coordinator, pushes terminal results until acked,
+// serves its warm snapshots to peers by content hash, and installs the
+// harness warm-fetch hook that pulls missing warm state from peers.
+type Worker struct {
+	cfg    WorkerConfig
+	svc    *service.Service
+	log    *slog.Logger
+	client *http.Client
+	m      workerMetrics
+
+	mu    sync.Mutex
+	local map[string]string // cluster job ID → local job ID
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewWorker wraps svc. The worker does not own svc's lifecycle: callers
+// shut the service down after stopping the worker.
+func NewWorker(cfg WorkerConfig, svc *service.Service) (*Worker, error) {
+	if cfg.Name == "" || cfg.Coordinator == "" || cfg.SelfURL == "" {
+		return nil, fmt.Errorf("cluster: worker needs Name, Coordinator and SelfURL")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Worker{
+		cfg:    cfg,
+		svc:    svc,
+		log:    cfg.Logger,
+		client: cfg.HTTPClient,
+		local:  make(map[string]string),
+		stop:   make(chan struct{}),
+	}, nil
+}
+
+// Start launches the heartbeat loop and installs the process-global warm
+// fetch hook. (The hook is process-wide: with several in-process workers —
+// a test-only arrangement — the last Start wins, which is harmless because
+// every worker's hook resolves through the same coordinator.)
+func (w *Worker) Start() {
+	harness.SetWarmFetch(w.fetchWarm)
+	w.wg.Add(1)
+	go w.loop()
+	w.log.Info("cluster worker started", "name", w.cfg.Name, "coordinator", w.cfg.Coordinator)
+}
+
+// Stop halts the heartbeat loop after a final result push, and removes the
+// warm fetch hook. It does not shut down the wrapped service. Idempotent.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		w.wg.Wait()
+		harness.SetWarmFetch(nil)
+	})
+}
+
+func (w *Worker) loop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			w.tick() // final push so finished work isn't stranded until resend
+			return
+		case <-t.C:
+			w.tick()
+		}
+	}
+}
+
+// tick pushes terminal results (resending until acked), then heartbeats.
+func (w *Worker) tick() {
+	w.mu.Lock()
+	pairs := make(map[string]string, len(w.local))
+	for cid, lid := range w.local {
+		pairs[cid] = lid
+	}
+	w.mu.Unlock()
+
+	var results []JobResult
+	var live []JobStatus
+	for cid, lid := range pairs {
+		v, err := w.svc.Get(lid)
+		if err != nil {
+			results = append(results, JobResult{ID: cid, State: service.StateFailed,
+				Error: fmt.Sprintf("local job %s vanished: %v", lid, err)})
+			continue
+		}
+		if terminal(v.State) {
+			results = append(results, JobResult{
+				ID: cid, State: v.State, Result: v.Result, Error: v.Error,
+				Stats: v.SimStats, Attempts: v.Attempts,
+			})
+		} else {
+			live = append(live, JobStatus{ID: cid, State: v.State})
+		}
+	}
+
+	if len(results) > 0 {
+		var reply ResultsReply
+		if err := w.post("/v1/cluster/results", ResultsPush{Worker: w.cfg.Name, Results: results}, &reply); err != nil {
+			w.m.heartbeatErrs.Add(1)
+			w.log.Warn("result push failed, will resend", "err", err)
+		} else {
+			w.mu.Lock()
+			for _, id := range reply.Acked {
+				delete(w.local, id)
+			}
+			w.mu.Unlock()
+			w.m.resultsPushed.Add(uint64(len(reply.Acked)))
+		}
+	}
+
+	ads := harness.WarmSnapshots()
+	warmAds := make([]WarmAd, 0, len(ads))
+	for _, s := range ads {
+		warmAds = append(warmAds, WarmAd{Key: s.Key.String(), Hash: fmt.Sprintf("%016x", s.Snap.Hash())})
+	}
+	hb := Heartbeat{
+		Worker:   w.cfg.Name,
+		Addr:     w.cfg.SelfURL,
+		Queue:    w.svc.QueueDepth(),
+		Capacity: w.svc.Workers(),
+		Jobs:     live,
+		WarmKeys: warmAds,
+	}
+	var reply HeartbeatReply
+	if err := w.post("/v1/cluster/heartbeat", hb, &reply); err != nil {
+		w.m.heartbeatErrs.Add(1)
+		w.log.Warn("heartbeat failed", "err", err)
+		return
+	}
+	for _, cid := range reply.Cancel {
+		w.mu.Lock()
+		lid, ok := w.local[cid]
+		w.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if _, err := w.svc.Cancel(lid); err != nil && !errors.Is(err, service.ErrFinished) {
+			w.log.Warn("relayed cancel failed", "cluster_job", cid, "local_job", lid, "err", err)
+		}
+	}
+}
+
+// post sends one JSON request to the coordinator.
+func (w *Worker) post(path string, body, reply any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("coordinator returned %s", resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(reply)
+}
+
+// fetchWarm is the harness warm-fetch hook: ask the coordinator who holds
+// the key, pull the snapshot from that peer, and verify the content hash.
+// Every failure declines the fetch — the caller trains locally, which is
+// always correct, just slower.
+func (w *Worker) fetchWarm(key harness.WarmStateKey) (*cpu.Snapshot, bool) {
+	q := url.Values{"key": {key.String()}, "from": {w.cfg.Name}}
+	resp, err := w.client.Get(w.cfg.Coordinator + "/v1/cluster/snapshots?" + q.Encode())
+	if err != nil {
+		return nil, false
+	}
+	var loc SnapshotLocation
+	err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&loc)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || loc.Addr == "" || loc.Addr == w.cfg.SelfURL {
+		return nil, false
+	}
+
+	blob, err := w.getSnapshot(loc.Addr, loc.Hash)
+	if err != nil {
+		w.log.Warn("peer snapshot fetch failed", "peer", loc.Worker, "hash", loc.Hash, "err", err)
+		return nil, false
+	}
+	snap, err := cpu.DecodeSnapshot(blob)
+	if err != nil {
+		w.log.Warn("peer snapshot rejected", "peer", loc.Worker, "hash", loc.Hash, "err", err)
+		return nil, false
+	}
+	if got := fmt.Sprintf("%016x", snap.Hash()); got != loc.Hash {
+		w.log.Warn("peer snapshot hash mismatch", "peer", loc.Worker, "want", loc.Hash, "got", got)
+		return nil, false
+	}
+	w.log.Info("warm snapshot fetched from peer", "peer", loc.Worker, "key", key.String(), "bytes", len(blob))
+	return snap, true
+}
+
+// getSnapshot downloads one content-addressed snapshot blob from a peer.
+func (w *Worker) getSnapshot(addr, hash string) ([]byte, error) {
+	resp, err := w.client.Get(addr + "/snapshots/" + hash)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer returned %s", resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}
+
+// Handler returns the worker's HTTP surface: the cluster control routes
+// plus, as a fallback, the wrapped service's full API (so a worker is
+// inspectable and even directly usable like a standalone daemon).
+//
+//	POST /v1/cluster/run    accept one assignment (429 on a full queue)
+//	GET  /snapshots         content-addressed snapshot index
+//	GET  /snapshots/{hash}  one encoded snapshot blob
+//	GET  /metrics           service metrics + worker cluster counters
+//	...                     everything else: the embedded service API
+func (w *Worker) Handler() http.Handler {
+	svcHandler := w.svc.Handler()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/cluster/run", func(rw http.ResponseWriter, r *http.Request) {
+		var req RunRequest
+		if !readJSON(rw, r, &req) {
+			return
+		}
+		if req.ID == "" {
+			writeJSON(rw, http.StatusBadRequest, map[string]any{"error": "missing job id"})
+			return
+		}
+		w.mu.Lock()
+		_, dup := w.local[req.ID]
+		w.mu.Unlock()
+		if dup {
+			// Idempotent re-assignment (coordinator retry): already accepted.
+			writeJSON(rw, http.StatusOK, RunResponse{ID: req.ID, Accepted: true})
+			return
+		}
+		v, err := w.svc.Submit(req.Experiment, req.Params, "", time.Duration(req.TimeoutMS)*time.Millisecond)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, service.ErrQueueFull) || errors.Is(err, service.ErrDraining) || errors.Is(err, service.ErrBreakerOpen) {
+				status = http.StatusTooManyRequests
+				w.m.rejected.Add(1)
+			}
+			writeJSON(rw, status, map[string]any{"error": err.Error()})
+			return
+		}
+		w.mu.Lock()
+		w.local[req.ID] = v.ID
+		w.mu.Unlock()
+		w.m.assignments.Add(1)
+		w.log.Info("assignment accepted", "cluster_job", req.ID, "local_job", v.ID, "experiment", req.Experiment)
+		writeJSON(rw, http.StatusOK, RunResponse{ID: req.ID, Accepted: true})
+	})
+
+	mux.HandleFunc("GET /snapshots", func(rw http.ResponseWriter, r *http.Request) {
+		type entry struct {
+			Key  string `json:"key"`
+			Hash string `json:"hash"`
+		}
+		snaps := harness.WarmSnapshots()
+		out := make([]entry, 0, len(snaps))
+		for _, s := range snaps {
+			out = append(out, entry{Key: s.Key.String(), Hash: fmt.Sprintf("%016x", s.Snap.Hash())})
+		}
+		writeJSON(rw, http.StatusOK, map[string]any{"total": len(out), "snapshots": out})
+	})
+
+	mux.HandleFunc("GET /snapshots/{hash}", func(rw http.ResponseWriter, r *http.Request) {
+		hash := r.PathValue("hash")
+		for _, s := range harness.WarmSnapshots() {
+			if fmt.Sprintf("%016x", s.Snap.Hash()) != hash {
+				continue
+			}
+			blob, err := s.Snap.MarshalBinary()
+			if err != nil {
+				writeJSON(rw, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+				return
+			}
+			w.m.snapshotServes.Add(1)
+			rw.Header().Set("Content-Type", "application/octet-stream")
+			rw.Header().Set("Content-Length", fmt.Sprint(len(blob)))
+			_, _ = rw.Write(blob)
+			return
+		}
+		writeJSON(rw, http.StatusNotFound, map[string]any{"error": "no snapshot with that hash"})
+	})
+
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+		// The service exposition first, then the worker's cluster counters:
+		// one scrape covers both layers.
+		svcHandler.ServeHTTP(rw, r)
+		warmHits, warmMisses := harness.WarmCacheStats()
+		fetchHits, fetchMisses := harness.WarmFetchStats()
+		fmt.Fprintf(rw, "# HELP pathfinderd_worker_assignments_total cluster assignments accepted\n")
+		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_assignments_total counter\n")
+		fmt.Fprintf(rw, "pathfinderd_worker_assignments_total %d\n", w.m.assignments.Load())
+		fmt.Fprintf(rw, "# HELP pathfinderd_worker_rejected_total cluster assignments bounced with 429 backpressure\n")
+		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_rejected_total counter\n")
+		fmt.Fprintf(rw, "pathfinderd_worker_rejected_total %d\n", w.m.rejected.Load())
+		fmt.Fprintf(rw, "# HELP pathfinderd_worker_results_pushed_total terminal results acked by the coordinator\n")
+		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_results_pushed_total counter\n")
+		fmt.Fprintf(rw, "pathfinderd_worker_results_pushed_total %d\n", w.m.resultsPushed.Load())
+		fmt.Fprintf(rw, "# HELP pathfinderd_worker_snapshot_serves_total warm snapshots served to peers\n")
+		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_snapshot_serves_total counter\n")
+		fmt.Fprintf(rw, "pathfinderd_worker_snapshot_serves_total %d\n", w.m.snapshotServes.Load())
+		fmt.Fprintf(rw, "# HELP pathfinderd_worker_warm_cache_total process warm-cache lookups, by outcome\n")
+		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_warm_cache_total counter\n")
+		fmt.Fprintf(rw, "pathfinderd_worker_warm_cache_total{outcome=\"hit\"} %d\n", warmHits)
+		fmt.Fprintf(rw, "pathfinderd_worker_warm_cache_total{outcome=\"miss\"} %d\n", warmMisses)
+		fmt.Fprintf(rw, "# HELP pathfinderd_worker_warm_fetch_total peer warm-state fetches, by outcome\n")
+		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_warm_fetch_total counter\n")
+		fmt.Fprintf(rw, "pathfinderd_worker_warm_fetch_total{outcome=\"hit\"} %d\n", fetchHits)
+		fmt.Fprintf(rw, "pathfinderd_worker_warm_fetch_total{outcome=\"miss\"} %d\n", fetchMisses)
+	})
+
+	mux.Handle("/", svcHandler)
+	return mux
+}

@@ -741,7 +741,10 @@ func AESLeakEval(ctx context.Context, opts Options, trials int, noise float64) (
 			}
 			warmed := false
 			if shareWarm {
-				if e, ok := warm.get(warmK); ok {
+				// getOrFetch consults the cluster fetch hook on a local miss,
+				// so a worker whose peer already trained this exact warm state
+				// restores the fetched snapshot instead of re-warming.
+				if e, ok := warm.getOrFetch(warmK); ok {
 					tm.RestoreFrom(e.snap)
 					tm.Reseed(tco.Seed)
 					warmed = true

@@ -1,0 +1,85 @@
+package pht
+
+import (
+	"fmt"
+
+	"pathfinder/internal/wire"
+)
+
+// Wire codec for the saved table states, used by the cpu.Snapshot binary
+// encoding. The format mirrors Hash: base counters verbatim, tagged tables
+// as sparse (set, way, entry) triples so mostly-empty tables stay small on
+// the wire.
+
+// EncodeWire appends the saved base table to w.
+func (s *BaseState) EncodeWire(w *wire.Writer) {
+	w.U32(uint32(len(s.ctr)))
+	for _, c := range s.ctr {
+		w.U8(uint8(c))
+	}
+}
+
+// DecodeWire reads a saved base table from r, replacing s.
+func (s *BaseState) DecodeWire(r *wire.Reader) {
+	n := r.Len(1 << 24)
+	if cap(s.ctr) < n {
+		s.ctr = make([]Counter, n)
+	}
+	s.ctr = s.ctr[:n]
+	for i := range s.ctr {
+		s.ctr[i] = Counter(r.U8())
+	}
+}
+
+// EncodeWire appends the saved tagged table to w: history length, then a
+// count of valid entries followed by (set, way, tag, ctr, useful) tuples in
+// set-major order.
+func (s *TaggedState) EncodeWire(w *wire.Writer) {
+	w.U32(uint32(s.histLen))
+	valid := 0
+	for set := range s.sets {
+		for way := range s.sets[set] {
+			if s.sets[set][way].Valid {
+				valid++
+			}
+		}
+	}
+	w.U32(uint32(valid))
+	for set := range s.sets {
+		for way := range s.sets[set] {
+			e := &s.sets[set][way]
+			if !e.Valid {
+				continue
+			}
+			w.U16(uint16(set))
+			w.U8(uint8(way))
+			w.U32(e.Tag)
+			w.U8(uint8(e.Ctr))
+			w.U8(e.Useful)
+		}
+	}
+}
+
+// DecodeWire reads a saved tagged table from r, replacing s. Invalid
+// entries decode as zero values, exactly what Hash treats as absent.
+func (s *TaggedState) DecodeWire(r *wire.Reader) {
+	s.histLen = int(r.U32())
+	s.sets = [Sets][Ways]Entry{}
+	n := r.Len(Sets * Ways)
+	for i := 0; i < n; i++ {
+		set := int(r.U16())
+		way := int(r.U8())
+		if r.Err() != nil {
+			return
+		}
+		if set >= Sets || way >= Ways {
+			r.Fail(fmt.Errorf("pht: wire entry at set %d way %d out of geometry", set, way))
+			return
+		}
+		e := &s.sets[set][way]
+		e.Valid = true
+		e.Tag = r.U32()
+		e.Ctr = Counter(r.U8())
+		e.Useful = r.U8()
+	}
+}

@@ -79,6 +79,92 @@ func (j *journal) Close() error {
 	return j.f.Close()
 }
 
+// compactJournal rewrites the journal at path to the minimal record set
+// that replays to the same job table: per job, one submit, the surviving
+// start count, and the finish record if the job is terminal. Retry chatter,
+// corrupt lines and stray records vanish. The rewrite goes through a temp
+// file in the same directory and an atomic rename, so a crash mid-compaction
+// leaves either the old journal or the new one — never a torn mixture.
+//
+// The input is the already-replayed state, which is exactly the fixpoint
+// property the replay-equality test pins down: replay(compact(J)) ==
+// replay(J) for every journal J, because compaction serializes what replay
+// reconstructed.
+func compactJournal(path string, jobs []*replayedJob) error {
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	write := func(rec journalRecord) error {
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		_, err = w.Write(raw)
+		return err
+	}
+	for _, r := range jobs {
+		p := r.params
+		rec := journalRecord{
+			Op: opSubmit, Job: r.id, Time: r.submitted,
+			Experiment: r.experiment, Params: &p, Batch: r.batch,
+			TimeoutMS: r.timeout.Milliseconds(),
+		}
+		if err := write(rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("service: compacting journal: %w", err)
+		}
+		// Start records survive as a count: the attempt budget replays from
+		// them, and the last one carries the started timestamp.
+		for i := 0; i < r.starts; i++ {
+			if err := write(journalRecord{Op: opStart, Job: r.id, Time: r.lastStart, Attempt: i + 1}); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("service: compacting journal: %w", err)
+			}
+		}
+		if r.finished {
+			var stats *cpu.Counters
+			if r.stats != (cpu.Counters{}) {
+				st := r.stats
+				stats = &st
+			}
+			fin := journalRecord{
+				Op: opFinish, Job: r.id, Time: r.finTime,
+				State: r.finState, Error: r.finErr, Result: r.result, Stats: stats,
+			}
+			if err := write(fin); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return fmt.Errorf("service: compacting journal: %w", err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("service: compacting journal: %w", err)
+	}
+	return nil
+}
+
 // replayedJob is the reconstruction of one job from its journal records.
 type replayedJob struct {
 	id         string

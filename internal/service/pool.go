@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -70,6 +71,15 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker waits before admitting a
 	// probe submission. <=0 means 30s.
 	BreakerCooldown time.Duration
+
+	// JournalCompactBytes triggers startup compaction: when the journal at
+	// Open time is at least this many bytes, it is rewritten to the minimal
+	// record set that replays to the identical job table (one submit, the
+	// surviving start count, and the terminal record per job) before new
+	// records are appended. Intermediate retry chatter and corrupt tails
+	// are dropped; replaying the compacted journal yields byte-identical
+	// state. <=0 means 4 MiB.
+	JournalCompactBytes int64
 
 	// ResultCacheSize bounds the in-memory result cache: finished results
 	// are kept in an LRU keyed by (experiment, canonical resolved params),
@@ -176,6 +186,22 @@ func Open(cfg Config) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Startup compaction: once the journal crosses the size trigger,
+		// rewrite it from the replayed state before appending anything new.
+		// Compaction failure is logged, not fatal — the oversized journal
+		// still replays, and the next restart tries again.
+		compactAt := cfg.JournalCompactBytes
+		if compactAt <= 0 {
+			compactAt = 4 << 20
+		}
+		if fi, serr := os.Stat(path); serr == nil && fi.Size() >= compactAt {
+			if cerr := compactJournal(path, replayed); cerr != nil {
+				cfg.Logger.Warn("journal compaction failed", "err", cerr)
+			} else if after, aerr := os.Stat(path); aerr == nil {
+				cfg.Logger.Info("journal compacted",
+					"before_bytes", fi.Size(), "after_bytes", after.Size(), "jobs", len(replayed))
+			}
+		}
 		if jr, err = openJournal(path); err != nil {
 			return nil, err
 		}
@@ -225,6 +251,13 @@ func Open(cfg Config) (*Service, error) {
 // workers start, so no locking is needed yet.
 func (s *Service) install(replayed []*replayedJob) int {
 	recovered := 0
+	// Successes re-seed the result cache in finish order, not submission
+	// order: the live process stored each result when its job finished, so
+	// when the journal holds more successes than the cache holds entries,
+	// the restart must keep the most recently *finished* ones — the same
+	// survivors the LRU had before the crash — not the most recently
+	// submitted. Oldest-first puts reproduce that order exactly.
+	var reseed []*job
 	for _, r := range replayed {
 		j := &job{
 			id:         r.id,
@@ -249,13 +282,8 @@ func (s *Service) install(replayed []*replayedJob) int {
 			if j.started.IsZero() {
 				j.started = j.finished
 			}
-			// A replayed success re-seeds the result cache, so a restarted
-			// daemon serves repeats of already-journaled work without
-			// re-simulating it.
 			if s.results != nil && j.state == StateDone && len(j.result) > 0 {
-				if key, ok := resultKeyFor(j.experiment, j.params); ok {
-					s.results.put(key, &resultEntry{result: j.result, stats: j.stats})
-				}
+				reseed = append(reseed, j)
 			}
 		case r.starts >= s.cfg.MaxAttempts:
 			// The crash consumed the last attempt; re-running would loop a
@@ -278,6 +306,17 @@ func (s *Service) install(replayed []*replayedJob) int {
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
+	}
+	sort.SliceStable(reseed, func(i, k int) bool {
+		if !reseed[i].finished.Equal(reseed[k].finished) {
+			return reseed[i].finished.Before(reseed[k].finished)
+		}
+		return reseed[i].id < reseed[k].id // total order even with equal stamps
+	})
+	for _, j := range reseed {
+		if key, ok := resultKeyFor(j.experiment, j.params); ok {
+			s.results.put(key, &resultEntry{result: j.result, stats: j.stats})
+		}
 	}
 	s.metrics.jobsRecovered(recovered)
 	return recovered

@@ -29,7 +29,7 @@ type Params struct {
 	Size     int     `json:"size,omitempty"`     // fig7: image edge length
 	Quality  int     `json:"quality,omitempty"`  // fig7: JPEG quality
 	Images   int     `json:"images,omitempty"`   // fig7: test-set prefix length
-	Noise    float64 `json:"noise,omitempty"`    // aes: transient-collapse probability
+	Noise    float64 `json:"noise,omitempty"`    // aes: transient-collapse probability (<0 = exactly zero)
 
 	// Faults arms the deterministic fault-injection layer for the job's
 	// machines; nil leaves it off. aes_noise uses it as the sweep's base
@@ -62,6 +62,15 @@ func (p Params) harnessOptions() (harness.Options, error) {
 		return harness.Options{}, err
 	}
 	return harness.Options{Arch: arch, Seed: p.Seed, Faults: p.Faults}, nil
+}
+
+// EffectiveNoise maps the canonical noise field to the numeric probability
+// drivers consume: the "<0 = exactly zero" sentinel becomes 0.
+func (p Params) EffectiveNoise() float64 {
+	if p.Noise < 0 {
+		return 0
+	}
+	return p.Noise
 }
 
 // Runner executes one experiment. It must honor ctx cancellation, and
@@ -154,8 +163,16 @@ func (r *Registry) Resolve(name string, p Params) (Params, error) {
 	if p.Images == 0 {
 		p.Images = d.Images
 	}
+	// Zero means "use the default", so an explicitly noiseless run is
+	// spelled with a negative value, canonicalized to -1. The sentinel
+	// survives Resolve (rather than collapsing to 0) so resolving is
+	// idempotent — the coordinator resolves for its canonical report and a
+	// worker's service resolves the same params again, and both must agree.
+	// EffectiveNoise maps it to the numeric probability at driver-call time.
 	if p.Noise == 0 {
 		p.Noise = d.Noise
+	} else if p.Noise < 0 {
+		p.Noise = -1
 	}
 	if p.Faults == nil {
 		p.Faults = d.Faults
@@ -319,7 +336,7 @@ func NewRegistry() *Registry {
 			if err != nil {
 				return nil, cpu.Counters{}, err
 			}
-			res, err := harness.AESLeakEval(ctx, opts, p.Trials, p.Noise)
+			res, err := harness.AESLeakEval(ctx, opts, p.Trials, p.EffectiveNoise())
 			if err != nil {
 				return nil, cpu.Counters{}, err
 			}
@@ -336,7 +353,7 @@ func NewRegistry() *Registry {
 			if err != nil {
 				return nil, cpu.Counters{}, err
 			}
-			rep, err := harness.AESNoiseSweep(ctx, opts, p.Trials, p.Noise, p.Intensities)
+			rep, err := harness.AESNoiseSweep(ctx, opts, p.Trials, p.EffectiveNoise(), p.Intensities)
 			if err != nil {
 				return nil, cpu.Counters{}, err
 			}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// The canonical batch report: the cluster's determinism contract made
+// concrete. A report contains, for every job of a batch, only what the work
+// itself determines — experiment, canonical resolved parameters, terminal
+// state, marshaled result, error — and none of what the execution path
+// determines (job IDs, timestamps, attempt counts, which worker ran it).
+// Rows are sorted by (experiment, canonical params), so the same sweep
+// renders byte-identical whether it ran standalone, on one worker, or
+// sharded across a cluster. CI diffs these bytes directly.
+
+// ReportRow is one job's canonical outcome.
+type ReportRow struct {
+	Experiment string          `json:"experiment"`
+	Params     Params          `json:"params"`
+	State      State           `json:"state"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+
+	// sortKey is the canonical params JSON, precomputed for ordering.
+	sortKey string
+}
+
+// Report is the canonical projection of a finished batch.
+type Report struct {
+	Total   int           `json:"total"`
+	ByState map[State]int `json:"by_state"`
+	Rows    []ReportRow   `json:"rows"`
+}
+
+// BuildReport projects job views into the canonical report. Params are
+// canonicalized the same way the result cache keys them (microarchitecture
+// aliases collapse to the config name), so aliased submissions of the same
+// work land on identical rows.
+func BuildReport(jobs []JobView) Report {
+	rep := Report{Total: len(jobs), ByState: make(map[State]int, 5)}
+	for _, st := range States() {
+		rep.ByState[st] = 0
+	}
+	for _, j := range jobs {
+		rep.ByState[j.State]++
+		p := j.Params
+		if cfg, err := ArchConfig(p.Arch); err == nil {
+			p.Arch = cfg.Name
+		}
+		key, _ := json.Marshal(p)
+		rep.Rows = append(rep.Rows, ReportRow{
+			Experiment: j.Experiment,
+			Params:     p,
+			State:      j.State,
+			Result:     j.Result,
+			Error:      j.Error,
+			sortKey:    string(key),
+		})
+	}
+	// The order is total — state, error and result bytes break ties between
+	// duplicate submissions of the same work — so rendering never depends on
+	// the order jobs were listed in.
+	sort.Slice(rep.Rows, func(i, k int) bool {
+		a, b := &rep.Rows[i], &rep.Rows[k]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.sortKey != b.sortKey {
+			return a.sortKey < b.sortKey
+		}
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		if a.Error != b.Error {
+			return a.Error < b.Error
+		}
+		return string(a.Result) < string(b.Result)
+	})
+	return rep
+}
+
+// Complete reports whether every row reached a terminal state — only a
+// complete report is canonical, so the HTTP surface withholds incomplete
+// ones with 409.
+func (r Report) Complete() bool {
+	return r.ByState[StatePending] == 0 && r.ByState[StateRunning] == 0
+}
+
+// Render marshals the report to its canonical bytes (indented JSON plus a
+// trailing newline). Both the standalone service and the cluster
+// coordinator serve exactly these bytes, which is what makes "diff the two
+// reports" a meaningful test.
+func (r Report) Render() ([]byte, error) {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBuildReportCanonical: rows are sorted by (experiment, params), arch
+// names are canonicalized, and volatile fields (IDs, timestamps, attempts)
+// never appear — so reports are comparable across schedulers.
+func TestBuildReportCanonical(t *testing.T) {
+	jobs := []JobView{
+		{ID: "job-9", Experiment: "fig4", Params: Params{Arch: "skylake", Seed: 2}, State: StateDone, Attempts: 3},
+		{ID: "job-1", Experiment: "aes", Params: Params{Arch: "Alder Lake", Seed: 1}, State: StateDone},
+		{ID: "job-5", Experiment: "aes", Params: Params{Arch: "alderlake", Seed: 1}, State: StateFailed, Error: "boom"},
+	}
+	rep := BuildReport(jobs)
+	if rep.Total != 3 {
+		t.Fatalf("total = %d, want 3", rep.Total)
+	}
+	if rep.Rows[0].Experiment != "aes" || rep.Rows[2].Experiment != "fig4" {
+		t.Errorf("rows not sorted by experiment: %v", rep.Rows)
+	}
+	// "Alder Lake" and "alderlake" canonicalize identically, so the two aes
+	// rows sort by the same params key and the report never leaks spelling.
+	if rep.Rows[0].Params.Arch != rep.Rows[1].Params.Arch {
+		t.Errorf("arch spelling not canonicalized: %q vs %q",
+			rep.Rows[0].Params.Arch, rep.Rows[1].Params.Arch)
+	}
+	if !rep.Complete() {
+		t.Error("report with only terminal rows should be complete")
+	}
+
+	// Shuffled input renders byte-identically.
+	perm := []JobView{jobs[2], jobs[0], jobs[1]}
+	a, err := BuildReport(jobs).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildReport(perm).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("report bytes depend on input order")
+	}
+}
+
+func TestReportCompletePending(t *testing.T) {
+	rep := BuildReport([]JobView{{Experiment: "aes", State: StateRunning}})
+	if rep.Complete() {
+		t.Error("running job should leave the report incomplete")
+	}
+}
+
+// TestResolveIdempotent: resolving already-resolved params is a no-op, the
+// property the cluster relies on (the coordinator and a worker's service
+// both resolve the same submission).
+func TestResolveIdempotent(t *testing.T) {
+	r := NewRegistry()
+	for _, p := range []Params{
+		{},
+		{Noise: -0.5},
+		{Arch: "skylake", Seed: 42, Trials: 3, Noise: 0.08},
+	} {
+		once, err := r.Resolve("aes", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twice, err := r.Resolve("aes", once)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(once)
+		b, _ := json.Marshal(twice)
+		if !bytes.Equal(a, b) {
+			t.Errorf("Resolve not idempotent: %s vs %s", a, b)
+		}
+	}
+	p, _ := r.Resolve("aes", Params{Noise: -3})
+	if p.Noise != -1 {
+		t.Errorf("negative noise canonicalizes to -1, got %g", p.Noise)
+	}
+	if p.EffectiveNoise() != 0 {
+		t.Errorf("EffectiveNoise(-1) = %g, want 0", p.EffectiveNoise())
+	}
+}

@@ -110,7 +110,12 @@ func (c *resultCache) put(key resultKey, e *resultEntry) {
 }
 
 func (c *resultCache) storeLocked(key resultKey, e *resultEntry) {
-	if _, ok := c.items[key]; ok {
+	if it, ok := c.items[key]; ok {
+		// First writer wins on content (identical by determinism), but a
+		// duplicate store is still a use: refresh recency, so the LRU order
+		// — and therefore the eviction sequence — is a deterministic
+		// function of the store/hit history alone.
+		c.order.MoveToFront(it.ele)
 		return
 	}
 	c.items[key] = &resultItem{e: e, ele: c.order.PushFront(key)}

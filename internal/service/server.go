@@ -200,6 +200,16 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusAccepted, resp)
 	})
 
+	mux.HandleFunc("GET /v1/batch/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		jobs := s.List(ListFilter{Batch: id})
+		if len(jobs) == 0 {
+			writeError(w, ErrNotFound)
+			return
+		}
+		ServeReport(w, BuildReport(jobs))
+	})
+
 	mux.HandleFunc("GET /v1/batch/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		jobs := s.List(ListFilter{Batch: id})
@@ -218,6 +228,28 @@ func (s *Service) Handler() http.Handler {
 	})
 
 	return mux
+}
+
+// ServeReport writes a canonical batch report: its exact Render bytes when
+// complete, 409 with the state rollup while jobs are still pending or
+// running. The cluster coordinator serves reports through this same helper,
+// which is what pins standalone and cluster responses to identical bytes.
+func ServeReport(w http.ResponseWriter, rep Report) {
+	if !rep.Complete() {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":    "batch not finished",
+			"by_state": rep.ByState,
+		})
+		return
+	}
+	raw, err := rep.Render()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {

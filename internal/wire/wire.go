@@ -1,0 +1,200 @@
+// Package wire is the byte-level substrate of the snapshot wire codec: a
+// little-endian append-only Writer and a bounds-checked, error-latching
+// Reader. The checkpoint state types (pht, bpu, cache, phr, cpu) build
+// their EncodeWire/DecodeWire methods on these two so the full
+// cpu.Snapshot serialization stays one flat, versioned byte string with a
+// single error check at the end.
+//
+// The format has no self-description: every field is fixed-width and the
+// decoder must mirror the encoder exactly. Versioning happens once, at the
+// cpu.Snapshot envelope, not per field — the codec is an exchange format
+// between same-version binaries (content-addressed snapshot exchange
+// between cluster peers), not an archival format.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShort is latched by a Reader that runs out of input.
+var ErrShort = errors.New("wire: input truncated")
+
+// Writer accumulates the encoding. The zero value is ready to use; Bytes
+// returns the buffer. Appends never fail.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity pre-reserved for n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U64 appends one little-endian 64-bit word.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// U32 appends one little-endian 32-bit word.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U16 appends one little-endian 16-bit word.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// I64 appends a signed 64-bit word (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 appends a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String appends a length-prefixed byte string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Raw appends exactly len(b) raw bytes with no prefix; the decoder must
+// know the length from structure.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reader consumes an encoding. The first short read latches ErrShort and
+// every later read returns zero values, so decode paths check Err once at
+// the end instead of after every field.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader wraps data for reading.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the latched error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Rest returns the unread remainder.
+func (r *Reader) Rest() []byte { return r.data[r.off:] }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Fail latches err (first failure wins); decoders use it to report
+// structural corruption the scalar readers cannot see.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// take returns the next n bytes, latching ErrShort if fewer remain.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.Fail(ErrShort)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U64 reads one little-endian 64-bit word.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// U32 reads one little-endian 32-bit word.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U16 reads one little-endian 16-bit word.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte as a bool, latching an error on anything but 0 or 1.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail(errors.New("wire: bool byte is neither 0 nor 1"))
+		return false
+	}
+}
+
+// I64 reads a signed 64-bit word.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String reads a length-prefixed byte string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Len reads a 32-bit length prefix and validates it against limit, the
+// structural maximum the caller can hold. Oversized lengths latch an error
+// instead of driving a huge allocation from corrupt input.
+func (r *Reader) Len(limit int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > limit {
+		r.Fail(fmt.Errorf("wire: length %d exceeds limit %d", n, limit))
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestRoundTrip: every scalar written comes back identical, in order.
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.U64(0xdeadbeefcafef00d)
+	w.U32(0x01020304)
+	w.U16(0xbeef)
+	w.U8(0x7f)
+	w.Bool(true)
+	w.Bool(false)
+	w.I64(-42)
+	w.F64(3.14159)
+	w.F64(math.Inf(-1))
+	w.String("warm-affinity")
+	w.String("")
+	w.Raw([]byte{9, 8, 7})
+
+	r := NewReader(w.Bytes())
+	if got := r.U64(); got != 0xdeadbeefcafef00d {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.U32(); got != 0x01020304 {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U8(); got != 0x7f {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.Bool(); !got {
+		t.Error("Bool(true) read false")
+	}
+	if got := r.Bool(); got {
+		t.Error("Bool(false) read true")
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if got := r.String(); got != "warm-affinity" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	rest := r.take(3)
+	if len(rest) != 3 || rest[0] != 9 || rest[2] != 7 {
+		t.Errorf("Raw tail = %v", rest)
+	}
+	if r.Err() != nil {
+		t.Fatalf("Err = %v after clean round trip", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+// TestShortInput: reading past the end latches ErrShort and every later
+// read returns zero values without panicking.
+func TestShortInput(t *testing.T) {
+	w := NewWriter(0)
+	w.U32(7)
+	r := NewReader(w.Bytes())
+	if got := r.U64(); got != 0 {
+		t.Errorf("short U64 = %#x, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("Err = %v, want ErrShort", r.Err())
+	}
+	// Latched: later reads stay zero, the error stays the first one.
+	if got := r.U32(); got != 0 {
+		t.Errorf("post-error U32 = %#x, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("Err overwritten: %v", r.Err())
+	}
+}
+
+// TestBadBool: a bool byte outside {0,1} is corruption, not data.
+func TestBadBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	_ = r.Bool()
+	if r.Err() == nil {
+		t.Fatal("Bool(2) latched no error")
+	}
+}
+
+// TestLenLimit: corrupt length prefixes fail instead of allocating.
+func TestLenLimit(t *testing.T) {
+	w := NewWriter(0)
+	w.U32(1 << 30)
+	r := NewReader(w.Bytes())
+	if n := r.Len(1024); n != 0 {
+		t.Errorf("oversized Len = %d, want 0", n)
+	}
+	if r.Err() == nil {
+		t.Fatal("oversized length latched no error")
+	}
+
+	w2 := NewWriter(0)
+	w2.U32(3)
+	r2 := NewReader(w2.Bytes())
+	if n := r2.Len(1024); n != 3 || r2.Err() != nil {
+		t.Errorf("Len = %d err %v, want 3 nil", n, r2.Err())
+	}
+}
+
+// TestTruncatedString: a length prefix promising more bytes than remain
+// must latch ErrShort, not slice past the buffer.
+func TestTruncatedString(t *testing.T) {
+	w := NewWriter(0)
+	w.String("abcdef")
+	b := w.Bytes()[:6] // cut mid-payload
+	r := NewReader(b)
+	if got := r.String(); got != "" {
+		t.Errorf("truncated String = %q, want \"\"", got)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("Err = %v, want ErrShort", r.Err())
+	}
+}
