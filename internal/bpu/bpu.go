@@ -108,6 +108,23 @@ func (c *CBP) Predict(pc uint64, h phr.History) Prediction {
 	return p
 }
 
+// PredictReg is Predict specialized to the concrete *phr.Reg, the type every
+// Hart actually owns. The specialization exists purely so the fold and memo
+// probes devirtualize on the simulator hot path; it must stay line-for-line
+// equivalent to Predict (the engine parity tests pin this).
+func (c *CBP) PredictReg(pc uint64, r *phr.Reg) Prediction {
+	base := c.Base.Predict(pc)
+	p := Prediction{Provider: -1, Taken: base, AltTaken: base}
+	for i, t := range c.Tables { // ascending history; later hits override
+		if e, hit := t.LookupReg(pc, r); hit {
+			p.AltTaken = p.Taken
+			p.Taken = e.Ctr.Taken()
+			p.Provider = i
+		}
+	}
+	return p
+}
+
 // Update resolves a conditional branch: trains the provider component and,
 // on a misprediction, allocates a weak entry in a longer-history table
 // (the shortest one with room; full sets age their usefulness counters).
@@ -138,6 +155,40 @@ func (c *CBP) Update(pc uint64, h phr.History, taken bool, p Prediction) {
 	if p.Taken != taken {
 		for i := p.Provider + 1; i < len(c.Tables); i++ {
 			if c.Tables[i].Allocate(pc, h, taken) {
+				break
+			}
+		}
+	}
+}
+
+// UpdateReg is Update specialized to the concrete *phr.Reg; see PredictReg.
+func (c *CBP) UpdateReg(pc uint64, r *phr.Reg, taken bool, p Prediction) {
+	c.updates++
+	if c.updates%UsefulResetPeriod == 0 {
+		for _, t := range c.Tables {
+			t.DecayUseful()
+		}
+	}
+	if p.Provider < 0 {
+		c.Base.Update(pc, taken)
+	} else {
+		t := c.Tables[p.Provider]
+		if e, hit := t.LookupReg(pc, r); hit {
+			e.Ctr = e.Ctr.Update(taken)
+			if p.Taken != p.AltTaken {
+				if p.Taken == taken {
+					if e.Useful < pht.UsefulMax {
+						e.Useful++
+					}
+				} else if e.Useful > 0 {
+					e.Useful--
+				}
+			}
+		}
+	}
+	if p.Taken != taken {
+		for i := p.Provider + 1; i < len(c.Tables); i++ {
+			if c.Tables[i].AllocateReg(pc, r, taken) {
 				break
 			}
 		}
@@ -261,8 +312,9 @@ func (p *IBP) Lookup(pc uint64, h phr.History) (uint64, bool) {
 }
 
 // Flush clears the IBP (the effect of IBPB; IBRS restricts its use across
-// privilege transitions, modeled as a flush at transition time).
-func (p *IBP) Flush() { p.targets = make(map[uint64]uint64) }
+// privilege transitions, modeled as a flush at transition time). The map is
+// cleared in place so the per-trial Recycle path stays allocation-free.
+func (p *IBP) Flush() { clear(p.targets) }
 
 // Occupancy counts recorded indirect targets.
 func (p *IBP) Occupancy() int { return len(p.targets) }

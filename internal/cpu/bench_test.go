@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"strconv"
 	"testing"
 
 	"pathfinder/internal/isa"
@@ -45,6 +46,40 @@ func BenchmarkRunBranchLoop(b *testing.B) {
 		if err := m.Run(p, "main"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBatchStep measures the harness's actual steady state: a K-lane
+// batch whose lanes are recycled to per-trial seeds and run to completion,
+// one group per iteration, exactly as the sharded drivers drive it. The
+// ns/instr metric is the per-simulated-instruction cost the ≤20 ns/instr
+// budget in BENCH_hotpath.json gates; allocs/op must be 0 once the decoded
+// program cache and lane arenas are warm.
+func BenchmarkBatchStep(b *testing.B) {
+	const iters = 4096
+	p := benchProgram(b, iters)
+	for _, k := range []int{1, 8} {
+		b.Run("K="+strconv.Itoa(k), func(b *testing.B) {
+			bat := NewBatch(Options{}, k)
+			warm := func(seedBase int64) {
+				for i := 0; i < bat.K(); i++ {
+					m := bat.Lane(i)
+					m.Recycle(Options{Seed: seedBase + int64(i)})
+					if err := m.Run(p, "main"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			warm(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				warm(int64(i) * int64(k))
+			}
+			b.StopTimer()
+			instrs := float64(iters)*3 + 4 // loop body ×3 + prologue/halt
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*float64(k)*instrs), "ns/instr")
+		})
 	}
 }
 

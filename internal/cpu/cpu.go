@@ -164,6 +164,12 @@ type Options struct {
 	// runs keep the machine's determinism contract. A nil or disabled
 	// profile leaves every hot path untouched.
 	Faults *faultinject.Profile
+
+	// Scalar forces the reference scalar interpreter even when a run is
+	// eligible for the dense engine (see dense.go). The differential tests
+	// use it as the oracle side of batch-vs-scalar comparisons; production
+	// callers leave it false.
+	Scalar bool
 }
 
 // Machine is a physical core: shared branch prediction unit, shared cache
@@ -200,11 +206,17 @@ type Machine struct {
 
 // progState is decoded per-(machine, program) interpreter state: the
 // per-instruction branch-stat references that replace the per-execution
-// map probe. A reference is validated against the instruction's current
+// map probe, and the dense predecoded stream the fast engine dispatches
+// over. A stat reference is validated against the instruction's current
 // address, so program templates that re-address instructions in place
-// (internal/core's patched attack programs) self-heal on first use.
+// (internal/core's patched attack programs) self-heal on first use; the
+// dense stream is validated against Program.Version, which Reindex bumps
+// after every in-place mutation.
 type progState struct {
-	stats []statRef
+	stats        []statRef
+	dense        []denseInstr
+	denseVersion uint64
+	denseOK      bool
 }
 
 type statRef struct {
@@ -229,16 +241,15 @@ func (m *Machine) progState(p *isa.Program) *progState {
 	return ps
 }
 
-// New builds a machine.
-func New(opts Options) *Machine {
+// normalizeOptions applies the documented defaults; New, Recycle and
+// NewBatch share it so a recycled or batch-arena machine defaults exactly
+// like a fresh one.
+func normalizeOptions(opts Options) Options {
 	if opts.Arch.PHRSize == 0 {
 		opts.Arch = bpu.AlderLake
 	}
 	if opts.Harts <= 0 {
 		opts.Harts = 1
-	}
-	if opts.Harts > 2 {
-		panic("cpu: at most two SMT harts per core")
 	}
 	if opts.MispredictPenalty == 0 {
 		opts.MispredictPenalty = 15
@@ -249,7 +260,26 @@ func New(opts Options) *Machine {
 	if opts.StepLimit == 0 {
 		opts.StepLimit = 100_000_000
 	}
-	m := &Machine{
+	return opts
+}
+
+// New builds a machine.
+func New(opts Options) *Machine {
+	m := &Machine{}
+	initMachine(m, opts, nil, nil)
+	return m
+}
+
+// initMachine builds a machine in place. When harts and phrs are non-nil
+// they provide arena-backed storage for the hart records and their path
+// history registers (NewBatch lays K lanes' hot state out contiguously);
+// otherwise each is allocated individually.
+func initMachine(m *Machine, opts Options, harts []Hart, phrs []phr.Reg) {
+	opts = normalizeOptions(opts)
+	if opts.Harts > 2 {
+		panic("cpu: at most two SMT harts per core")
+	}
+	*m = Machine{
 		BPU:    bpu.NewUnit(opts.Arch),
 		Mem:    NewMemory(),
 		Data:   cache.NewDefault(),
@@ -268,14 +298,22 @@ func New(opts Options) *Machine {
 		m.inj = faultinject.NewInjector(*opts.Faults, opts.Seed)
 	}
 	for i := 0; i < opts.Harts; i++ {
-		m.harts = append(m.harts, &Hart{
-			ID:      i,
-			PHR:     phr.New(opts.Arch.PHRSize),
-			rng:     splitmix64{s: uint64(opts.Seed) + uint64(i)*0x632be59bd9b4e019 + 7},
-			machine: m,
-		})
+		h := &Hart{}
+		if harts != nil {
+			h = &harts[i]
+			*h = Hart{}
+		}
+		reg := phr.New(opts.Arch.PHRSize)
+		if phrs != nil {
+			phrs[i] = *reg
+			reg = &phrs[i]
+		}
+		h.ID = i
+		h.PHR = reg
+		h.rng = splitmix64{s: uint64(opts.Seed) + uint64(i)*0x632be59bd9b4e019 + 7}
+		h.machine = m
+		m.harts = append(m.harts, h)
 	}
-	return m
 }
 
 // Recycle resets the machine to the state New(opts) would produce while
@@ -292,21 +330,7 @@ func New(opts Options) *Machine {
 // NewPredictor (an oracle's state cannot be reset generically); Recycle
 // panics otherwise.
 func (m *Machine) Recycle(opts Options) {
-	if opts.Arch.PHRSize == 0 {
-		opts.Arch = bpu.AlderLake
-	}
-	if opts.Harts <= 0 {
-		opts.Harts = 1
-	}
-	if opts.MispredictPenalty == 0 {
-		opts.MispredictPenalty = 15
-	}
-	if opts.MaxTransientWindow == 0 {
-		opts.MaxTransientWindow = 400
-	}
-	if opts.StepLimit == 0 {
-		opts.StepLimit = 100_000_000
-	}
+	opts = normalizeOptions(opts)
 	if opts.Arch.Name != m.opts.Arch.Name || opts.Arch.PHRSize != m.opts.Arch.PHRSize {
 		panic("cpu: recycle across microarchitectures")
 	}
@@ -417,6 +441,9 @@ func (m *Machine) RunOn(hartID int, prog *isa.Program, entry string) error {
 		// fold an attacker-invisible branch burst or a one-doublet slip into
 		// the hart's history before the first instruction executes.
 		m.inj.RunBoundary(h.PHR)
+	}
+	if m.denseEligible() {
+		return m.execDense(h, prog, idx)
 	}
 	return m.exec(h, prog, idx)
 }
@@ -651,35 +678,10 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 			continue
 
 		case isa.SYSCALL, isa.EENTER:
-			stubs, dom := m.kstubs, Kernel
-			if in.Op == isa.EENTER {
-				stubs, dom = m.estubs, Enclave
+			ti, err := m.enterStub(h, prog, idx, in.Op, in.Imm, in.Addr)
+			if err != nil {
+				return err
 			}
-			label, ok := stubs[in.Imm]
-			if !ok {
-				return fmt.Errorf("cpu: no stub registered for %s %d", in.Op, in.Imm)
-			}
-			addr, ok := prog.SymbolAddr(label)
-			if !ok {
-				return fmt.Errorf("cpu: stub label %q missing from program", label)
-			}
-			ti, ok := prog.IndexOf(addr)
-			if !ok {
-				return fmt.Errorf("cpu: stub label %q resolves to a hole", label)
-			}
-			if idx+1 >= len(prog.Instrs) {
-				return fmt.Errorf("cpu: %s at %#x has no return point", in.Op, in.Addr)
-			}
-			h.stack = append(h.stack, frame{retIdx: idx + 1, restoreDomain: true, prevDomain: h.Domain})
-			if in.Op == isa.SYSCALL && m.IBRS {
-				// IBRS restricts indirect speculation in the more privileged
-				// mode; modeled as flushing indirect predictors on entry.
-				// The CBP and PHR are untouched (§7.4).
-				m.BPU.IBP.Flush()
-				m.BPU.BTB.Flush()
-			}
-			h.Domain = dom
-			// The transfer itself is not PHR-visible; the stub's branches are.
 			idx = ti
 			continue
 
@@ -691,6 +693,44 @@ func (m *Machine) exec(h *Hart, prog *isa.Program, idx int) error {
 		}
 		idx++
 	}
+}
+
+// enterStub performs a SYSCALL/EENTER domain transfer: it resolves the
+// registered stub, pushes a domain-restoring frame and switches the hart's
+// domain. Both the scalar and the dense engine call it, so the (cold)
+// transfer semantics and error strings cannot drift between them. It
+// returns the stub's program index.
+func (m *Machine) enterStub(h *Hart, prog *isa.Program, idx int, op isa.Op, imm int64, pc uint64) (int, error) {
+	stubs, dom := m.kstubs, Kernel
+	if op == isa.EENTER {
+		stubs, dom = m.estubs, Enclave
+	}
+	label, ok := stubs[imm]
+	if !ok {
+		return 0, fmt.Errorf("cpu: no stub registered for %s %d", op, imm)
+	}
+	addr, ok := prog.SymbolAddr(label)
+	if !ok {
+		return 0, fmt.Errorf("cpu: stub label %q missing from program", label)
+	}
+	ti, ok := prog.IndexOf(addr)
+	if !ok {
+		return 0, fmt.Errorf("cpu: stub label %q resolves to a hole", label)
+	}
+	if idx+1 >= len(prog.Instrs) {
+		return 0, fmt.Errorf("cpu: %s at %#x has no return point", op, pc)
+	}
+	h.stack = append(h.stack, frame{retIdx: idx + 1, restoreDomain: true, prevDomain: h.Domain})
+	if op == isa.SYSCALL && m.IBRS {
+		// IBRS restricts indirect speculation in the more privileged
+		// mode; modeled as flushing indirect predictors on entry.
+		// The CBP and PHR are untouched (§7.4).
+		m.BPU.IBP.Flush()
+		m.BPU.BTB.Flush()
+	}
+	h.Domain = dom
+	// The transfer itself is not PHR-visible; the stub's branches are.
+	return ti, nil
 }
 
 // targetIndex resolves a direct control transfer to its program index using

@@ -73,6 +73,17 @@ type Options struct {
 	// byte-identical at every setting.
 	Parallelism int
 
+	// BatchSize is the trial-group grain of the sharded drivers: each worker
+	// claims BatchSize consecutive trial indices at a time and runs them on
+	// the lanes of one cpu.Batch, whose machines (PHRs with their fold
+	// caches, harts, headers) live in shared structure-of-arrays arenas, with
+	// warm-cache snapshot restore applied at batch grain. 0 selects the
+	// auto-tuned default (defaultBatchSize), 1 degenerates to the per-trial
+	// path. Per-trial work is a pure function of the trial index, so the
+	// report is byte-identical at every setting — the BatchSize-invariance
+	// tests pin that.
+	BatchSize int
+
 	// Faults arms the deterministic fault-injection layer (package
 	// faultinject) on the machines the driver builds. Injector seeds derive
 	// from the same index-derived machine seeds as everything else, so
@@ -102,6 +113,21 @@ func (o Options) workers() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// defaultBatchSize is the auto-tuned trial-group grain. Eight lanes keep a
+// batch's arena (eight PHRs plus fold caches, ~20 KiB) comfortably inside L1
+// while amortizing group claiming; because any grain yields a byte-identical
+// report, the constant only trades scheduling overhead against load balance
+// and can move freely. See EXPERIMENTS.md for the tuning recipe.
+const defaultBatchSize = 8
+
+// batchSize resolves the trial-group grain for the sharded drivers.
+func (o Options) batchSize() int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return defaultBatchSize
 }
 
 // seed resolves the base seed against the driver's historical default.
@@ -277,42 +303,46 @@ func ReadPHRRandomEval(ctx context.Context, opts Options, trials, doublets int) 
 	oks := make([]bool, trials)
 	fails := make([]bool, trials)
 	stats := make([]cpu.Counters, trials)
-	mp := &machinePool{disabled: opts.RefModel}
-	err := shard(ctx, opts.workers(), trials, func(t int) error {
-		rerr := opts.Retry.Do(ctx, seed+int64(t), func(attempt int) error {
-			m := mp.get(opts.cpu(seed + int64(t) + retryReseed*int64(attempt)))
-			// The written value is the trial's identity: fixed across
-			// attempts, only the machine seed is redrawn.
-			val := randomReg(m.Arch().PHRSize, seed*31+int64(t))
-			v := phrWriterVictim(val)
-			truth, err := core.CaptureVictimPHR(m, v)
-			if err != nil {
-				stats[t].Add(m.Stats())
-				return err
-			}
-			got, err := core.ReadPHR(m, v, core.ReadPHROptions{MaxDoublets: doublets})
-			if err != nil {
-				stats[t].Add(m.Stats())
-				return err
-			}
-			stats[t].Add(m.Stats())
-			ok := true
-			for k := 0; k < doublets; k++ {
-				if got.Doublet(k) != truth.Doublet(k) {
-					ok = false
-					break
+	bp := &batchPool{disabled: opts.RefModel, k: opts.batchSize()}
+	err := shardGroups(ctx, opts.workers(), bp.k, trials, func(lo, hi int) error {
+		b := bp.get(opts.cpu(seed))
+		for t := lo; t < hi; t++ {
+			j := t - lo
+			rerr := opts.Retry.Do(ctx, seed+int64(t), func(attempt int) error {
+				m := bp.lane(b, j, opts.cpu(seed+int64(t)+retryReseed*int64(attempt)))
+				// The written value is the trial's identity: fixed across
+				// attempts, only the machine seed is redrawn.
+				val := randomReg(m.Arch().PHRSize, seed*31+int64(t))
+				v := phrWriterVictim(val)
+				truth, err := core.CaptureVictimPHR(m, v)
+				if err != nil {
+					stats[t].Add(m.Stats())
+					return err
 				}
+				got, err := core.ReadPHR(m, v, core.ReadPHROptions{MaxDoublets: doublets})
+				if err != nil {
+					stats[t].Add(m.Stats())
+					return err
+				}
+				stats[t].Add(m.Stats())
+				ok := true
+				for k := 0; k < doublets; k++ {
+					if got.Doublet(k) != truth.Doublet(k) {
+						ok = false
+						break
+					}
+				}
+				oks[t] = ok
+				return nil
+			})
+			if rerr != nil {
+				if ctx.Err() != nil {
+					return rerr
+				}
+				fails[t] = true
 			}
-			oks[t] = ok
-			mp.put(m)
-			return nil
-		})
-		if rerr != nil {
-			if ctx.Err() != nil {
-				return rerr
-			}
-			fails[t] = true
 		}
+		bp.put(b)
 		return nil
 	})
 	if err != nil {
@@ -552,58 +582,61 @@ func Fig7ImageRecovery(ctx context.Context, opts Options, size, quality, maxImag
 	rep := &Fig7Report{}
 	results := make([]Fig7Result, len(set))
 	stats := make([]cpu.Counters, len(set))
-	mp := &machinePool{disabled: opts.RefModel}
-	err := shard(ctx, opts.workers(), len(set), func(i int) error {
-		entry := set[i]
-		enc, err := jpeg.Encode(entry.Image.Pix, entry.Image.W, entry.Image.H, quality)
-		if err != nil {
-			return err
-		}
-		_, blocks, err := jpeg.DecodeBlocks(enc)
-		if err != nil {
-			return err
-		}
-		var res *attack.ImageResult
-		rerr := opts.Retry.Do(ctx, seed+int64(i), func(attempt int) error {
-			// The 1000-stride attempt reseed predates the shared Retry
-			// policy; it is kept so the recorded goldens stay valid.
-			tm := mp.get(opts.cpu(seed + int64(i) + 1000*int64(attempt)))
-			ir := &attack.ImageRecovery{M: tm}
-			res, err = ir.Recover(enc)
-			stats[i].Add(tm.Stats())
-			mp.put(tm)
-			return err
-		})
-		if rerr != nil {
-			if ctx.Err() != nil {
-				return rerr
+	bp := &batchPool{disabled: opts.RefModel, k: opts.batchSize()}
+	err := shardGroups(ctx, opts.workers(), bp.k, len(set), func(lo, hi int) error {
+		bat := bp.get(opts.cpu(seed))
+		for i := lo; i < hi; i++ {
+			entry := set[i]
+			enc, err := jpeg.Encode(entry.Image.Pix, entry.Image.W, entry.Image.H, quality)
+			if err != nil {
+				return err
 			}
-			results[i] = Fig7Result{Name: entry.Name, Err: fmt.Sprintf("harness: image %s: %v", entry.Name, rerr)}
-			return nil
-		}
-		wantCols, wantRows := attack.GroundTruthFlags(blocks)
-		correct, total := 0, 0
-		for b := range blocks {
-			for k := 0; k < 8; k++ {
-				if res.ConstCols[b][k] == wantCols[b][k] {
-					correct++
+			_, blocks, err := jpeg.DecodeBlocks(enc)
+			if err != nil {
+				return err
+			}
+			var res *attack.ImageResult
+			rerr := opts.Retry.Do(ctx, seed+int64(i), func(attempt int) error {
+				// The 1000-stride attempt reseed predates the shared Retry
+				// policy; it is kept so the recorded goldens stay valid.
+				tm := bp.lane(bat, i-lo, opts.cpu(seed+int64(i)+1000*int64(attempt)))
+				ir := &attack.ImageRecovery{M: tm}
+				res, err = ir.Recover(enc)
+				stats[i].Add(tm.Stats())
+				return err
+			})
+			if rerr != nil {
+				if ctx.Err() != nil {
+					return rerr
 				}
-				if res.ConstRows[b][k] == wantRows[b][k] {
-					correct++
+				results[i] = Fig7Result{Name: entry.Name, Err: fmt.Sprintf("harness: image %s: %v", entry.Name, rerr)}
+				continue
+			}
+			wantCols, wantRows := attack.GroundTruthFlags(blocks)
+			correct, total := 0, 0
+			for b := range blocks {
+				for k := 0; k < 8; k++ {
+					if res.ConstCols[b][k] == wantCols[b][k] {
+						correct++
+					}
+					if res.ConstRows[b][k] == wantRows[b][k] {
+						correct++
+					}
+					total += 2
 				}
-				total += 2
+			}
+			if err := res.Score(entry.Image); err != nil {
+				return err
+			}
+			results[i] = Fig7Result{
+				Name:            entry.Name,
+				TakenBranches:   res.TakenBranches,
+				FlagAccuracy:    float64(correct) / float64(total),
+				EdgeCorrelation: res.EdgeCorrelation,
+				Recovered:       res.Recovered,
 			}
 		}
-		if err := res.Score(entry.Image); err != nil {
-			return err
-		}
-		results[i] = Fig7Result{
-			Name:            entry.Name,
-			TakenBranches:   res.TakenBranches,
-			FlagAccuracy:    float64(correct) / float64(total),
-			EdgeCorrelation: res.EdgeCorrelation,
-			Recovered:       res.Recovered,
-		}
+		bp.put(bat)
 		return nil
 	})
 	if err != nil {
@@ -728,64 +761,97 @@ func AESLeakEval(ctx context.Context, opts Options, trials int, noise float64) (
 	successes := make([]int, trials)
 	fails := make([]bool, trials)
 	stats := make([]cpu.Counters, trials)
-	mp := &machinePool{disabled: opts.RefModel}
-	err = shard(ctx, opts.workers(), trials, func(t int) error {
-		rerr := opts.Retry.Do(ctx, seed+int64(t), func(attempt int) error {
-			tco := opts.cpu(seed + 7919*int64(t+1) + retryReseed*int64(attempt))
-			tco.Noise = noise
-			tm := mp.get(tco)
-			ta, err := a.Fork(tm)
-			if err != nil {
-				stats[t].Add(tm.Stats())
-				return err
-			}
-			warmed := false
-			if shareWarm {
-				// getOrFetch consults the cluster fetch hook on a local miss,
-				// so a worker whose peer already trained this exact warm state
-				// restores the fetched snapshot instead of re-warming.
-				if e, ok := warm.getOrFetch(warmK); ok {
-					tm.RestoreFrom(e.snap)
-					tm.Reseed(tco.Seed)
-					warmed = true
+	trialCPU := func(t, attempt int) cpu.Options {
+		tco := opts.cpu(seed + 7919*int64(t+1) + retryReseed*int64(attempt))
+		tco.Noise = noise
+		return tco
+	}
+	bp := &batchPool{disabled: opts.RefModel, k: opts.batchSize()}
+	err = shardGroups(ctx, opts.workers(), bp.k, trials, func(lo, hi int) error {
+		b := bp.get(opts.cpu(seed))
+		// Batch-grain warm restore: claim the shared post-warm snapshot once
+		// per group, recycle every lane to its trial's options and fan the
+		// snapshot across the batch; each trial then only Reseeds its lane.
+		// getOrFetch consults the cluster fetch hook on a local miss, so a
+		// worker whose peer already trained this exact warm state restores
+		// the fetched snapshot instead of re-warming.
+		var we *warmEntry
+		if shareWarm && b != nil {
+			if e, ok := warm.getOrFetch(warmK); ok {
+				we = e
+				for t := lo; t < hi; t++ {
+					b.Lane(t - lo).Recycle(trialCPU(t, 0))
 				}
+				b.RestoreAll(e.snap)
 			}
-			if !warmed {
-				if err := ta.Warm(2); err != nil {
+		}
+		for t := lo; t < hi; t++ {
+			j := t - lo
+			rerr := opts.Retry.Do(ctx, seed+int64(t), func(attempt int) error {
+				tco := trialCPU(t, attempt)
+				// Attempt 0 of a warm group runs on the lane exactly as the
+				// group entry prepared it; retries (and cold groups) rebuild
+				// the lane from scratch.
+				preRestored := we != nil && attempt == 0
+				var tm *cpu.Machine
+				if preRestored {
+					tm = b.Lane(j)
+				} else {
+					tm = bp.lane(b, j, tco)
+				}
+				ta, err := a.Fork(tm)
+				if err != nil {
 					stats[t].Add(tm.Stats())
 					return err
 				}
-				if shareWarm {
-					warm.putIfAbsent(warmK, &warmEntry{snap: tm.Snapshot()})
+				warmed := false
+				if preRestored {
+					tm.Reseed(tco.Seed)
+					warmed = true
+				} else if shareWarm {
+					if e, ok := warm.getOrFetch(warmK); ok {
+						tm.RestoreFrom(e.snap)
+						tm.Reseed(tco.Seed)
+						warmed = true
+					}
 				}
-			}
-			leak, ok, err := ta.LeakReducedRound(pts[t], ns[t])
-			if err != nil {
-				stats[t].Add(tm.Stats())
-				return err
-			}
-			want, err := ta.GroundTruthReduced(pts[t], ns[t])
-			if err != nil {
-				stats[t].Add(tm.Stats())
-				return err
-			}
-			n := 0
-			for i := 0; i < 16; i++ {
-				if ok[i] && leak[i] == want[i] {
-					n++
+				if !warmed {
+					if err := ta.Warm(2); err != nil {
+						stats[t].Add(tm.Stats())
+						return err
+					}
+					if shareWarm {
+						warm.putIfAbsent(warmK, &warmEntry{snap: tm.Snapshot()})
+					}
 				}
+				leak, ok, err := ta.LeakReducedRound(pts[t], ns[t])
+				if err != nil {
+					stats[t].Add(tm.Stats())
+					return err
+				}
+				want, err := ta.GroundTruthReduced(pts[t], ns[t])
+				if err != nil {
+					stats[t].Add(tm.Stats())
+					return err
+				}
+				n := 0
+				for i := 0; i < 16; i++ {
+					if ok[i] && leak[i] == want[i] {
+						n++
+					}
+				}
+				successes[t] = n
+				stats[t].Add(tm.Stats())
+				return nil
+			})
+			if rerr != nil {
+				if ctx.Err() != nil {
+					return rerr
+				}
+				fails[t] = true
 			}
-			successes[t] = n
-			stats[t].Add(tm.Stats())
-			mp.put(tm)
-			return nil
-		})
-		if rerr != nil {
-			if ctx.Err() != nil {
-				return rerr
-			}
-			fails[t] = true
 		}
+		bp.put(b)
 		return nil
 	})
 	if err != nil {

@@ -265,7 +265,14 @@ type Program struct {
 	labelIdx  map[string]int // label name -> instruction index, for Reindex
 	addrStale bool           // byAddr lags the Instrs addresses (sorted; use binary search)
 	symStale  bool           // Symbols lags the Instrs addresses (resolve via labelIdx)
+	version   uint64         // bumped by Reindex; keys derived-form caches (cpu dense decode)
 }
+
+// Version returns a counter that Reindex bumps. Every in-place mutation of
+// Instrs is followed by a Reindex call (that is the mutation contract the
+// address maps already rely on), so (program pointer, Version) safely keys
+// caches of decoded forms.
+func (p *Program) Version() uint64 { return p.version }
 
 // Hash returns a content hash of the program: an FNV-1a style fold over
 // every instruction's predictor-visible fields plus the sorted symbol
@@ -338,6 +345,7 @@ func (p *Program) IndexOf(addr uint64) (int, bool) {
 // symbols resolve through labelIdx. The eager rebuild remains for programs
 // re-addressed out of order.
 func (p *Program) Reindex() error {
+	p.version++
 	sorted := true
 	var prev uint64
 	for i := range p.Instrs {

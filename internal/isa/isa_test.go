@@ -302,3 +302,82 @@ func TestZeroStrideRejected(t *testing.T) {
 		t.Fatal("zero stride must fail")
 	}
 }
+
+// TestHashAndVersion pins the content-hash contract the warm-state cache
+// keys on: equal programs hash equal, any predictor-visible difference
+// (instruction content or a label address) changes the hash, and Reindex
+// bumps Version so (pointer, Version) stays a safe cache key.
+func TestHashAndVersion(t *testing.T) {
+	build := func(imm int64) *Program {
+		a := NewAssembler()
+		a.Label("main")
+		a.MovI(R1, imm)
+		a.Label("loop")
+		a.AddI(R2, R2, 1)
+		a.Br(LT, R2, R1, "loop")
+		a.Halt()
+		p, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2, p3 := build(4), build(4), build(5)
+	if p1.Hash() != p2.Hash() {
+		t.Error("identical programs hash differently")
+	}
+	if p1.Hash() == p3.Hash() {
+		t.Error("different immediates hash equal")
+	}
+
+	v := p1.Version()
+	h := p1.Hash()
+	// Move the whole program up by one stride, patcher-style: rewrite
+	// addresses in ascending order and Reindex.
+	for i := range p1.Instrs {
+		p1.Instrs[i].Addr += 64
+	}
+	if err := p1.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Version() == v {
+		t.Error("Reindex did not bump Version")
+	}
+	if p1.Hash() == h {
+		t.Error("re-addressing did not change the hash")
+	}
+	// The derived views must follow the move: symbol addresses, the address
+	// index, and direct-branch targets.
+	if got, want := p1.MustSymbol("loop"), p2.MustSymbol("loop")+64; got != want {
+		t.Errorf("loop moved to %#x, want %#x", got, want)
+	}
+	if i, ok := p1.IndexOf(p1.MustSymbol("loop")); !ok || i != 1 {
+		t.Errorf("IndexOf(loop) = %d,%v after reindex, want 1,true", i, ok)
+	}
+	if _, ok := p1.IndexOf(p2.MustSymbol("loop")); ok {
+		t.Error("old loop address still resolves after reindex")
+	}
+	br := &p1.Instrs[2]
+	if br.Target != p1.MustSymbol("loop") {
+		t.Errorf("branch target %#x did not follow the move to %#x", br.Target, p1.MustSymbol("loop"))
+	}
+	if name := p1.NameFor(p1.MustSymbol("main")); name != "main" {
+		t.Errorf("NameFor(main addr) = %q", name)
+	}
+
+	// An out-of-order re-addressing exercises the eager rebuild, and a
+	// duplicate address must be rejected.
+	p4 := build(4)
+	p4.Instrs[0].Addr, p4.Instrs[1].Addr = p4.Instrs[1].Addr, p4.Instrs[0].Addr
+	if err := p4.Reindex(); err != nil {
+		t.Fatalf("out-of-order reindex failed: %v", err)
+	}
+	if i, ok := p4.IndexOf(p4.Instrs[3].Addr); !ok || i != 3 {
+		t.Errorf("eager index lost instruction 3: got %d,%v", i, ok)
+	}
+	p5 := build(4)
+	p5.Instrs[1].Addr = p5.Instrs[0].Addr
+	if err := p5.Reindex(); err == nil {
+		t.Error("duplicate addresses survived Reindex")
+	}
+}

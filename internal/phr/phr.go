@@ -171,24 +171,105 @@ type Reg struct {
 	nvalid   int
 	nextSlot int // round-robin eviction cursor
 
-	// mixes memoizes FoldMix per (histLen, width) for the current gen. A
-	// gen value names exactly one register content, so a matching entry can
-	// be served without consulting the words — in particular across
-	// different PCs between two mutations, which the predictor-side
-	// (gen, PC) memo cannot do. Value state only, like folds, so Clone and
-	// CopyFrom stay plain copies. There is no invalidation: entries from an
-	// older gen simply stop matching.
-	mixes   [foldSlots]mixEntry
-	nextMix int // round-robin replacement cursor
+	// Content-keyed fold memoization. contents assigns a small integer
+	// identity to recently seen register contents (one full-window compare
+	// per mutation, memoized by gen); cvals is a direct-mapped cache of
+	// Fold/FoldMix results keyed by (content id, histLen, width, kind).
+	// Fold values are pure functions of content, so entries never need
+	// invalidation — a stale entry simply stops matching. This is what
+	// makes hot loops cheap: once a loop's footprint sequence has filled
+	// the history window the register content is periodic, every content
+	// in the cycle is already in the cache, and each fold costs a content
+	// probe instead of streaming up to seven words. All of it is value
+	// state, like folds, so Clone stays a plain copy; CopyFrom does not
+	// copy it (ids are register-local).
+	contents    [contentSlots]contentEntry
+	nextContent int
+	lastSlot    int    // slot of the last content match, probed first
+	contentSeq  uint64 // id generator; ids are never reused within a Reg
+	lastGen     uint64 // gen at which lastCID was established
+	lastCID     uint64 // content id of the current content; 0 = unknown
+	cvals       [cvalSlots]cvalEntry
 }
 
-// mixEntry is one memoized FoldMix result for a specific register gen.
-type mixEntry struct {
-	valid   bool
-	histLen int32
-	width   int32
-	gen     uint64
-	val     uint32
+// contentSlots is the number of distinct register contents tracked. It
+// covers loops with up to contentSlots taken branches per iteration; longer
+// cycles degrade gracefully to recomputation.
+const contentSlots = 16
+
+// cvalSlots sizes the direct-mapped fold-result cache: six live
+// (histLen, width, kind) combinations per content for the Table 1 configs
+// (three index folds, three tag folds), times the content cycle length.
+const cvalSlots = 64
+
+// contentEntry names one register content: a full window image and its id.
+type contentEntry struct {
+	id uint64 // 0 = empty
+	w  [maxWords]uint64
+}
+
+// cvalEntry is one memoized fold result for (content, histLen, width, kind).
+type cvalEntry struct {
+	cid uint64 // content id; 0 = empty
+	key uint32 // histLen<<8 | width<<1 | kind (1 = FoldMix, 0 = Fold)
+	val uint32
+}
+
+// eqWords compares two window images with an early exit on the low words,
+// where histories diverge first; inlining this beats a memequal call on the
+// hot path.
+func eqWords(a, b *[maxWords]uint64) bool {
+	return a[0] == b[0] && a[1] == b[1] && a[2] == b[2] && a[3] == b[3] &&
+		a[4] == b[4] && a[5] == b[5] && a[6] == b[6]
+}
+
+// ContentID returns a register-local identity for the current content:
+// equal results name equal contents, and an id is never reused for a
+// different content within one register (ids from different registers are
+// unrelated). Unseen contents are registered on the fly, cycling through a
+// fixed number of slots. Predictor structures use (register, ContentID)
+// pairs to memoize values that are pure functions of history content —
+// unlike Gen-keyed memos these keep hitting across mutations whenever a
+// loop returns the register to a content already seen.
+//
+// The result is memoized per gen. A fresh gen probes the slot of the last
+// match first (loops revisit contents in cycle order, so this is almost
+// always right), then scans.
+func (r *Reg) ContentID() uint64 {
+	if r.lastGen == r.gen && r.lastCID != 0 {
+		return r.lastCID
+	}
+	if c := &r.contents[r.lastSlot]; c.id != 0 && eqWords(&c.w, &r.w) {
+		r.lastGen, r.lastCID = r.gen, c.id
+		return c.id
+	}
+	if c := &r.contents[(r.lastSlot+1)%contentSlots]; c.id != 0 && eqWords(&c.w, &r.w) {
+		r.lastSlot = (r.lastSlot + 1) % contentSlots
+		r.lastGen, r.lastCID = r.gen, c.id
+		return c.id
+	}
+	for i := range r.contents {
+		c := &r.contents[i]
+		if c.id != 0 && eqWords(&c.w, &r.w) {
+			r.lastSlot = i
+			r.lastGen, r.lastCID = r.gen, c.id
+			return c.id
+		}
+	}
+	r.contentSeq++
+	id := r.contentSeq
+	r.contents[r.nextContent] = contentEntry{id: id, w: r.w}
+	r.lastSlot = r.nextContent
+	r.nextContent = (r.nextContent + 1) % contentSlots
+	r.lastGen, r.lastCID = r.gen, id
+	return id
+}
+
+// cvalIndex hashes a (content id, fold key) pair into the direct-mapped
+// result cache.
+func cvalIndex(cid uint64, key uint32) int {
+	h := (cid ^ uint64(key)<<40) * 0x9e3779b97f4a7c15
+	return int(h >> 58) & (cvalSlots - 1)
 }
 
 var _ History = (*Reg)(nil)
@@ -435,17 +516,28 @@ func (r *Reg) Fold(histLen, width int) uint32 {
 		// Degenerate parameters: no incremental form worth keeping.
 		return r.foldFull(histLen, width)
 	}
+	// Content-keyed fast path first: it needs no op replay, so in steady
+	// loop state the deferred-op ring fills, the incremental entries give
+	// up, and taken branches stop paying pushOp entirely.
+	cid := r.ContentID()
+	key := uint32(histLen)<<8 | uint32(width)<<1
+	ce := &r.cvals[cvalIndex(cid, key)]
+	if ce.cid == cid && ce.key == key {
+		return ce.val
+	}
 	if r.nops > 0 {
 		r.flushOps()
 	}
 	for s := range r.folds {
 		e := &r.folds[s]
 		if e.valid && int(e.histLen) == histLen && int(e.width) == width {
+			*ce = cvalEntry{cid: cid, key: key, val: e.val}
 			return e.val
 		}
 	}
 	v := r.foldFull(histLen, width)
 	r.installFold(histLen, width, v)
+	*ce = cvalEntry{cid: cid, key: key, val: v}
 	return v
 }
 
@@ -522,10 +614,10 @@ func (r *Reg) foldFull(histLen, width int) uint32 {
 //
 // The chunk rotation makes FoldMix order-dependent, so unlike Fold it has
 // no O(1) incremental form under the <<2 register shift; it is computed by
-// streaming words and memoized per (histLen, width, gen) — the register gen
-// names exactly one content, so repeats between mutations (the predict /
-// update / allocate sequence of every table, and runs of not-taken branches
-// that leave the PHR untouched) cost a table probe instead of a re-fold.
+// streaming words and memoized in the content-keyed cache (see contentID):
+// a fold value is a pure function of register content, so any recurrence of
+// a content — in particular the periodic contents of every hot loop —
+// serves from the cache without touching the words.
 func (r *Reg) FoldMix(histLen, width int) uint32 {
 	if histLen > r.size {
 		histLen = r.size
@@ -533,35 +625,25 @@ func (r *Reg) FoldMix(histLen, width int) uint32 {
 	if width <= 2 || width > 32 {
 		panic("phr: fold width out of range")
 	}
-	for s := range r.mixes {
-		e := &r.mixes[s]
-		if e.valid && e.gen == r.gen && int(e.histLen) == histLen && int(e.width) == width {
-			return e.val
-		}
+	if histLen < 1 {
+		return r.foldMixValue(histLen, width)
 	}
-	var v uint32
-	if width == 12 {
-		v = r.foldMix12(histLen)
-	} else {
-		v = r.foldMixFull(histLen, width)
+	cid := r.ContentID()
+	key := uint32(histLen)<<8 | uint32(width)<<1 | 1
+	e := &r.cvals[cvalIndex(cid, key)]
+	if e.cid == cid && e.key == key {
+		return e.val
 	}
-	slot := -1
-	for s := range r.mixes {
-		c := &r.mixes[s]
-		if int(c.histLen) == histLen && int(c.width) == width {
-			slot = s // stale value for the same window: overwrite in place
-			break
-		}
-		if slot < 0 && !c.valid {
-			slot = s
-		}
-	}
-	if slot < 0 {
-		slot = r.nextMix
-		r.nextMix = (r.nextMix + 1) % len(r.mixes)
-	}
-	r.mixes[slot] = mixEntry{valid: true, histLen: int32(histLen), width: int32(width), gen: r.gen, val: v}
+	v := r.foldMixValue(histLen, width)
+	*e = cvalEntry{cid: cid, key: key, val: v}
 	return v
+}
+
+func (r *Reg) foldMixValue(histLen, width int) uint32 {
+	if width == 12 {
+		return r.foldMix12(histLen)
+	}
+	return r.foldMixFull(histLen, width)
 }
 
 // foldMix12 computes FoldMix(histLen, 12) — the tag-fold width of every
@@ -573,6 +655,15 @@ func (r *Reg) FoldMix(histLen, width int) uint32 {
 // windows of the packed register, followed by one rotation per lane. The
 // result is bit-identical to foldMixFull(histLen, 12); the differential
 // test pins that.
+// mix12Rot[b][j] is the foldMix12 lane rotation 3*((b-j) mod 4) for
+// b = (full-1+p) mod 4.
+var mix12Rot = [4][4]uint{
+	{0, 9, 6, 3},
+	{3, 0, 9, 6},
+	{6, 3, 0, 9},
+	{9, 6, 3, 0},
+}
+
 func (r *Reg) foldMix12(histLen int) uint32 {
 	bits := 2 * histLen
 	full := bits / 12  // complete 12-bit chunks
@@ -594,14 +685,17 @@ func (r *Reg) foldMix12(histLen int) uint32 {
 	// The generic stream applies one rotation per chunk after the chunk is
 	// XORed in, plus one for the partial chunk: chunk k ends up rotated by
 	// 3*((full - 1 - k + p) mod 4) bits, where p records the partial step.
+	// The per-lane rotations depend only on (full - 1 + p) mod 4, so they
+	// come from a static table instead of four mod chains.
 	p := 0
 	if pbits > 0 {
 		p = 1
 	}
+	rots := &mix12Rot[(full-1+p)&3]
 	var acc uint32
 	for j := 0; j < 4; j++ {
 		lane := uint32(t>>(12*j)) & 0xfff
-		rot := uint(3*((full-1-j+p)%4+4)) % 12
+		rot := rots[j]
 		acc ^= (lane<<rot | lane>>(12-rot)) & 0xfff
 	}
 	if pbits > 0 {
@@ -694,7 +788,10 @@ func (r *Reg) pushOp(fp uint16, rev bool, top Doublet) {
 		}
 		h := int(e.histLen)
 		if !rev {
-			op.tops[s] = r.Doublet(h - 1)
+			// h-1 is in range by construction (folds only cache
+			// 1 <= histLen <= size), so read the doublet unchecked.
+			b := 2 * uint(h-1)
+			op.tops[s] = Doublet(r.w[b/64]>>(b%64)) & 3
 			continue
 		}
 		// Reverse: the doublet entering the top of the window. For a
@@ -744,9 +841,18 @@ func (r *Reg) flushOps() {
 	r.nops = 0
 }
 
-// foldFP folds a footprint's contribution into a width-bit chunk.
+// foldFP folds a footprint's contribution into a width-bit chunk. A 16-bit
+// footprint spans at most two chunks once w >= 8 and one chunk once w >= 16,
+// so the common fold widths (8 for indices, 12 for tags) reduce to closed
+// forms; the loop remains for narrow widths.
 func foldFP(fp uint16, w uint, mask uint32) uint32 {
 	v := uint32(fp)
+	switch {
+	case w >= 16:
+		return v & mask
+	case w >= 8:
+		return (v ^ v>>w) & mask
+	}
 	var acc uint32
 	for v != 0 {
 		acc ^= v & mask

@@ -146,6 +146,27 @@ type TaggedTable struct {
 	memoIdx uint32
 	memoTag uint32
 	memoOK  bool
+
+	// locMemos is the concrete-path memo: (index, tag) pairs keyed by
+	// (register, content id, pc), direct-mapped by PC. Content ids recur
+	// every loop iteration (unlike gens, which move on every mutation), so
+	// in steady loop state locateReg serves from here without folding at
+	// all. Entries are pure functions of their key and so never need
+	// invalidation; Reset clears them only for hygiene.
+	locMemos [locSlots]locMemo
+}
+
+// locSlots sizes the per-table locate memo: loops with up to locSlots
+// conditional branches (mapping distinctly) fold each branch's index and
+// tag once per content cycle.
+const locSlots = 8
+
+type locMemo struct {
+	reg *phr.Reg // nil = empty
+	cid uint64
+	pc  uint64
+	idx uint32
+	tag uint32
 }
 
 // NewTagged returns an empty tagged table over histLen doublets of history.
@@ -184,10 +205,38 @@ func (t *TaggedTable) locate(pc uint64, h phr.History) (uint32, uint32) {
 	return idx, tag
 }
 
+// locateReg is locate specialized to the concrete *phr.Reg: the fold calls
+// devirtualize, and the memo is keyed by content id rather than gen, so it
+// keeps hitting across register mutations whenever a loop returns the
+// history to a content already located. It sits under every
+// predict/update/allocate on the simulator hot path.
+func (t *TaggedTable) locateReg(pc uint64, r *phr.Reg) (uint32, uint32) {
+	cid := r.ContentID()
+	m := &t.locMemos[(pc>>2^pc>>9)&(locSlots-1)]
+	if m.reg == r && m.cid == cid && m.pc == pc {
+		return m.idx, m.tag
+	}
+	idx := r.Fold(t.HistLen, 8) | (uint32(pc>>5)&1)<<8
+	p := uint32(pc) & 0xffff
+	tag := (r.FoldMix(t.HistLen, TagBits) ^ p ^ p>>7) & (1<<TagBits - 1)
+	*m = locMemo{reg: r, cid: cid, pc: pc, idx: idx, tag: tag}
+	return idx, tag
+}
+
 // Lookup finds the entry matching (pc, h). It returns the entry pointer and
 // true on a tag hit.
 func (t *TaggedTable) Lookup(pc uint64, h phr.History) (*Entry, bool) {
 	idx, tag := t.locate(pc, h)
+	return t.lookupAt(idx, tag)
+}
+
+// LookupReg is Lookup specialized to the concrete *phr.Reg.
+func (t *TaggedTable) LookupReg(pc uint64, r *phr.Reg) (*Entry, bool) {
+	idx, tag := t.locateReg(pc, r)
+	return t.lookupAt(idx, tag)
+}
+
+func (t *TaggedTable) lookupAt(idx, tag uint32) (*Entry, bool) {
 	set := &t.sets[idx&(Sets-1)]
 	for w := range set {
 		if set[w].Valid && set[w].Tag == tag {
@@ -204,6 +253,16 @@ func (t *TaggedTable) Lookup(pc uint64, h phr.History) (*Entry, bool) {
 // It reports whether an entry was inserted.
 func (t *TaggedTable) Allocate(pc uint64, h phr.History, taken bool) bool {
 	idx, tag := t.locate(pc, h)
+	return t.allocateAt(idx, tag, taken)
+}
+
+// AllocateReg is Allocate specialized to the concrete *phr.Reg.
+func (t *TaggedTable) AllocateReg(pc uint64, r *phr.Reg, taken bool) bool {
+	idx, tag := t.locateReg(pc, r)
+	return t.allocateAt(idx, tag, taken)
+}
+
+func (t *TaggedTable) allocateAt(idx, tag uint32, taken bool) bool {
 	set := &t.sets[idx&(Sets-1)]
 	victim := -1
 	for w := range set {
@@ -250,6 +309,7 @@ func (t *TaggedTable) Reset() {
 		}
 	}
 	t.memoOK = false
+	t.locMemos = [locSlots]locMemo{}
 }
 
 // Dump renders every valid entry as "set/way tag ctr useful", one per line,

@@ -31,6 +31,12 @@ type Params struct {
 	Images   int     `json:"images,omitempty"`   // fig7: test-set prefix length
 	Noise    float64 `json:"noise,omitempty"`    // aes: transient-collapse probability (<0 = exactly zero)
 
+	// BatchSize is the trial-group grain of the sharded drivers: each worker
+	// claims this many consecutive trials and runs them on one cpu.Batch's
+	// lanes. 0 selects the harness's auto-tuned default; any value yields a
+	// byte-identical report, so it only tunes throughput.
+	BatchSize int `json:"batch_size,omitempty"`
+
 	// Faults arms the deterministic fault-injection layer for the job's
 	// machines; nil leaves it off. aes_noise uses it as the sweep's base
 	// profile (nil = faultinject.Default).
@@ -61,7 +67,7 @@ func (p Params) harnessOptions() (harness.Options, error) {
 	if err != nil {
 		return harness.Options{}, err
 	}
-	return harness.Options{Arch: arch, Seed: p.Seed, Faults: p.Faults}, nil
+	return harness.Options{Arch: arch, Seed: p.Seed, Faults: p.Faults, BatchSize: p.BatchSize}, nil
 }
 
 // EffectiveNoise maps the canonical noise field to the numeric probability
@@ -162,6 +168,9 @@ func (r *Registry) Resolve(name string, p Params) (Params, error) {
 	}
 	if p.Images == 0 {
 		p.Images = d.Images
+	}
+	if p.BatchSize == 0 {
+		p.BatchSize = d.BatchSize
 	}
 	// Zero means "use the default", so an explicitly noiseless run is
 	// spelled with a negative value, canonicalized to -1. The sentinel
