@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pathfinder/internal/harness"
+	"pathfinder/internal/snapstore"
 )
 
 type report struct {
@@ -39,11 +40,19 @@ func run(args []string, stdout io.Writer) error {
 	noise := fs.Float64("noise", 0.015, "baseline probe-noise rate passed to the AES evaluation")
 	seed := fs.Int64("seed", 1, "root seed for the sweep")
 	out := fs.String("o", "", "output path (empty = stdout)")
+	snapDir := fs.String("snap-store", "", "persistent warm-snapshot store directory; reruns restore training state from disk (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *trials <= 0 {
 		return fmt.Errorf("-trials must be positive, got %d", *trials)
+	}
+	if *snapDir != "" {
+		st, err := snapstore.Open(*snapDir, snapstore.DefaultMaxBytes)
+		if err != nil {
+			return fmt.Errorf("snapshot store: %w", err)
+		}
+		harness.SetSnapStore(st)
 	}
 
 	t0 := time.Now()

@@ -26,12 +26,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"pathfinder/internal/cluster"
+	"pathfinder/internal/harness"
 	"pathfinder/internal/service"
+	"pathfinder/internal/snapstore"
 )
 
 func main() {
@@ -53,6 +56,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxAttempts := fs.Int("max-attempts", 1, "per-job attempt budget (1 = no retries)")
 	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "base backoff before a failed job is retried")
 	resultCache := fs.Int("result-cache", 256, "result-cache capacity in entries (0 = disabled)")
+	snapDir := fs.String("snap-store", "", `persistent warm-snapshot store directory (default: <data-dir>/snapshots when -data-dir is set; "off" disables)`)
+	snapMax := fs.Int64("snap-store-max", snapstore.DefaultMaxBytes, "snapshot-store size cap in bytes before LRU eviction")
 	pprofAddr := fs.String("pprof-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 	// Cluster flags. -coordinator, -self-url, -node-name and -heartbeat
 	// shape a worker; -lease-ttl, -dispatch-interval, -max-assigns and
@@ -86,6 +91,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-retry-backoff must be positive, got %s", *retryBackoff)
 	case *resultCache < 0:
 		return fmt.Errorf("-result-cache must be >= 0 (0 disables), got %d", *resultCache)
+	case *snapMax <= 0:
+		return fmt.Errorf("-snap-store-max must be positive, got %d", *snapMax)
 	case *heartbeat <= 0:
 		return fmt.Errorf("-heartbeat must be positive, got %s", *heartbeat)
 	case *leaseTTL <= 0:
@@ -116,6 +123,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	logger := slog.New(slog.NewTextHandler(out, nil))
+
+	// The snapshot store persists warm training state across restarts, so a
+	// relaunched daemon resumes sweeps with disk hits instead of retraining.
+	// Coordinators never simulate, so they skip it.
+	var snaps *snapstore.Store
+	if storeDir := *snapDir; storeDir != "off" && *role != "coordinator" {
+		if storeDir == "" && *dataDir != "" {
+			storeDir = filepath.Join(*dataDir, "snapshots")
+		}
+		if storeDir != "" {
+			st, err := snapstore.Open(storeDir, *snapMax)
+			if err != nil {
+				return fmt.Errorf("snapshot store: %w", err)
+			}
+			harness.SetSnapStore(st)
+			snaps = st
+			fmt.Fprintf(out, "snapshot store at %s (cap %d bytes)\n", st.Dir(), *snapMax)
+		}
+	}
 
 	// Role-specific setup: each branch yields the API handler plus a drain
 	// function; listening and shutdown are shared below.
@@ -191,6 +217,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				SelfURL:     self,
 				Heartbeat:   *heartbeat,
 				Logger:      logger,
+				SnapStore:   snaps,
 			}, svc)
 			if err != nil {
 				return err

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRestartWarmSweepResume is the warm-restart acceptance scenario on the
+// real binary: run an aes_grid sweep against a daemon with a persistent
+// snapshot store, SIGKILL the daemon, restart it on the same data directory,
+// and rerun the identical sweep. The second life must serve its training
+// prefixes from the snapshot store (no graceful shutdown ran — only the
+// store's atomic per-entry writes persist anything) and produce a
+// byte-identical report.
+func TestRestartWarmSweepResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test: builds and runs the real binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "pathfinderd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(tmp, "data")
+
+	// -result-cache 0 so the second life actually re-executes the sweep
+	// instead of replaying a journaled result.
+	start := func() (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin,
+			"-addr", "127.0.0.1:0", "-workers", "1",
+			"-data-dir", dataDir, "-result-cache", "0")
+		var out syncBuffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		addrRE := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+				if !strings.Contains(out.String(), "snapshot store at ") {
+					cmd.Process.Kill()
+					t.Fatalf("daemon came up without a snapshot store; output:\n%s", out.String())
+				}
+				return cmd, m[1]
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		cmd.Process.Kill()
+		t.Fatalf("daemon never reported its address; output:\n%s", out.String())
+		return nil, ""
+	}
+
+	const sweep = `{"experiment":"aes_grid","params":{"trials":4,"seeds":[101,102,103]},"timeout_ms":300000}`
+	runSweep := func(base string) json.RawMessage {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(sweep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+		}
+		var v struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatal(err)
+		}
+		if st := waitState(t, base, v.ID, 120*time.Second, "done", "failed"); st != "done" {
+			t.Fatalf("sweep job ended %s", st)
+		}
+		resp, err = http.Get(base + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var done struct {
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(raw, &done); err != nil {
+			t.Fatal(err)
+		}
+		if len(done.Result) == 0 {
+			t.Fatalf("done job has no result:\n%s", raw)
+		}
+		return done.Result
+	}
+
+	// First life trains the three seed prefixes and spills them to disk.
+	cmd, base := start()
+	first := runSweep(base)
+	if puts := scrapeCounter(t, base, `pathfinderd_snapshot_store_ops_total{op="put"}`); puts < 3 {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("store puts = %d after the first sweep, want >= 3 (one per seed prefix)", puts)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Second life: a cold process, an empty warm cache, the same store dir.
+	cmd2, base2 := start()
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	second := runSweep(base2)
+
+	hits := scrapeCounter(t, base2, `pathfinderd_warmcache_store_requests_total{result="hit"}`)
+	if hits < 3 {
+		t.Errorf("warm-cache store hits = %d after restart, want >= 3 (every seed prefix restored from disk)", hits)
+	}
+	if string(first) != string(second) {
+		t.Errorf("report changed across a warm restart:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}
+
+// scrapeCounter pulls one sample value from the daemon's /metrics.
+func scrapeCounter(t *testing.T, base, sample string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(raw), "\n") {
+		rest, ok := strings.CutPrefix(line, sample)
+		if !ok || !strings.HasPrefix(rest, " ") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(rest))
+		if err != nil {
+			t.Fatalf("parsing sample %q: %v", line, err)
+		}
+		return n
+	}
+	t.Fatalf("sample %s missing from exposition:\n%s", sample, raw)
+	return 0
+}

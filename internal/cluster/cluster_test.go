@@ -17,6 +17,7 @@ import (
 	"pathfinder/internal/cpu"
 	"pathfinder/internal/harness"
 	"pathfinder/internal/service"
+	"pathfinder/internal/snapstore"
 )
 
 // ctestRegistry returns a registry extended with a fast, deterministic
@@ -653,5 +654,88 @@ func TestClusterCancelPropagates(t *testing.T) {
 	done := waitJobDone(t, csrv.URL, v.ID)
 	if done.State != service.StateCancelled {
 		t.Errorf("state = %s, want cancelled", done.State)
+	}
+}
+
+// TestWorkerAdvertisesAndServesStoreSnapshots: a worker given a persistent
+// snapshot store advertises disk-resident keys the in-memory warm cache has
+// never held, and serves their snapshot blobs to peers straight from disk —
+// the property that makes warm affinity survive a daemon restart.
+func TestWorkerAdvertisesAndServesStoreSnapshots(t *testing.T) {
+	st, err := snapstore.Open(t.TempDir(), snapstore.DefaultMaxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.New(cpu.Options{Seed: 7})
+	snap := m.Snapshot()
+	const key = "cluster-store-test|Alder Lake|194|0000000000000abc|7|0"
+	st.Save(key, snap, nil)
+	wantHash := fmt.Sprintf("%016x", snap.Hash())
+
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 4})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	}()
+	// The worker is never Started: advertisements and the snapshot routes
+	// must work without a live heartbeat loop.
+	w, err := NewWorker(WorkerConfig{
+		Name: "disk", Coordinator: "http://coord.invalid", SelfURL: "http://self.invalid",
+		SnapStore: st,
+	}, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	found := false
+	for _, ad := range w.advertisements() {
+		if ad.Key == key {
+			found = true
+			if ad.Hash != wantHash {
+				t.Errorf("advertised hash %s, want %s", ad.Hash, wantHash)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("disk-resident key missing from warm advertisements")
+	}
+
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	var index struct {
+		Snapshots []struct {
+			Key  string `json:"key"`
+			Hash string `json:"hash"`
+		} `json:"snapshots"`
+	}
+	getJSON(t, srv.URL+"/snapshots", &index)
+	found = false
+	for _, e := range index.Snapshots {
+		found = found || e.Key == key
+	}
+	if !found {
+		t.Fatal("disk-resident key missing from /snapshots index")
+	}
+
+	if _, ok := harness.LookupWarmSnapshot(harness.WarmStateKey{Kind: "cluster-store-test"}); ok {
+		t.Fatal("test key unexpectedly resident in the warm cache")
+	}
+	resp, err := http.Get(srv.URL + "/snapshots/" + wantHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot download: status %d, err %v", resp.StatusCode, err)
+	}
+	got, err := cpu.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != snap.Hash() {
+		t.Fatalf("served snapshot hash %#x, want %#x", got.Hash(), snap.Hash())
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"pathfinder/internal/cpu"
 	"pathfinder/internal/harness"
 	"pathfinder/internal/service"
+	"pathfinder/internal/snapstore"
 )
 
 // WorkerConfig tunes a Worker.
@@ -30,6 +31,12 @@ type WorkerConfig struct {
 	SelfURL string
 	// Heartbeat is the heartbeat/result-push interval. <=0 means 1s.
 	Heartbeat time.Duration
+	// SnapStore optionally backs the warm tier with the persistent on-disk
+	// snapshot store: disk-resident keys are advertised to the coordinator
+	// even before this process has warmed them, and peer snapshot downloads
+	// are served straight from disk when the in-memory cache has evicted
+	// the entry.
+	SnapStore *snapstore.Store
 
 	Logger     *slog.Logger // nil discards
 	HTTPClient *http.Client // nil uses a 10s-timeout client
@@ -169,11 +176,7 @@ func (w *Worker) tick() {
 		}
 	}
 
-	ads := harness.WarmSnapshots()
-	warmAds := make([]WarmAd, 0, len(ads))
-	for _, s := range ads {
-		warmAds = append(warmAds, WarmAd{Key: s.Key.String(), Hash: fmt.Sprintf("%016x", s.Snap.Hash())})
-	}
+	warmAds := w.advertisements()
 	hb := Heartbeat{
 		Worker:   w.cfg.Name,
 		Addr:     w.cfg.SelfURL,
@@ -199,6 +202,30 @@ func (w *Worker) tick() {
 			w.log.Warn("relayed cancel failed", "cluster_job", cid, "local_job", lid, "err", err)
 		}
 	}
+}
+
+// advertisements merges the in-memory warm cache with the persistent
+// snapshot store into one warm-key advertisement list. Memory wins on a
+// duplicate key (same content either way — store entries are the spilled
+// snapshots), and disk-only keys let the coordinator route work at this
+// worker across restarts, before anything is re-warmed.
+func (w *Worker) advertisements() []WarmAd {
+	ads := harness.WarmSnapshots()
+	warmAds := make([]WarmAd, 0, len(ads))
+	seen := make(map[string]bool, len(ads))
+	for _, s := range ads {
+		warmAds = append(warmAds, WarmAd{Key: s.Key.String(), Hash: fmt.Sprintf("%016x", s.Snap.Hash())})
+		seen[s.Key.String()] = true
+	}
+	if w.cfg.SnapStore != nil {
+		for _, e := range w.cfg.SnapStore.Entries() {
+			if seen[e.Key] {
+				continue
+			}
+			warmAds = append(warmAds, WarmAd{Key: e.Key, Hash: fmt.Sprintf("%016x", e.SnapHash)})
+		}
+	}
+	return warmAds
 }
 
 // post sends one JSON request to the coordinator.
@@ -319,10 +346,10 @@ func (w *Worker) Handler() http.Handler {
 			Key  string `json:"key"`
 			Hash string `json:"hash"`
 		}
-		snaps := harness.WarmSnapshots()
-		out := make([]entry, 0, len(snaps))
-		for _, s := range snaps {
-			out = append(out, entry{Key: s.Key.String(), Hash: fmt.Sprintf("%016x", s.Snap.Hash())})
+		ads := w.advertisements()
+		out := make([]entry, 0, len(ads))
+		for _, a := range ads {
+			out = append(out, entry{Key: a.Key, Hash: a.Hash})
 		}
 		writeJSON(rw, http.StatusOK, map[string]any{"total": len(out), "snapshots": out})
 	})
@@ -343,6 +370,24 @@ func (w *Worker) Handler() http.Handler {
 			rw.Header().Set("Content-Length", fmt.Sprint(len(blob)))
 			_, _ = rw.Write(blob)
 			return
+		}
+		// Not in memory: fall back to the persistent store, which holds
+		// already-encoded snapshot sections.
+		if w.cfg.SnapStore != nil {
+			for _, e := range w.cfg.SnapStore.Entries() {
+				if fmt.Sprintf("%016x", e.SnapHash) != hash {
+					continue
+				}
+				blob, ok := w.cfg.SnapStore.LoadSnapshotBlob(e.Key)
+				if !ok {
+					break // entry vanished or failed verification under us
+				}
+				w.m.snapshotServes.Add(1)
+				rw.Header().Set("Content-Type", "application/octet-stream")
+				rw.Header().Set("Content-Length", fmt.Sprint(len(blob)))
+				_, _ = rw.Write(blob)
+				return
+			}
 		}
 		writeJSON(rw, http.StatusNotFound, map[string]any{"error": "no snapshot with that hash"})
 	})

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"pathfinder/internal/isa"
+	"pathfinder/internal/pathfinder"
+	"pathfinder/internal/phr"
+	"pathfinder/internal/wire"
+)
+
+// Wire codec for ExtendedResult, the phase-level recovery artifact the AES
+// driver checkpoints next to its machine snapshot. Persisting it is what
+// lets a cold process resume from the snapshot store without re-running
+// Extended_Read_PHR: the snapshot restores the trained predictor state and
+// the decoded result supplies the capture program and recovered path the
+// poisoned queries replay. Every component is pure data (window register,
+// doublet extension, path, program, anchors), so encode→decode is lossless
+// and a decoded result drives byte-identical continuations.
+
+// maxWireExt bounds the decoded extension length, mirroring the
+// ExtendedOptions.MaxDoublets default ceiling with headroom.
+const maxWireExt = 1 << 22
+
+// EncodeWire appends the result to w.
+func (r *ExtendedResult) EncodeWire(w *wire.Writer) {
+	w.Bool(r.Window != nil)
+	if r.Window != nil {
+		r.Window.EncodeWire(w)
+	}
+	w.U32(uint32(len(r.Ext)))
+	w.Raw(r.Ext)
+	r.Path.EncodeWire(w)
+	w.Bool(r.CaptureProgram != nil)
+	if r.CaptureProgram != nil {
+		r.CaptureProgram.EncodeWire(w)
+	}
+	w.U64(r.Entry)
+	w.U64(r.Final)
+	w.I64(int64(r.Probes))
+}
+
+// DecodeWireExtendedResult reads a result from rd.
+func DecodeWireExtendedResult(rd *wire.Reader) *ExtendedResult {
+	r := &ExtendedResult{}
+	if rd.Bool() {
+		r.Window = &phr.Reg{}
+		r.Window.DecodeWire(rd)
+	}
+	n := rd.Len(maxWireExt)
+	if rd.Err() != nil {
+		return nil
+	}
+	r.Ext = make([]phr.Doublet, n)
+	for i := 0; i < n; i++ {
+		r.Ext[i] = rd.U8()
+	}
+	r.Path = pathfinder.DecodeWirePath(rd)
+	if rd.Bool() {
+		r.CaptureProgram = isa.DecodeWireProgram(rd)
+	}
+	r.Entry = rd.U64()
+	r.Final = rd.U64()
+	probes := rd.I64()
+	if rd.Err() != nil {
+		return nil
+	}
+	if probes < 0 {
+		rd.Fail(fmt.Errorf("core: wire probe count %d negative", probes))
+		return nil
+	}
+	r.Probes = int(probes)
+	return r
+}

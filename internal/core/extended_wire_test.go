@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/wire"
+)
+
+// TestExtendedResultWireRoundTrip runs a real recovery and round-trips its
+// result through the wire codec: the decoded artifact must be equivalent in
+// every field the AES resume path consumes — capture-program content hash,
+// symbols, recovered path, anchors — and must re-encode to identical bytes.
+func TestExtendedResultWireRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended read in long mode only")
+	}
+	v := loopVictim(20)
+	m := cpu.New(cpu.Options{Seed: 4})
+	res, err := ExtendedReadPHR(m, v, ExtendedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := &wire.Writer{}
+	res.EncodeWire(w)
+	first := append([]byte(nil), w.Bytes()...)
+
+	r := wire.NewReader(first)
+	got := DecodeWireExtendedResult(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", r.Remaining())
+	}
+
+	if got.Path.Complete != res.Path.Complete || len(got.Path.Steps) != len(res.Path.Steps) {
+		t.Fatalf("path shape mismatch: %d steps, complete=%v", len(got.Path.Steps), got.Path.Complete)
+	}
+	for i := range res.Path.Steps {
+		if got.Path.Steps[i] != res.Path.Steps[i] {
+			t.Fatalf("path step %d differs", i)
+		}
+	}
+	if got.CaptureProgram.Hash() != res.CaptureProgram.Hash() {
+		t.Fatal("capture program hash changed across the wire")
+	}
+	for _, sym := range []string{"cap_call", "vback"} {
+		if got.CaptureProgram.MustSymbol(sym) != res.CaptureProgram.MustSymbol(sym) {
+			t.Fatalf("symbol %q moved across the wire", sym)
+		}
+	}
+	if got.Entry != res.Entry || got.Final != res.Final || got.Probes != res.Probes {
+		t.Fatalf("anchors/probes differ: %+v", got)
+	}
+	if (got.Window == nil) != (res.Window == nil) {
+		t.Fatal("window presence differs")
+	}
+	if got.Window != nil && !got.Window.Equal(res.Window) {
+		t.Fatal("window register differs")
+	}
+	if len(got.Ext) != len(res.Ext) {
+		t.Fatalf("extension length %d, want %d", len(got.Ext), len(res.Ext))
+	}
+
+	// Determinism: re-encoding the decoded result reproduces the bytes.
+	w2 := &wire.Writer{}
+	got.EncodeWire(w2)
+	if string(w2.Bytes()) != string(first) {
+		t.Fatal("re-encoded bytes differ from the original encoding")
+	}
+}
+
+func TestExtendedResultWireRejectsTruncation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended read in long mode only")
+	}
+	v := loopVictim(20)
+	m := cpu.New(cpu.Options{Seed: 4})
+	res, err := ExtendedReadPHR(m, v, ExtendedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &wire.Writer{}
+	res.EncodeWire(w)
+	full := w.Bytes()
+	for _, n := range []int{0, 1, 5, 64, len(full) / 3, len(full) / 2, len(full) - 1} {
+		r := wire.NewReader(full[:n])
+		DecodeWireExtendedResult(r)
+		if r.Err() == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded cleanly", n, len(full))
+		}
+	}
+}

@@ -105,6 +105,14 @@ type Options struct {
 	// kills it; reports are byte-identical either way — the cache trades
 	// time, never outcomes. RefModel runs always bypass the cache.
 	WarmCache WarmCacheMode
+
+	// Planner selects the sweep-planner policy (planner.go) for the grid
+	// drivers (AESGridSweep, AESNoiseSweep): group cells by their shared
+	// training prefix, train each distinct prefix once, and prefetch the
+	// next group's checkpoint from the persistent snapshot store while the
+	// current group executes. The zero value (Auto) follows the warm cache;
+	// reports are byte-identical with the planner on or off.
+	Planner PlannerMode
 }
 
 // workers resolves the worker-pool size for the sharded drivers.
@@ -298,6 +306,9 @@ type ReadPHRReport struct {
 // trial whose capture or read errors is retried on a reseeded machine under
 // the options' Retry policy; exhausted trials count as Failures.
 func ReadPHRRandomEval(ctx context.Context, opts Options, trials, doublets int) (*ReadPHRReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	seed := opts.seed(DefaultReadPHRSeed)
 	rep := &ReadPHRReport{Trials: trials, Doublets: doublets}
 	oks := make([]bool, trials)
@@ -574,6 +585,9 @@ type Fig7Report struct {
 // if every attempt fails the sweep records the error in that image's result
 // and continues instead of aborting.
 func Fig7ImageRecovery(ctx context.Context, opts Options, size, quality, maxImages int) (*Fig7Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	seed := opts.seed(DefaultFig7Seed)
 	set := media.TestSet(size)
 	if maxImages > 0 && maxImages < len(set) {
@@ -663,6 +677,32 @@ type AESEvalResult struct {
 	Stats         cpu.Counters `json:"stats"`
 }
 
+// aesEvalKey is the fixed AES key of the §9 evaluation (the FIPS-197
+// appendix key). Its hash content-addresses the phase-1 checkpoint, so the
+// sweep planner can compute a cell's prefix key without building a machine.
+var aesEvalKey = []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+	0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+
+// aesPhase1Key is the phase-1 checkpoint address AESLeakEval will compute
+// under for these options, resolved exactly as the driver resolves them
+// (zero arch means Alder Lake, zero seed the historical default). The key
+// deliberately omits the fault profile — the primary machine is
+// fault-exempt — so a noise-intensity ladder shares one recovery.
+func aesPhase1Key(opts Options, noise float64) WarmStateKey {
+	cfg := opts.Arch
+	if cfg.PHRSize == 0 {
+		cfg = bpu.AlderLake
+	}
+	return WarmStateKey{
+		Kind:    "aes-phase1",
+		Arch:    cfg.Name,
+		PHRSize: cfg.PHRSize,
+		Prog:    hashBytes(aesEvalKey),
+		Seed:    opts.seed(DefaultAESSeed),
+		Noise:   noise,
+	}
+}
+
 // AESLeakEval reproduces the §9 evaluation: over `trials` oracle queries at
 // random early-exit iterations, compare the stolen reduced-round ciphertext
 // bytes against ground truth; then recover the full key from skip-loop
@@ -675,6 +715,9 @@ type AESEvalResult struct {
 // early-exit counts for every trial are drawn from a single stream before
 // sharding, so the report is byte-identical at every Parallelism level.
 func AESLeakEval(ctx context.Context, opts Options, trials int, noise float64) (*AESEvalResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -687,8 +730,7 @@ func AESLeakEval(ctx context.Context, opts Options, trials int, noise float64) (
 	// measurements, not the attacker's own preparation.
 	co.Faults = nil
 	m := cpu.New(co)
-	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
-		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	key := append([]byte(nil), aesEvalKey...)
 	a, err := attack.NewAESAttack(m, key)
 	if err != nil {
 		return nil, err
@@ -912,6 +954,9 @@ func DefaultNoiseIntensities() []float64 {
 // the options' Parallelism, seeds and retry policy, so the report is
 // byte-identical at every Parallelism level.
 func AESNoiseSweep(ctx context.Context, opts Options, trials int, noise float64, intensities []float64) (*NoiseSweepReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	base := faultinject.Default()
 	if opts.Faults != nil {
 		base = *opts.Faults
@@ -920,22 +965,131 @@ func AESNoiseSweep(ctx context.Context, opts Options, trials int, noise float64,
 		intensities = DefaultNoiseIntensities()
 	}
 	rep := &NoiseSweepReport{Profile: base}
-	for _, p := range intensities {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	// Every point shares one phase-1 prefix — the checkpoint key omits the
+	// fault profile — so under the planner the whole ladder forms a single
+	// group behind one recovery (trained once, or restored from the
+	// persistent store). Each cell writes its own slot; the report is
+	// assembled in intensity order, so planner routing is byte-neutral.
+	prefix := aesPhase1Key(opts, noise)
+	results := make([]AESEvalResult, len(intensities))
+	cells := make([]SweepCell, len(intensities))
+	for i, p := range intensities {
 		prof := base.WithPollution(p, base.PHRPollutionBurst)
 		o := opts
 		o.Faults = &prof
-		res, err := AESLeakEval(ctx, o, trials, noise)
-		if err != nil {
-			return nil, err
+		i := i
+		cells[i] = SweepCell{
+			Label:  fmt.Sprintf("aes-noise[p=%g]", p),
+			Prefix: prefix,
+			Run: func(ctx context.Context) error {
+				res, err := AESLeakEval(ctx, o, trials, noise)
+				if err != nil {
+					return err
+				}
+				results[i] = *res
+				return nil
+			},
 		}
-		rep.Points = append(rep.Points, NoisePoint{PHRPollutionProb: p, Result: *res})
-		rep.Stats.Add(res.Stats)
 	}
-	if err := ctx.Err(); err != nil {
+	var err error
+	if opts.plannerOn() {
+		err = RunSweep(ctx, cells)
+	} else {
+		err = runSweepNaive(ctx, cells)
+	}
+	if err != nil {
 		return nil, err
+	}
+	for i, p := range intensities {
+		rep.Points = append(rep.Points, NoisePoint{PHRPollutionProb: p, Result: results[i]})
+		rep.Stats.Add(results[i].Stats)
+	}
+	return rep, nil
+}
+
+// AESGridPoint is one cell of the arch × seed × noise grid sweep.
+type AESGridPoint struct {
+	Arch   string        `json:"arch"`
+	Seed   int64         `json:"seed"`
+	Noise  float64       `json:"noise"`
+	Result AESEvalResult `json:"result"`
+}
+
+// AESGridReport is the AESGridSweep outcome, points in arch-major grid
+// order.
+type AESGridReport struct {
+	Points []AESGridPoint `json:"points"`
+	Stats  cpu.Counters   `json:"stats"`
+}
+
+// AESGridSweep runs the §9 AES evaluation over a grid of
+// microarchitectures, base seeds and noise levels — the batch shape the
+// robustness studies sweep. Cells execute through the sweep planner: they
+// are grouped by their phase-1 checkpoint address, each distinct checkpoint
+// is trained once (or restored from the persistent snapshot store, which is
+// what makes a repeated sweep in a fresh process fast), and the next
+// group's checkpoint is prefetched from the store while the current group
+// executes. Empty dimension slices default to the options' own arch and
+// seed and noise 0. Each cell writes its own grid slot and the report is
+// assembled in grid order, so the report is a pure function of (Options,
+// arguments): byte-identical with the planner or the store on or off, at
+// every Parallelism and BatchSize.
+func AESGridSweep(ctx context.Context, opts Options, trials int, archs []bpu.Config, seeds []int64, noises []float64) (*AESGridReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(archs) == 0 {
+		archs = []bpu.Config{opts.Arch}
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{opts.Seed}
+	}
+	if len(noises) == 0 {
+		noises = []float64{0}
+	}
+	n := len(archs) * len(seeds) * len(noises)
+	results := make([]AESEvalResult, n)
+	points := make([]AESGridPoint, n)
+	cells := make([]SweepCell, 0, n)
+	i := 0
+	for _, cfg := range archs {
+		for _, s := range seeds {
+			for _, nz := range noises {
+				o := opts
+				o.Arch = cfg
+				o.Seed = s
+				key := aesPhase1Key(o, nz)
+				ci := i
+				points[ci] = AESGridPoint{Arch: key.Arch, Seed: key.Seed, Noise: nz}
+				cells = append(cells, SweepCell{
+					Label:  fmt.Sprintf("aes[%s seed=%d noise=%g]", key.Arch, key.Seed, nz),
+					Prefix: key,
+					Run: func(ctx context.Context) error {
+						res, err := AESLeakEval(ctx, o, trials, nz)
+						if err != nil {
+							return err
+						}
+						results[ci] = *res
+						return nil
+					},
+				})
+				i++
+			}
+		}
+	}
+	var err error
+	if opts.plannerOn() {
+		err = RunSweep(ctx, cells)
+	} else {
+		err = runSweepNaive(ctx, cells)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &AESGridReport{Points: points}
+	for ci := range points {
+		rep.Points[ci].Result = results[ci]
+		rep.Stats.Add(results[ci].Stats)
 	}
 	return rep, nil
 }

@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPlanSweep measures grouping a 256-cell grid into 16 shared-prefix
+// groups — the planner's pure-CPU cost before any cell executes. Gated in
+// BENCH_baseline.json: planning must stay negligible next to one trial.
+func BenchmarkPlanSweep(b *testing.B) {
+	cells := make([]SweepCell, 256)
+	for i := range cells {
+		cells[i] = SweepCell{
+			Label: fmt.Sprintf("cell-%d", i),
+			Prefix: WarmStateKey{
+				Kind: "aes-phase1", Arch: "Alder Lake", PHRSize: 194,
+				Prog: uint64(i % 16), Seed: int64(i % 16),
+			},
+			Run: func(context.Context) error { return nil },
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := PlanSweep(cells); len(p.Groups) != 16 {
+			b.Fatalf("groups = %d, want 16", len(p.Groups))
+		}
+	}
+}

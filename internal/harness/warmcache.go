@@ -145,11 +145,15 @@ func (c *warmCache) get(key warmKey) (*warmEntry, bool) {
 }
 
 // putIfAbsent stores e under key unless another entry got there first,
-// evicting the least-recently-used entry when over capacity.
+// evicting the least-recently-used entry when over capacity. The entry also
+// spills to the persistent snapshot store (outside the cache lock — Save is
+// disk I/O), so warm state trained or fetched in this process survives a
+// restart; a re-spill of a resident key is a no-op.
 func (c *warmCache) putIfAbsent(key warmKey, e *warmEntry) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.storeLocked(key, e)
+	c.mu.Unlock()
+	storeSpill(key, e)
 }
 
 func (c *warmCache) storeLocked(key warmKey, e *warmEntry) {
@@ -169,6 +173,10 @@ func (c *warmCache) storeLocked(key warmKey, e *warmEntry) {
 // with the same key block until it finishes. Errors are not cached — the
 // next caller retries. The caller can tell whether its own compute ran by
 // the side effects of compute itself.
+//
+// A miss consults the persistent snapshot store before computing — the
+// singleflight also dedups store reads — and a successful compute spills
+// there, so phase-level checkpoints survive process restarts.
 func (c *warmCache) do(key warmKey, compute func() (*warmEntry, error)) (*warmEntry, error) {
 	c.mu.Lock()
 	if it, ok := c.items[key]; ok {
@@ -190,7 +198,14 @@ func (c *warmCache) do(key warmKey, compute func() (*warmEntry, error)) (*warmEn
 	c.inflight[key] = call
 	c.mu.Unlock()
 
-	call.e, call.err = compute()
+	if e, ok := storeLoad(key); ok {
+		call.e = e
+	} else {
+		call.e, call.err = compute()
+		if call.err == nil {
+			storeSpill(key, call.e)
+		}
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, key)

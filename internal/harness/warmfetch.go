@@ -109,11 +109,17 @@ func WarmFetchStats() (hits, misses uint64) {
 	return warmFetchHits.Load(), warmFetchMiss.Load()
 }
 
-// getOrFetch is get plus the fetch hook: on a local miss it asks the
-// fetcher, installs a successful fetch (so later trials hit locally), and
-// reports whether the entry ultimately came from outside.
+// getOrFetch is get plus the spill and fetch tiers: on a local miss it
+// consults the persistent snapshot store, then the cluster fetcher. A hit
+// from either tier is installed in the in-memory cache (so later trials hit
+// locally) and — via putIfAbsent's spill — a fetched snapshot also lands in
+// the store, so peer-trained warm state survives this worker's restart.
 func (c *warmCache) getOrFetch(key warmKey) (*warmEntry, bool) {
 	if e, ok := c.get(key); ok {
+		return e, true
+	}
+	if e, ok := storeLoad(key); ok {
+		c.putIfAbsent(key, e)
 		return e, true
 	}
 	warmFetchMu.RLock()

@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+
+	"pathfinder/internal/wire"
+)
+
+// Wire codec for assembled programs, used by the snapshot store to persist
+// phase-level warm checkpoints whose recovery artifacts reference a capture
+// program. Only the architectural content travels: the instruction sequence
+// (including the Assemble-resolved TargetIdx, which is program-order data,
+// not an address map) and the symbol table. The lazily derived views —
+// byAddr, labelIdx, the version counter — are rebuilt on decode, so a
+// decoded program behaves exactly like a freshly assembled one and, because
+// Hash ignores the derived views, hashes identically to its source.
+
+// maxWireInstrs bounds a decoded instruction count; the largest real capture
+// programs are a few thousand instructions.
+const maxWireInstrs = 1 << 22
+
+// EncodeWire appends the program's architectural content to w.
+func (p *Program) EncodeWire(w *wire.Writer) {
+	w.U32(uint32(len(p.Instrs)))
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		w.U64(in.Addr)
+		w.U8(uint8(in.Op))
+		w.U8(uint8(in.Cond))
+		w.U8(uint8(in.Rd))
+		w.U8(uint8(in.Rs))
+		w.U8(uint8(in.Rt))
+		w.U8(uint8(in.Vd))
+		w.I64(in.Imm)
+		w.U64(in.Target)
+		w.String(in.Sym)
+		w.I64(int64(in.TargetIdx))
+	}
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.U32(uint32(len(names)))
+	for _, name := range names {
+		w.String(name)
+		w.U64(p.Symbols[name])
+	}
+}
+
+// DecodeWireProgram reads a program from rd, rebuilding the address and
+// label indices so the result is ready for execution and patching. Structural
+// violations — out-of-range opcodes, conditions, registers or target indices,
+// duplicate addresses — latch an error on rd.
+func DecodeWireProgram(rd *wire.Reader) *Program {
+	n := rd.Len(maxWireInstrs)
+	if rd.Err() != nil {
+		return nil
+	}
+	p := &Program{
+		Instrs:   make([]Instr, 0, n),
+		Symbols:  make(map[string]uint64),
+		byAddr:   make(map[uint64]int, n),
+		labelIdx: make(map[string]int),
+	}
+	for i := 0; i < n && rd.Err() == nil; i++ {
+		var in Instr
+		in.Addr = rd.U64()
+		in.Op = Op(rd.U8())
+		in.Cond = Cond(rd.U8())
+		in.Rd = Reg(rd.U8())
+		in.Rs = Reg(rd.U8())
+		in.Rt = Reg(rd.U8())
+		in.Vd = VReg(rd.U8())
+		in.Imm = rd.I64()
+		in.Target = rd.U64()
+		in.Sym = rd.String()
+		in.TargetIdx = int32(rd.I64())
+		if rd.Err() != nil {
+			return nil
+		}
+		switch {
+		case in.Op >= opCount:
+			rd.Fail(fmt.Errorf("isa: wire opcode %d out of range", in.Op))
+		case int(in.Cond) >= len(condNames):
+			rd.Fail(fmt.Errorf("isa: wire condition %d out of range", in.Cond))
+		case int(in.Rd) >= NumRegs || int(in.Rs) >= NumRegs || int(in.Rt) >= NumRegs:
+			rd.Fail(fmt.Errorf("isa: wire register out of range"))
+		case int(in.Vd) >= NumVRegs:
+			rd.Fail(fmt.Errorf("isa: wire vector register out of range"))
+		case in.TargetIdx < -1 || int(in.TargetIdx) >= n:
+			rd.Fail(fmt.Errorf("isa: wire target index %d out of range", in.TargetIdx))
+		}
+		if rd.Err() != nil {
+			return nil
+		}
+		p.byAddr[in.Addr] = i
+		p.Instrs = append(p.Instrs, in)
+	}
+	if rd.Err() != nil {
+		return nil
+	}
+	if len(p.byAddr) != len(p.Instrs) {
+		rd.Fail(fmt.Errorf("isa: wire program has duplicate instruction addresses"))
+		return nil
+	}
+	nSym := rd.Len(maxWireInstrs)
+	for i := 0; i < nSym && rd.Err() == nil; i++ {
+		name := rd.String()
+		addr := rd.U64()
+		if rd.Err() != nil {
+			return nil
+		}
+		if name == "" {
+			rd.Fail(fmt.Errorf("isa: wire symbol with empty name"))
+			return nil
+		}
+		p.Symbols[name] = addr
+		// Labels that name an instruction survive re-addressing through
+		// labelIdx, exactly as after Assemble; address-only symbols (if any)
+		// stay in the static table.
+		if idx, ok := p.byAddr[addr]; ok {
+			p.labelIdx[name] = idx
+		}
+	}
+	if rd.Err() != nil {
+		return nil
+	}
+	return p
+}

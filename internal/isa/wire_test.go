@@ -1,0 +1,116 @@
+package isa
+
+import (
+	"testing"
+
+	"pathfinder/internal/wire"
+)
+
+func wireTestProgram(t *testing.T) *Program {
+	t.Helper()
+	a := NewAssembler()
+	a.Label("start")
+	a.MovI(R1, 42)
+	a.MovI(R2, 0)
+	a.Label("loop")
+	a.AddI(R1, R1, -1)
+	a.Call("leaf")
+	a.Br(NE, R1, R0, "loop")
+	a.Jmp("done")
+	a.Label("leaf")
+	a.Ld(R3, R2, 16)
+	a.Ret()
+	a.Label("done")
+	a.Halt()
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProgramWireRoundTrip(t *testing.T) {
+	p := wireTestProgram(t)
+	w := &wire.Writer{}
+	p.EncodeWire(w)
+
+	r := wire.NewReader(w.Bytes())
+	got := DecodeWireProgram(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", r.Remaining())
+	}
+	if len(got.Instrs) != len(p.Instrs) {
+		t.Fatalf("instruction count %d, want %d", len(got.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		if got.Instrs[i] != p.Instrs[i] {
+			t.Fatalf("instr %d: got %+v want %+v", i, got.Instrs[i], p.Instrs[i])
+		}
+	}
+	// The content hash keys the warm-state cache across processes, so a
+	// decoded program must hash identically to its source.
+	if got.Hash() != p.Hash() {
+		t.Fatalf("hash mismatch: %#x vs %#x", got.Hash(), p.Hash())
+	}
+	// The derived views must be rebuilt: symbols resolve, addresses map.
+	for _, sym := range []string{"start", "loop", "leaf", "done"} {
+		if got.MustSymbol(sym) != p.MustSymbol(sym) {
+			t.Fatalf("symbol %q: %#x vs %#x", sym, got.MustSymbol(sym), p.MustSymbol(sym))
+		}
+	}
+	if i, ok := got.IndexOf(p.Instrs[3].Addr); !ok || i != 3 {
+		t.Fatalf("IndexOf broken on decoded program: %d %v", i, ok)
+	}
+	// A decoded program must survive the in-place patch contract: move
+	// addresses, Reindex, and symbols/targets follow.
+	shift := uint64(0x100)
+	for i := range got.Instrs {
+		got.Instrs[i].Addr += shift
+	}
+	if err := got.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	if got.MustSymbol("loop") != p.MustSymbol("loop")+shift {
+		t.Fatal("labelIdx not rebuilt: symbol did not follow re-addressing")
+	}
+	if br := &got.Instrs[4]; br.Target != got.Instrs[br.TargetIdx].Addr {
+		t.Fatal("branch target did not follow re-addressing")
+	}
+}
+
+func TestProgramWireRejectsCorruption(t *testing.T) {
+	p := wireTestProgram(t)
+	w := &wire.Writer{}
+	p.EncodeWire(w)
+	full := w.Bytes()
+
+	// Every truncation must fail loudly, never decode partially.
+	for _, n := range []int{0, 1, 3, 8, len(full) / 2, len(full) - 1} {
+		r := wire.NewReader(full[:n])
+		DecodeWireProgram(r)
+		if r.Err() == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+
+	corrupt := func(mut func(b []byte)) *wire.Reader {
+		b := append([]byte(nil), full...)
+		mut(b)
+		return wire.NewReader(b)
+	}
+	// Oversized instruction count drives the length guard, not a huge alloc.
+	r := corrupt(func(b []byte) { b[0], b[1], b[2], b[3] = 0xff, 0xff, 0xff, 0x7f })
+	DecodeWireProgram(r)
+	if r.Err() == nil {
+		t.Fatal("oversized instruction count decoded cleanly")
+	}
+	// Out-of-range opcode in the first instruction.
+	r = corrupt(func(b []byte) { b[4+8] = 0xff })
+	DecodeWireProgram(r)
+	if r.Err() == nil {
+		t.Fatal("out-of-range opcode decoded cleanly")
+	}
+}

@@ -1,0 +1,56 @@
+package pathfinder
+
+import (
+	"fmt"
+
+	"pathfinder/internal/wire"
+)
+
+// Wire codec for recovered paths, used by the snapshot store to persist
+// phase-level warm checkpoints. A path is pure data — branch events in
+// execution order plus the completeness flag — so the codec is a plain
+// field walk.
+
+// maxWireSteps bounds a decoded step count; real recovered paths are a few
+// thousand steps (MaxDoublets caps the search itself at 20000).
+const maxWireSteps = 1 << 22
+
+// EncodeWire appends the path to w.
+func (p Path) EncodeWire(w *wire.Writer) {
+	w.U32(uint32(len(p.Steps)))
+	for _, s := range p.Steps {
+		w.U64(s.Addr)
+		w.U64(s.Target)
+		w.Bool(s.Taken)
+		w.Bool(s.Conditional)
+		w.U8(uint8(s.Kind))
+	}
+	w.Bool(p.Complete)
+}
+
+// DecodeWirePath reads a path from rd.
+func DecodeWirePath(rd *wire.Reader) Path {
+	var p Path
+	n := rd.Len(maxWireSteps)
+	if rd.Err() != nil {
+		return p
+	}
+	p.Steps = make([]Step, 0, n)
+	for i := 0; i < n && rd.Err() == nil; i++ {
+		var s Step
+		s.Addr = rd.U64()
+		s.Target = rd.U64()
+		s.Taken = rd.Bool()
+		s.Conditional = rd.Bool()
+		s.Kind = EdgeKind(rd.U8())
+		if s.Kind > EdgeReturn {
+			rd.Fail(fmt.Errorf("pathfinder: wire edge kind %d out of range", s.Kind))
+		}
+		p.Steps = append(p.Steps, s)
+	}
+	p.Complete = rd.Bool()
+	if rd.Err() != nil {
+		return Path{}
+	}
+	return p
+}

@@ -1,0 +1,59 @@
+package pathfinder
+
+import (
+	"testing"
+
+	"pathfinder/internal/wire"
+)
+
+func TestPathWireRoundTrip(t *testing.T) {
+	p := Path{
+		Steps: []Step{
+			{Addr: 0x1000, Target: 0x2000, Taken: true, Conditional: false, Kind: EdgeCall},
+			{Addr: 0x2004, Taken: false, Conditional: true},
+			{Addr: 0x2008, Target: 0x2004, Taken: true, Conditional: true, Kind: EdgeCondTaken},
+			{Addr: 0x200c, Target: 0x1001, Taken: true, Kind: EdgeReturn},
+		},
+		Complete: true,
+	}
+	w := &wire.Writer{}
+	p.EncodeWire(w)
+	r := wire.NewReader(w.Bytes())
+	got := DecodeWirePath(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", r.Remaining())
+	}
+	if got.Complete != p.Complete || len(got.Steps) != len(p.Steps) {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	for i := range p.Steps {
+		if got.Steps[i] != p.Steps[i] {
+			t.Fatalf("step %d: got %+v want %+v", i, got.Steps[i], p.Steps[i])
+		}
+	}
+}
+
+func TestPathWireRejectsCorruption(t *testing.T) {
+	p := Path{Steps: []Step{{Addr: 0x10, Target: 0x20, Taken: true, Kind: EdgeJump}}, Complete: true}
+	w := &wire.Writer{}
+	p.EncodeWire(w)
+	full := w.Bytes()
+	for n := 0; n < len(full); n++ {
+		r := wire.NewReader(full[:n])
+		DecodeWirePath(r)
+		if r.Err() == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", n)
+		}
+	}
+	// Out-of-range edge kind.
+	b := append([]byte(nil), full...)
+	b[4+8+8+1+1] = 0xee
+	r := wire.NewReader(b)
+	DecodeWirePath(r)
+	if r.Err() == nil {
+		t.Fatal("out-of-range edge kind decoded cleanly")
+	}
+}

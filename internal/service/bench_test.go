@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -45,6 +46,41 @@ func runSweep16(tb testing.TB, workers int) time.Duration {
 		tb.Fatalf("sweep finished with states %v, want 16 done", c)
 	}
 	return elapsed
+}
+
+// nopResponseWriter discards the response; it isolates writeJSON's own
+// allocations from recorder bookkeeping.
+type nopResponseWriter struct{ h http.Header }
+
+func (w nopResponseWriter) Header() http.Header       { return w.h }
+func (nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (nopResponseWriter) WriteHeader(int)             {}
+
+// BenchmarkWriteJSON measures the pooled response-encode path with a
+// typical job-view payload.
+func BenchmarkWriteJSON(b *testing.B) {
+	w := nopResponseWriter{h: make(http.Header)}
+	body := map[string]any{"total": 2, "jobs": []JobView{{ID: "job-000001", Experiment: "aes", State: StateDone}, {ID: "job-000002", Experiment: "fig4", State: StateRunning}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+// TestWriteJSONSteadyStateAllocs pins the pooling win: once the pool is
+// primed, a writeJSON call must stay under the pre-pool allocation count
+// (encoder + buffer + map iteration used to cost ~30).
+func TestWriteJSONSteadyStateAllocs(t *testing.T) {
+	w := nopResponseWriter{h: make(http.Header)}
+	body := errorBody{Error: "queue full"}
+	writeJSON(w, http.StatusServiceUnavailable, body) // prime the pool
+	avg := testing.AllocsPerRun(200, func() {
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	})
+	if avg > 8 {
+		t.Fatalf("writeJSON allocates %.1f objects per call at steady state, want <= 8", avg)
+	}
 }
 
 func BenchmarkSweep16Sequential(b *testing.B) {

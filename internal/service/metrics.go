@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pathfinder/internal/cpu"
+	"pathfinder/internal/harness"
 )
 
 // durationBuckets are the latency histogram upper bounds in seconds.
@@ -274,6 +275,46 @@ func (m *Metrics) Expose(states map[State]int, queueDepth int, breakers map[stri
 	w("# TYPE pathfinderd_sim_events_total counter\n")
 	for _, c := range sim {
 		w("pathfinderd_sim_events_total{event=%q} %d\n", c.name, c.v)
+	}
+
+	// Sweep-planner and snapshot-store telemetry lives in process-global
+	// harness counters (the warm cache is shared across jobs), so it is read
+	// live at scrape time rather than accumulated per job here.
+	groups, cells, shared, pfHits, pfMisses := harness.PlannerStats()
+	w("# HELP pathfinderd_sweep_planner_groups_total shared-prefix groups executed by the sweep planner\n")
+	w("# TYPE pathfinderd_sweep_planner_groups_total counter\n")
+	w("pathfinderd_sweep_planner_groups_total %d\n", groups)
+	w("# HELP pathfinderd_sweep_planner_cells_total sweep cells executed under the planner\n")
+	w("# TYPE pathfinderd_sweep_planner_cells_total counter\n")
+	w("pathfinderd_sweep_planner_cells_total %d\n", cells)
+	w("# HELP pathfinderd_sweep_planner_shared_cells_total cells that reused a group's shared warm prefix instead of retraining\n")
+	w("# TYPE pathfinderd_sweep_planner_shared_cells_total counter\n")
+	w("pathfinderd_sweep_planner_shared_cells_total %d\n", shared)
+	w("# HELP pathfinderd_sweep_planner_prefetch_total pipelined prefix prefetches from the snapshot store, by result\n")
+	w("# TYPE pathfinderd_sweep_planner_prefetch_total counter\n")
+	w("pathfinderd_sweep_planner_prefetch_total{result=\"hit\"} %d\n", pfHits)
+	w("pathfinderd_sweep_planner_prefetch_total{result=\"miss\"} %d\n", pfMisses)
+
+	whits, wmisses := harness.SnapStoreStats()
+	w("# HELP pathfinderd_warmcache_store_requests_total warm-cache lookups that fell through to the snapshot store, by result\n")
+	w("# TYPE pathfinderd_warmcache_store_requests_total counter\n")
+	w("pathfinderd_warmcache_store_requests_total{result=\"hit\"} %d\n", whits)
+	w("pathfinderd_warmcache_store_requests_total{result=\"miss\"} %d\n", wmisses)
+
+	if st := harness.InstalledSnapStore(); st != nil {
+		hits, misses, puts, evictions, bytes, entries := st.Stats()
+		w("# HELP pathfinderd_snapshot_store_ops_total on-disk snapshot store operations, by op\n")
+		w("# TYPE pathfinderd_snapshot_store_ops_total counter\n")
+		w("pathfinderd_snapshot_store_ops_total{op=\"hit\"} %d\n", hits)
+		w("pathfinderd_snapshot_store_ops_total{op=\"miss\"} %d\n", misses)
+		w("pathfinderd_snapshot_store_ops_total{op=\"put\"} %d\n", puts)
+		w("pathfinderd_snapshot_store_ops_total{op=\"evict\"} %d\n", evictions)
+		w("# HELP pathfinderd_snapshot_store_bytes bytes resident in the snapshot store\n")
+		w("# TYPE pathfinderd_snapshot_store_bytes gauge\n")
+		w("pathfinderd_snapshot_store_bytes %d\n", bytes)
+		w("# HELP pathfinderd_snapshot_store_entries snapshots resident in the snapshot store\n")
+		w("# TYPE pathfinderd_snapshot_store_entries gauge\n")
+		w("pathfinderd_snapshot_store_entries %d\n", entries)
 	}
 	return b.String()
 }

@@ -1,12 +1,17 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"pathfinder/internal/cpu"
+	"pathfinder/internal/harness"
+	"pathfinder/internal/snapstore"
 )
 
 // TestHistogramBucketBoundaries pins which bucket an observation on an
@@ -97,5 +102,82 @@ func TestHistogramExpositionCumulative(t *testing.T) {
 	}
 	if strings.Contains(exp, `le="1.000000"`) || strings.Contains(exp, `le="5e`) {
 		t.Error("bucket bounds rendered in a non-Prometheus format")
+	}
+}
+
+// TestMetricsPlannerAndSnapStoreScrape runs a shared-prefix sweep against an
+// installed snapshot store and scrapes GET /metrics, pinning the planner and
+// store series a dashboard would alert on. The snapshot-store section must be
+// gated on a store actually being installed.
+func TestMetricsPlannerAndSnapStoreScrape(t *testing.T) {
+	harness.SetSnapStore(nil)
+	harness.ResetPlannerStats()
+	harness.ResetSnapStoreStats()
+
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	scrape := func() string {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /metrics = %d, want 200", rec.Code)
+		}
+		return rec.Body.String()
+	}
+
+	if exp := scrape(); strings.Contains(exp, "pathfinderd_snapshot_store_ops_total") {
+		t.Fatal("snapshot-store series exposed with no store installed")
+	}
+
+	st, err := snapstore.Open(t.TempDir(), snapstore.DefaultMaxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harness.SetSnapStore(st)
+	defer harness.SetSnapStore(nil)
+
+	prefix := harness.WarmStateKey{Kind: "aes-phase1", Arch: "Alder Lake", PHRSize: 194, Prog: 0xabc, Seed: 1}
+	cells := make([]harness.SweepCell, 3)
+	for i := range cells {
+		cells[i] = harness.SweepCell{
+			Label:  fmt.Sprintf("cell-%d", i),
+			Prefix: prefix,
+			Run:    func(context.Context) error { return nil },
+		}
+	}
+	if err := harness.RunSweep(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+
+	exp := scrape()
+	for sample, want := range map[string]int{
+		"pathfinderd_sweep_planner_groups_total":       1,
+		"pathfinderd_sweep_planner_cells_total":        3,
+		"pathfinderd_sweep_planner_shared_cells_total": 2,
+		"pathfinderd_snapshot_store_entries":           0,
+	} {
+		if got := metricValue(t, exp, sample); got != want {
+			t.Errorf("%s = %d, want %d", sample, got, want)
+		}
+	}
+	for _, sample := range []string{
+		`pathfinderd_sweep_planner_prefetch_total{result="hit"}`,
+		`pathfinderd_sweep_planner_prefetch_total{result="miss"}`,
+		`pathfinderd_warmcache_store_requests_total{result="hit"}`,
+		`pathfinderd_warmcache_store_requests_total{result="miss"}`,
+		`pathfinderd_snapshot_store_ops_total{op="hit"}`,
+		`pathfinderd_snapshot_store_ops_total{op="put"}`,
+		`pathfinderd_snapshot_store_ops_total{op="evict"}`,
+		"pathfinderd_snapshot_store_bytes",
+	} {
+		if !strings.Contains(exp, sample) {
+			t.Errorf("exposition missing %s", sample)
+		}
 	}
 }

@@ -45,6 +45,15 @@ type Params struct {
 	// Intensities are the aes_noise PHR-pollution hazard rates to sweep;
 	// empty selects harness.DefaultNoiseIntensities.
 	Intensities []float64 `json:"intensities,omitempty"`
+
+	// Archs, Seeds and Noises are the aes_grid sweep dimensions — the grid
+	// driver runs the §9 evaluation at every (arch, seed, noise) cell
+	// through the shared-prefix sweep planner. Empty dimensions fall back
+	// to the experiment defaults. Noises are literal transient-collapse
+	// probabilities (0 means noiseless; no sentinel).
+	Archs  []string  `json:"archs,omitempty"`
+	Seeds  []int64   `json:"seeds,omitempty"`
+	Noises []float64 `json:"noises,omitempty"`
 }
 
 // ArchConfig resolves a microarchitecture name to its Table 1 config. The
@@ -141,6 +150,11 @@ func (r *Registry) Resolve(name string, p Params) (Params, error) {
 	if _, err := ArchConfig(p.Arch); err != nil {
 		return p, err
 	}
+	for _, a := range p.Archs {
+		if _, err := ArchConfig(a); err != nil {
+			return p, err
+		}
+	}
 	d := e.Defaults
 	if p.Arch == "" {
 		p.Arch = d.Arch
@@ -188,6 +202,15 @@ func (r *Registry) Resolve(name string, p Params) (Params, error) {
 	}
 	if len(p.Intensities) == 0 {
 		p.Intensities = d.Intensities
+	}
+	if len(p.Archs) == 0 {
+		p.Archs = d.Archs
+	}
+	if len(p.Seeds) == 0 {
+		p.Seeds = d.Seeds
+	}
+	if len(p.Noises) == 0 {
+		p.Noises = d.Noises
 	}
 	return p, nil
 }
@@ -363,6 +386,31 @@ func NewRegistry() *Registry {
 				return nil, cpu.Counters{}, err
 			}
 			rep, err := harness.AESNoiseSweep(ctx, opts, p.Trials, p.EffectiveNoise(), p.Intensities)
+			if err != nil {
+				return nil, cpu.Counters{}, err
+			}
+			return rep, rep.Stats, nil
+		},
+	})
+
+	reg(Experiment{
+		Name:        "aes_grid",
+		Description: "§9 batch: AES evaluation over an arch × seed × noise grid via the shared-prefix sweep planner",
+		Defaults:    Params{Trials: 24, Archs: []string{"alderlake"}, Seeds: []int64{harness.DefaultAESSeed}, Noises: []float64{0}},
+		Run: func(ctx context.Context, p Params) (any, cpu.Counters, error) {
+			opts, err := p.harnessOptions()
+			if err != nil {
+				return nil, cpu.Counters{}, err
+			}
+			archs := make([]bpu.Config, 0, len(p.Archs))
+			for _, name := range p.Archs {
+				cfg, aerr := ArchConfig(name)
+				if aerr != nil {
+					return nil, cpu.Counters{}, aerr
+				}
+				archs = append(archs, cfg)
+			}
+			rep, err := harness.AESGridSweep(ctx, opts, p.Trials, archs, p.Seeds, p.Noises)
 			if err != nil {
 				return nil, cpu.Counters{}, err
 			}

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -262,12 +264,31 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// jsonBufPool recycles the encode buffers of writeJSON. Every response on
+// the API passes through here — job polling clients hit /v1/jobs at a few
+// hertz per job — so encoding into a pooled buffer instead of a fresh
+// per-response one keeps handler allocations flat. Buffers that ballooned
+// on a large batch report are dropped rather than pinned in the pool.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledJSONBuf is the largest buffer worth keeping; bigger ones are
+// one-off report payloads.
+const maxPooledJSONBuf = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(body)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(body)
+	if err == nil {
+		_, _ = w.Write(buf.Bytes())
+	}
+	if buf.Cap() <= maxPooledJSONBuf {
+		jsonBufPool.Put(buf)
+	}
 }
 
 func writeError(w http.ResponseWriter, err error) {

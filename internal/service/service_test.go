@@ -469,10 +469,61 @@ func TestRegistryValidation(t *testing.T) {
 	for _, e := range reg.List() {
 		names[e.Name] = true
 	}
-	for _, want := range []string{"table1", "obs2", "fig4", "readphr", "fig5", "fig6", "table2", "fig7", "aes", "mitigations"} {
+	for _, want := range []string{"table1", "obs2", "fig4", "readphr", "fig5", "fig6", "table2", "fig7", "aes", "aes_grid", "mitigations"} {
 		if !names[want] {
 			t.Errorf("experiment %q missing from registry", want)
 		}
+	}
+}
+
+// TestAESGridExperiment: aes_grid resolves grid defaults, rejects unknown
+// grid archs, and a small 2×2×1 grid runs to completion with one report
+// point per cell in arch-major order.
+func TestAESGridExperiment(t *testing.T) {
+	reg := NewRegistry()
+	p, err := reg.Resolve("aes_grid", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Archs) != 1 || p.Archs[0] != "alderlake" || len(p.Seeds) != 1 || len(p.Noises) != 1 {
+		t.Fatalf("grid defaults not applied: %+v", p)
+	}
+	if _, err := reg.Resolve("aes_grid", Params{Archs: []string{"alderlake", "pentium4"}}); err == nil {
+		t.Fatal("unknown grid arch accepted")
+	}
+
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	v, err := s.Submit("aes_grid", Params{
+		Trials: 2,
+		Archs:  []string{"alderlake", "skylake"},
+		Seeds:  []int64{1, 2},
+	}, "", 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown(t, s)
+	got, err := s.Get(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("aes_grid job ended %s: %s", got.State, got.Error)
+	}
+	var rep struct {
+		Points []struct {
+			Arch string `json:"arch"`
+			Seed int64  `json:"seed"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(got.Result, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("grid produced %d points, want 4", len(rep.Points))
+	}
+	if rep.Points[0].Arch != "Alder Lake" || rep.Points[0].Seed != 1 ||
+		rep.Points[3].Arch != "Skylake" || rep.Points[3].Seed != 2 {
+		t.Fatalf("grid order wrong: %+v", rep.Points)
 	}
 }
 

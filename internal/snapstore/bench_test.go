@@ -1,0 +1,57 @@
+package snapstore
+
+import (
+	"testing"
+)
+
+// BenchmarkStoreLoad measures one verified restore from disk — read,
+// payload-hash check, envelope decode — the cold-process warm-start hot
+// path. Gated in BENCH_baseline.json.
+func BenchmarkStoreLoad(b *testing.B) {
+	st, err := Open(b.TempDir(), DefaultMaxBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := storeSnapshot(b, 1)
+	const key = "aes-phase1|Alder Lake|194|0000000000000001|1|0"
+	st.Save(key, snap, storeRec(b))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := st.Load(key); !ok {
+			b.Fatal("resident key missed")
+		}
+	}
+}
+
+// BenchmarkStoreSave measures one atomic spill to disk (encode, temp write,
+// rename). Keys alternate so the resident-key fast path is not what gets
+// measured.
+func BenchmarkStoreSave(b *testing.B) {
+	st, err := Open(b.TempDir(), DefaultMaxBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s0 := storeSnapshot(b, 1)
+	s1 := storeSnapshot(b, 2)
+	keys := [2]string{
+		"aes-phase1|Alder Lake|194|0000000000000001|1|0",
+		"aes-phase1|Alder Lake|194|0000000000000002|2|0",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Drop the previous copy so every iteration pays the full write.
+		k := keys[i%2]
+		st.mu.Lock()
+		if e, ok := st.index[k]; ok {
+			st.dropLocked(k, e)
+		}
+		st.mu.Unlock()
+		if i%2 == 0 {
+			st.Save(k, s0, nil)
+		} else {
+			st.Save(k, s1, nil)
+		}
+	}
+}

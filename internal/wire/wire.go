@@ -171,6 +171,10 @@ func (r *Reader) Bool() bool {
 // I64 reads a signed 64-bit word.
 func (r *Reader) I64() int64 { return int64(r.U64()) }
 
+// Skip advances past n bytes the caller has already consumed through Rest,
+// latching ErrShort if fewer remain.
+func (r *Reader) Skip(n int) { r.take(n) }
+
 // F64 reads a float64 from its IEEE-754 bits.
 func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
 
