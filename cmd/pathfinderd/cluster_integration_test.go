@@ -146,9 +146,13 @@ func TestClusterBinariesMatchStandalone(t *testing.T) {
 		"-role", "worker", "-addr", "127.0.0.1:0", "-coordinator", coordBase,
 		"-node-name", "w0", "-heartbeat", "50ms", "-workers", "2")
 	defer stopDaemon(w0)
+	// w1 runs with the chaos injector armed: its outbound RPCs suffer
+	// latency spikes and occasional request loss, which the report bytes
+	// must not notice.
 	w1, w1Base := startDaemon(t, bin,
 		"-role", "worker", "-addr", "127.0.0.1:0", "-coordinator", coordBase,
-		"-node-name", "w1", "-heartbeat", "50ms", "-workers", "2")
+		"-node-name", "w1", "-heartbeat", "50ms", "-workers", "2",
+		"-chaos", "seed=11,drop_request=0.05,latency=0.2:1ms:5ms")
 	defer stopDaemon(w1)
 
 	got := fetchReport(t, coordBase, submitBatch(t, coordBase, clusterSweep), 180*time.Second)

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"pathfinder/internal/chaosnet"
 	"pathfinder/internal/cluster"
 	"pathfinder/internal/harness"
 	"pathfinder/internal/service"
@@ -70,6 +71,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	dispatchEvery := fs.Duration("dispatch-interval", 50*time.Millisecond, "coordinator: scheduling tick")
 	maxAssigns := fs.Int("max-assigns", 3, "coordinator: accepted assignments one job may consume before failing")
 	maxInflight := fs.Int("max-inflight", 4, "coordinator: max leases per worker")
+	// Resilience flags: per-RPC-class deadlines for intra-cluster calls,
+	// worker-side retry budget and fetch hedging, coordinator-side peer
+	// breakers and degraded-mode shedding, and the deterministic chaos
+	// fault injector for drills.
+	rpcHeartbeat := fs.Duration("rpc-timeout-heartbeat", 2*time.Second, "cluster: deadline for heartbeats and result pushes")
+	rpcControl := fs.Duration("rpc-timeout-control", 5*time.Second, "cluster: deadline for assignments, snapshot lookups and peer reports")
+	rpcFetch := fs.Duration("rpc-timeout-fetch", 10*time.Second, "cluster: snapshot-fetch deadline before response headers arrive")
+	rpcFetchPerMB := fs.Duration("rpc-timeout-fetch-per-mb", 2*time.Second, "cluster: snapshot-fetch deadline extension per MB of advertised body")
+	hedgeDelay := fs.Duration("hedge-delay", 50*time.Millisecond, "worker: wait on the first warm-fetch leg before racing a second holder")
+	retryRate := fs.Float64("retry-budget", 2, "worker: shared retry budget refill rate in tokens/second")
+	retryBurst := fs.Float64("retry-burst", 0, "worker: retry budget burst capacity (0 = 2x -retry-budget)")
+	breakerThreshold := fs.Int("peer-breaker-threshold", 3, "coordinator: consecutive assignment failures before a worker is quarantined")
+	breakerCooldown := fs.Duration("peer-breaker-cooldown", 5*time.Second, "coordinator: quarantine time before a probe assignment is admitted")
+	degradedAfter := fs.Duration("degraded-after", 0, "coordinator: run jobs in-process after pending work has starved this long with no assignable worker (0 = off)")
+	chaosSpec := fs.String("chaos", "", `deterministic fault injection on outbound cluster RPCs, e.g. "seed=7,drop_request=0.1,latency=0.2:1ms:10ms" (drills/testing; empty = off)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +119,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("-max-assigns must be positive, got %d", *maxAssigns)
 	case *maxInflight <= 0:
 		return fmt.Errorf("-max-inflight must be positive, got %d", *maxInflight)
+	case *rpcHeartbeat <= 0:
+		return fmt.Errorf("-rpc-timeout-heartbeat must be positive, got %s", *rpcHeartbeat)
+	case *rpcControl <= 0:
+		return fmt.Errorf("-rpc-timeout-control must be positive, got %s", *rpcControl)
+	case *rpcFetch <= 0:
+		return fmt.Errorf("-rpc-timeout-fetch must be positive, got %s", *rpcFetch)
+	case *rpcFetchPerMB <= 0:
+		return fmt.Errorf("-rpc-timeout-fetch-per-mb must be positive, got %s", *rpcFetchPerMB)
+	case *hedgeDelay <= 0:
+		return fmt.Errorf("-hedge-delay must be positive, got %s", *hedgeDelay)
+	case *retryRate <= 0:
+		return fmt.Errorf("-retry-budget must be positive, got %g", *retryRate)
+	case *retryBurst < 0:
+		return fmt.Errorf("-retry-burst must be >= 0 (0 derives from -retry-budget), got %g", *retryBurst)
+	case *breakerThreshold <= 0:
+		return fmt.Errorf("-peer-breaker-threshold must be positive, got %d", *breakerThreshold)
+	case *breakerCooldown <= 0:
+		return fmt.Errorf("-peer-breaker-cooldown must be positive, got %s", *breakerCooldown)
+	case *degradedAfter < 0:
+		return fmt.Errorf("-degraded-after must be >= 0 (0 disables), got %s", *degradedAfter)
 	// Port 0 is exempt: two ephemeral binds always land on distinct ports.
 	case *pprofAddr != "" && *pprofAddr == *addr && !strings.HasSuffix(*addr, ":0"):
 		return fmt.Errorf("-pprof-addr must differ from -addr: profiling stays off the public API listener")
@@ -118,6 +154,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	default:
 		return fmt.Errorf("-role must be standalone, coordinator or worker, got %q", *role)
+	}
+	if *chaosSpec != "" && *role == "standalone" {
+		return fmt.Errorf("-chaos only applies to cluster roles: it faults coordinator/worker RPCs")
+	}
+	var chaosNet *chaosnet.Network
+	if *chaosSpec != "" {
+		ccfg, err := chaosnet.ParseSpec(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		chaosNet = chaosnet.New(ccfg)
+	}
+	rpcTimeouts := cluster.RPCTimeouts{
+		Heartbeat:  *rpcHeartbeat,
+		Control:    *rpcControl,
+		FetchBase:  *rpcFetch,
+		FetchPerMB: *rpcFetchPerMB,
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -152,6 +205,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	)
 	switch *role {
 	case "coordinator":
+		var coordClient *http.Client
+		if chaosNet != nil {
+			coordClient = chaosNet.Client("coordinator", nil)
+			fmt.Fprintf(out, "chaos fault injection armed: %s\n", *chaosSpec)
+		}
 		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
 			Logger:               logger,
 			LeaseTTL:             *leaseTTL,
@@ -160,6 +218,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			MaxInflightPerWorker: *maxInflight,
 			DefaultTimeout:       *jobTimeout,
 			DataDir:              *dataDir,
+			Timeouts:             rpcTimeouts,
+			PeerBreakerThreshold: *breakerThreshold,
+			PeerBreakerCooldown:  *breakerCooldown,
+			DegradedAfter:        *degradedAfter,
+			HTTPClient:           coordClient,
 		})
 		if err != nil {
 			return err
@@ -211,13 +274,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				_, port, _ := net.SplitHostPort(a.String())
 				name = host + "-" + port
 			}
+			var workerClient *http.Client
+			if chaosNet != nil {
+				workerClient = chaosNet.Client(name, nil)
+				fmt.Fprintf(out, "chaos fault injection armed: %s\n", *chaosSpec)
+			}
 			w, err := cluster.NewWorker(cluster.WorkerConfig{
-				Name:        name,
-				Coordinator: *coordURL,
-				SelfURL:     self,
-				Heartbeat:   *heartbeat,
-				Logger:      logger,
-				SnapStore:   snaps,
+				Name:           name,
+				Coordinator:    *coordURL,
+				SelfURL:        self,
+				Heartbeat:      *heartbeat,
+				Logger:         logger,
+				SnapStore:      snaps,
+				Timeouts:       rpcTimeouts,
+				HedgeDelay:     *hedgeDelay,
+				RetryPerSecond: *retryRate,
+				RetryBurst:     *retryBurst,
+				HTTPClient:     workerClient,
 			}, svc)
 			if err != nil {
 				return err

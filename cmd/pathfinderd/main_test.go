@@ -31,6 +31,39 @@ func (s *syncBuffer) String() string {
 	return s.b.String()
 }
 
+// TestResilienceFlagValidation: the cluster-resilience knobs reject
+// nonsense at startup instead of misbehaving at runtime, and the chaos
+// injector refuses roles whose RPCs it cannot fault.
+func TestResilienceFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"chaos-standalone", []string{"-chaos", "drop_request=0.5"}, "-chaos only applies"},
+		{"chaos-bad-spec", []string{"-role", "coordinator", "-chaos", "bogus"}, "-chaos"},
+		{"chaos-bad-prob", []string{"-role", "coordinator", "-chaos", "drop_request=1.5"}, "-chaos"},
+		{"rpc-heartbeat", []string{"-rpc-timeout-heartbeat", "0s"}, "-rpc-timeout-heartbeat"},
+		{"rpc-control", []string{"-rpc-timeout-control", "-1s"}, "-rpc-timeout-control"},
+		{"rpc-fetch", []string{"-rpc-timeout-fetch", "0s"}, "-rpc-timeout-fetch"},
+		{"rpc-fetch-per-mb", []string{"-rpc-timeout-fetch-per-mb", "0s"}, "-rpc-timeout-fetch-per-mb"},
+		{"hedge-delay", []string{"-hedge-delay", "0s"}, "-hedge-delay"},
+		{"retry-budget", []string{"-retry-budget", "0"}, "-retry-budget"},
+		{"retry-burst", []string{"-retry-burst", "-1"}, "-retry-burst"},
+		{"breaker-threshold", []string{"-peer-breaker-threshold", "0"}, "-peer-breaker-threshold"},
+		{"breaker-cooldown", []string{"-peer-breaker-cooldown", "0s"}, "-peer-breaker-cooldown"},
+		{"degraded-after", []string{"-degraded-after", "-1s"}, "-degraded-after"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: err %v, want mention of %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
 // TestDaemonSmoke boots the daemon on an ephemeral port, submits a job
 // through the real HTTP surface, then verifies graceful shutdown.
 func TestDaemonSmoke(t *testing.T) {

@@ -1,0 +1,580 @@
+// Package chaosnet is the network sibling of internal/faultinject: a
+// deterministic, seeded fault-injecting http.RoundTripper that models the
+// ways a cluster's network fails — latency spikes, request and response
+// drops, connection resets, duplicated deliveries, response truncation and
+// corruption, and scripted directional partitions — while keeping every
+// fault a replayable pure function of (seed, link, request order).
+//
+// The design mirrors faultinject's seed discipline: one Network owns a
+// splitmix64 stream per directed link, derived from (seed, src, dst), so
+// the fault sequence a link serves depends only on the traffic order on
+// that link, never on what other links are doing or on goroutine
+// scheduling elsewhere. A scripted Schedule layers time- and
+// request-indexed windows on top — partitions and per-window profile
+// overrides — and runtime Partition toggles give integration tests exact,
+// clock-free control over link state.
+//
+// The cluster's resilience machinery (per-peer breakers, retry budgets,
+// hedged fetches, lease-expiry reassignment, degraded-mode admission) is
+// tested against this transport: the chaos-convergence harness asserts
+// that a coordinator+workers sweep run under partitions, loss and
+// corruption still renders report bytes identical to the standalone
+// service — the same determinism contract faultinject pinned for
+// predictor noise, extended from machine state to the network.
+package chaosnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profile sets the per-request fault probabilities of a link. The zero
+// value injects nothing. Probabilities are evaluated in a fixed order
+// (reset, drop-request, duplicate, latency, drop-response, corrupt,
+// truncate) with one PRNG draw each, so a profile change never shifts
+// which draw a later fault consumes within one request.
+type Profile struct {
+	// LatencyProb adds a uniform [LatencyMin, LatencyMax] delay before the
+	// request is delivered. The sleep honours request-context cancellation.
+	LatencyProb float64       `json:"latency_prob,omitempty"`
+	LatencyMin  time.Duration `json:"latency_min,omitempty"`
+	LatencyMax  time.Duration `json:"latency_max,omitempty"` // 0 means 20ms
+
+	// ResetProb kills the connection before the request is delivered: the
+	// caller sees a reset error and the server sees nothing.
+	ResetProb float64 `json:"reset_prob,omitempty"`
+
+	// DropRequestProb loses the request in flight: the server sees
+	// nothing, the caller gets an error after any latency delay.
+	DropRequestProb float64 `json:"drop_request_prob,omitempty"`
+
+	// DropResponseProb delivers the request (the server-side effect
+	// happens) but loses the response: the caller gets an error.
+	DropResponseProb float64 `json:"drop_response_prob,omitempty"`
+
+	// DuplicateProb delivers the request twice — the duplicate's response
+	// is discarded — exercising server-side idempotency.
+	DuplicateProb float64 `json:"duplicate_prob,omitempty"`
+
+	// CorruptProb flips bytes in the response body (the headers survive),
+	// modelling a peer serving a damaged blob.
+	CorruptProb float64 `json:"corrupt_prob,omitempty"`
+
+	// TruncateProb cuts the response body short, modelling a torn
+	// transfer. Content-Length is rewritten so the read "succeeds".
+	TruncateProb float64 `json:"truncate_prob,omitempty"`
+}
+
+// Enabled reports whether any fault is armed.
+func (p Profile) Enabled() bool {
+	return p.LatencyProb > 0 || p.ResetProb > 0 || p.DropRequestProb > 0 ||
+		p.DropResponseProb > 0 || p.DuplicateProb > 0 || p.CorruptProb > 0 || p.TruncateProb > 0
+}
+
+func (p Profile) latencyMax() time.Duration {
+	if p.LatencyMax > 0 {
+		return p.LatencyMax
+	}
+	return 20 * time.Millisecond
+}
+
+// Rule is one scripted schedule entry: a directional (src → dst) window,
+// bounded by elapsed time since the Network started and/or by the link's
+// request index, that either partitions the link or overrides its fault
+// profile. The last matching rule wins.
+type Rule struct {
+	// From and To name the link ends; "" or "*" match any node.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// Start and End bound the window in elapsed time since the Network was
+	// created. End == 0 means "forever".
+	Start time.Duration `json:"start,omitempty"`
+	End   time.Duration `json:"end,omitempty"`
+
+	// FirstReq and LastReq bound the window by the link's 1-based request
+	// counter — the clock-free way to script "drop the first fetch on this
+	// link". 0 means unbounded.
+	FirstReq int `json:"first_req,omitempty"`
+	LastReq  int `json:"last_req,omitempty"`
+
+	// Partition fails every request in the window with ErrPartitioned.
+	Partition bool `json:"partition,omitempty"`
+
+	// Profile, when non-nil, replaces the base profile inside the window.
+	Profile *Profile `json:"profile,omitempty"`
+}
+
+func (r Rule) matches(src, dst string, elapsed time.Duration, reqIdx int) bool {
+	if r.From != "" && r.From != "*" && r.From != src {
+		return false
+	}
+	if r.To != "" && r.To != "*" && r.To != dst {
+		return false
+	}
+	if elapsed < r.Start || (r.End > 0 && elapsed >= r.End) {
+		return false
+	}
+	if r.FirstReq > 0 && reqIdx < r.FirstReq {
+		return false
+	}
+	if r.LastReq > 0 && reqIdx > r.LastReq {
+		return false
+	}
+	return true
+}
+
+// Config assembles a Network.
+type Config struct {
+	// Seed pins the fault streams; two Networks with equal Seed, Schedule
+	// and per-link traffic order inject identical fault sequences.
+	Seed int64
+
+	// Base applies to every link outside scripted profile windows.
+	Base Profile
+
+	// Schedule is the scripted fault timeline.
+	Schedule []Rule
+
+	// Now is the clock used for time-indexed windows; nil means time.Now.
+	// Tests pin it for replayable time windows; request-indexed rules and
+	// the per-request fault draws never consult it.
+	Now func() time.Time
+}
+
+// FaultKind labels one injected fault in events and counters.
+type FaultKind string
+
+const (
+	FaultPartition FaultKind = "partition"
+	FaultReset     FaultKind = "reset"
+	FaultDropReq   FaultKind = "drop_request"
+	FaultDropResp  FaultKind = "drop_response"
+	FaultDuplicate FaultKind = "duplicate"
+	FaultLatency   FaultKind = "latency"
+	FaultCorrupt   FaultKind = "corrupt"
+	FaultTruncate  FaultKind = "truncate"
+)
+
+// Event records one injected fault for replay assertions.
+type Event struct {
+	Src  string
+	Dst  string
+	Req  int // 1-based request index on the (Src, Dst) link
+	Kind FaultKind
+}
+
+// Errors the transport returns. Callers treat both as ordinary transport
+// failures; tests distinguish them.
+var (
+	ErrPartitioned = errors.New("chaosnet: link partitioned")
+	ErrInjected    = errors.New("chaosnet: injected fault")
+)
+
+// linkState is one directed link's PRNG and request counter.
+type linkState struct {
+	rng  splitmix64
+	reqs int
+}
+
+// Network is the shared fault fabric: every node's Transport draws from
+// the same per-link streams, so a test wiring coordinator and workers
+// through one Network scripts the whole topology.
+type Network struct {
+	cfg   Config
+	start time.Time
+	now   func() time.Time
+
+	mu     sync.Mutex
+	links  map[[2]string]*linkState
+	names  map[string]string // host:port → node name
+	manual map[[2]string]bool
+	counts map[FaultKind]uint64
+	events []Event
+}
+
+// New builds the fabric. The time origin for Start/End windows is New's
+// call time (under Config.Now when set).
+func New(cfg Config) *Network {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Network{
+		cfg:    cfg,
+		start:  now(),
+		now:    now,
+		links:  make(map[[2]string]*linkState),
+		names:  make(map[string]string),
+		manual: make(map[[2]string]bool),
+		counts: make(map[FaultKind]uint64),
+	}
+}
+
+// SetName maps a dialed host:port to a node name, so schedule rules can
+// speak in topology names ("w0") instead of ephemeral test ports.
+func (n *Network) SetName(hostport, name string) {
+	n.mu.Lock()
+	n.names[hostport] = name
+	n.mu.Unlock()
+}
+
+// SetPartition toggles a manual directional partition, overriding the
+// schedule: integration tests flip links down and up at exact protocol
+// moments instead of racing a clock. "*" wildcards match as in Rule.
+func (n *Network) SetPartition(src, dst string, down bool) {
+	n.mu.Lock()
+	if down {
+		n.manual[[2]string{src, dst}] = true
+	} else {
+		delete(n.manual, [2]string{src, dst})
+	}
+	n.mu.Unlock()
+}
+
+func (n *Network) manualPartitionedLocked(src, dst string) bool {
+	for key, down := range n.manual {
+		if !down {
+			continue
+		}
+		if (key[0] == "*" || key[0] == src) && (key[1] == "*" || key[1] == dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the cumulative fault counts by kind.
+func (n *Network) Stats() map[FaultKind]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[FaultKind]uint64, len(n.counts))
+	for k, v := range n.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Events returns a copy of every injected fault in injection order —
+// the replay-determinism assertion surface.
+func (n *Network) Events() []Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Event(nil), n.events...)
+}
+
+func (n *Network) record(src, dst string, req int, kind FaultKind) {
+	n.mu.Lock()
+	n.counts[kind]++
+	n.events = append(n.events, Event{Src: src, Dst: dst, Req: req, Kind: kind})
+	n.mu.Unlock()
+}
+
+// Transport returns the fault-injecting RoundTripper for requests sent by
+// the named node. base nil means http.DefaultTransport.
+func (n *Network) Transport(src string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{net: n, src: src, base: base}
+}
+
+// Client wraps Transport in an http.Client, the shape the cluster layer
+// consumes.
+func (n *Network) Client(src string, base http.RoundTripper) *http.Client {
+	return &http.Client{Transport: n.Transport(src, base)}
+}
+
+type transport struct {
+	net  *Network
+	src  string
+	base http.RoundTripper
+}
+
+// decision is the fault plan for one request, drawn under the Network
+// lock so link streams never interleave.
+type decision struct {
+	dst        string
+	req        int
+	partition  bool
+	reset      bool
+	dropReq    bool
+	dropResp   bool
+	duplicate  bool
+	latency    time.Duration
+	corruptPos uint64 // draw reused for byte positions
+	corrupt    bool
+	truncate   bool
+	truncFrac  uint64
+}
+
+// plan consumes the link's next request slot and draws its faults. Draw
+// order is fixed — reset, dropReq, duplicate, latency(+magnitude),
+// dropResp, corrupt(+positions), truncate(+fraction) — so a fixed seed
+// and traffic order replay the identical fault sequence.
+func (t *transport) plan(host string) decision {
+	n := t.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	dst := host
+	if name, ok := n.names[host]; ok {
+		dst = name
+	}
+	key := [2]string{t.src, dst}
+	link := n.links[key]
+	if link == nil {
+		link = &linkState{rng: newLinkRNG(n.cfg.Seed, t.src, dst)}
+		n.links[key] = link
+	}
+	link.reqs++
+	d := decision{dst: dst, req: link.reqs}
+
+	elapsed := n.now().Sub(n.start)
+	profile := n.cfg.Base
+	partitioned := n.manualPartitionedLocked(t.src, dst)
+	for _, r := range n.cfg.Schedule {
+		if !r.matches(t.src, dst, elapsed, link.reqs) {
+			continue
+		}
+		if r.Partition {
+			partitioned = true
+		}
+		if r.Profile != nil {
+			profile = *r.Profile
+		}
+	}
+	if partitioned {
+		d.partition = true
+		return d
+	}
+
+	draw := func(p float64) bool { return p > 0 && link.rng.float() < p }
+	d.reset = draw(profile.ResetProb)
+	d.dropReq = draw(profile.DropRequestProb)
+	d.duplicate = draw(profile.DuplicateProb)
+	if draw(profile.LatencyProb) {
+		lo, hi := profile.LatencyMin, profile.latencyMax()
+		if hi < lo {
+			hi = lo
+		}
+		span := uint64(hi - lo + 1)
+		d.latency = lo + time.Duration(link.rng.next()%span)
+	}
+	d.dropResp = draw(profile.DropResponseProb)
+	if draw(profile.CorruptProb) {
+		d.corrupt = true
+		d.corruptPos = link.rng.next()
+	}
+	if draw(profile.TruncateProb) {
+		d.truncate = true
+		d.truncFrac = link.rng.next()
+	}
+	return d
+}
+
+// RoundTrip injects the planned faults around the base transport.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.plan(req.URL.Host)
+	n := t.net
+
+	if d.partition {
+		n.record(t.src, d.dst, d.req, FaultPartition)
+		return nil, fmt.Errorf("%w: %s -> %s", ErrPartitioned, t.src, d.dst)
+	}
+	if d.reset {
+		n.record(t.src, d.dst, d.req, FaultReset)
+		return nil, fmt.Errorf("%w: connection reset %s -> %s", ErrInjected, t.src, d.dst)
+	}
+	if d.latency > 0 {
+		n.record(t.src, d.dst, d.req, FaultLatency)
+		timer := time.NewTimer(d.latency)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if d.dropReq {
+		n.record(t.src, d.dst, d.req, FaultDropReq)
+		return nil, fmt.Errorf("%w: request dropped %s -> %s", ErrInjected, t.src, d.dst)
+	}
+
+	// Requests with bodies cannot be replayed for the duplicate leg without
+	// buffering; buffer once and feed both deliveries.
+	var bodyBytes []byte
+	if req.Body != nil && req.Body != http.NoBody {
+		var err error
+		bodyBytes, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		req.Body = io.NopCloser(bytes.NewReader(bodyBytes))
+	}
+	if d.duplicate {
+		n.record(t.src, d.dst, d.req, FaultDuplicate)
+		dup := req.Clone(req.Context())
+		if bodyBytes != nil {
+			dup.Body = io.NopCloser(bytes.NewReader(bodyBytes))
+		}
+		if resp, err := t.base.RoundTrip(dup); err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<20))
+			resp.Body.Close()
+		}
+		if bodyBytes != nil {
+			req.Body = io.NopCloser(bytes.NewReader(bodyBytes))
+		}
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.dropResp {
+		n.record(t.src, d.dst, d.req, FaultDropResp)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: response dropped %s -> %s", ErrInjected, t.src, d.dst)
+	}
+	if d.corrupt || d.truncate {
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if d.corrupt && len(body) > 0 {
+			n.record(t.src, d.dst, d.req, FaultCorrupt)
+			// Flip a deterministic handful of bytes spread over the body.
+			pos := d.corruptPos
+			for i := 0; i < 4; i++ {
+				body[pos%uint64(len(body))] ^= 0xa5
+				pos = pos*0x9e3779b97f4a7c15 + 1
+			}
+		}
+		if d.truncate && len(body) > 0 {
+			n.record(t.src, d.dst, d.req, FaultTruncate)
+			keep := int(d.truncFrac % uint64(len(body)))
+			body = body[:keep]
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		resp.Header.Set("Content-Length", strconv.Itoa(len(body)))
+	}
+	return resp, nil
+}
+
+// splitmix64 matches the simulator's PRNG, as in internal/faultinject.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+func (r *splitmix64) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// newLinkRNG derives the (seed, src, dst) stream, mirroring faultinject's
+// (seed, salt) derivation with FNV-1a over the link names.
+func newLinkRNG(seed int64, src, dst string) splitmix64 {
+	h := fnv.New64a()
+	io.WriteString(h, src)
+	h.Write([]byte{0})
+	io.WriteString(h, dst)
+	return splitmix64{s: (uint64(seed)^h.Sum64()*0x9e3779b97f4a7c15)*2654435761 + 0x5afe}
+}
+
+// ParseSpec parses the pathfinderd -chaos flag: comma-separated key=value
+// pairs over the Profile fields plus seed, e.g.
+//
+//	seed=7,drop_request=0.1,drop_response=0.05,latency=0.2:1ms:20ms,corrupt=0.01
+//
+// Probabilities are bare floats; latency is prob:min:max. An empty spec
+// returns a zero Config.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaosnet: bad spec field %q (want key=value)", field)
+		}
+		prob := func() (float64, error) {
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return 0, fmt.Errorf("chaosnet: %s wants a probability in [0,1], got %q", k, v)
+			}
+			return p, nil
+		}
+		var err error
+		switch k {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaosnet: bad seed %q", v)
+			}
+		case "reset":
+			cfg.Base.ResetProb, err = prob()
+		case "drop_request":
+			cfg.Base.DropRequestProb, err = prob()
+		case "drop_response":
+			cfg.Base.DropResponseProb, err = prob()
+		case "duplicate":
+			cfg.Base.DuplicateProb, err = prob()
+		case "corrupt":
+			cfg.Base.CorruptProb, err = prob()
+		case "truncate":
+			cfg.Base.TruncateProb, err = prob()
+		case "latency":
+			parts := strings.Split(v, ":")
+			if len(parts) != 3 {
+				return cfg, fmt.Errorf("chaosnet: latency wants prob:min:max, got %q", v)
+			}
+			p, perr := strconv.ParseFloat(parts[0], 64)
+			if perr != nil || p < 0 || p > 1 {
+				return cfg, fmt.Errorf("chaosnet: latency probability %q out of [0,1]", parts[0])
+			}
+			lo, loerr := time.ParseDuration(parts[1])
+			hi, hierr := time.ParseDuration(parts[2])
+			if loerr != nil || hierr != nil || lo < 0 || hi < lo {
+				return cfg, fmt.Errorf("chaosnet: bad latency range %q", v)
+			}
+			cfg.Base.LatencyProb, cfg.Base.LatencyMin, cfg.Base.LatencyMax = p, lo, hi
+		default:
+			return cfg, fmt.Errorf("chaosnet: unknown spec key %q", k)
+		}
+		if err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// Describe renders a profile for logs, fault kinds sorted.
+func Describe(stats map[FaultKind]uint64) string {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, stats[FaultKind(k)]))
+	}
+	return strings.Join(parts, " ")
+}

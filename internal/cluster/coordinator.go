@@ -53,8 +53,29 @@ type CoordinatorConfig struct {
 	// appended to <DataDir>/coordinator.jsonl and replayed on startup.
 	DataDir string
 
-	// HTTPClient performs assignments; nil uses a 10s-timeout client.
+	// HTTPClient performs assignments; nil uses a plain client (per-RPC
+	// deadlines come from Timeouts, not a flat client timeout).
 	HTTPClient *http.Client
+
+	// Timeouts are the per-RPC-class context deadlines for coordinator→
+	// worker calls. Zero fields take the documented defaults.
+	Timeouts RPCTimeouts
+
+	// PeerBreakerThreshold is the consecutive assignment-path failures
+	// (transport errors, timeouts, 5xx, reported corrupt snapshots — not
+	// 429 backpressure) after which a worker's breaker opens and the worker
+	// is quarantined: skipped by the scheduler, its in-flight leases
+	// requeued immediately. <=0 means 3.
+	PeerBreakerThreshold int
+	// PeerBreakerCooldown is how long a quarantined worker waits before the
+	// scheduler admits one probe assignment. <=0 means 5s.
+	PeerBreakerCooldown time.Duration
+
+	// DegradedAfter is how long the pending queue may sit with no
+	// assignable worker before the coordinator sheds to degraded mode and
+	// runs pending jobs in-process (deterministic drivers make the results
+	// byte-identical to worker execution). <=0 disables degraded mode.
+	DegradedAfter time.Duration
 }
 
 // workerState is one worker's live record, built entirely from heartbeats.
@@ -133,15 +154,19 @@ type Coordinator struct {
 	client  *http.Client
 	metrics *coordMetrics
 	journal *coordJournal // nil without DataDir
+	peers   *service.KeyedBreaker
 
-	mu       sync.Mutex
-	jobs     map[string]*clusterJob
-	order    []string // submission order
-	pending  []string // unassigned job IDs, FIFO
-	workers  map[string]*workerState
-	affinity map[string]map[string]time.Time // warm group → worker → last success
-	seq      uint64
-	closed   bool
+	mu            sync.Mutex
+	jobs          map[string]*clusterJob
+	order         []string // submission order
+	pending       []string // unassigned job IDs, FIFO
+	workers       map[string]*workerState
+	affinity      map[string]map[string]time.Time // warm group → worker → last success
+	seq           uint64
+	closed        bool
+	starvedSince  time.Time // pending jobs but no assignable worker since
+	degraded      bool      // currently shedding to in-process execution
+	localInflight int       // jobs running in-process under degraded mode
 
 	kick chan struct{}
 	stop chan struct{}
@@ -182,7 +207,14 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		cfg.DefaultTimeout = 2 * time.Minute
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+		cfg.HTTPClient = &http.Client{}
+	}
+	cfg.Timeouts = cfg.Timeouts.withDefaults()
+	if cfg.PeerBreakerThreshold <= 0 {
+		cfg.PeerBreakerThreshold = 3
+	}
+	if cfg.PeerBreakerCooldown <= 0 {
+		cfg.PeerBreakerCooldown = 5 * time.Second
 	}
 
 	c := &Coordinator{
@@ -192,6 +224,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		now:      cfg.Clock,
 		client:   cfg.HTTPClient,
 		metrics:  newCoordMetrics(),
+		peers:    service.NewKeyedBreaker("peer", cfg.PeerBreakerThreshold, cfg.PeerBreakerCooldown, cfg.Clock),
 		jobs:     make(map[string]*clusterJob),
 		workers:  make(map[string]*workerState),
 		affinity: make(map[string]map[string]time.Time),
@@ -530,6 +563,10 @@ func (c *Coordinator) expireLeases() {
 	}
 	for _, id := range c.order {
 		j := c.jobs[id]
+		// Degraded-mode jobs run in this process and hold no lease.
+		if j.assignedTo == degradedWorker {
+			continue
+		}
 		if j.assignedTo != "" && !terminal(j.state) && now.After(j.leaseExpiry) {
 			c.requeueLocked(j, "lease expired")
 		}
@@ -568,11 +605,20 @@ type assignment struct {
 	req    RunRequest
 }
 
-// dispatch drains the pending queue onto assignable workers.
+// degradedWorker is the assignedTo marker for jobs the coordinator runs
+// in-process under degraded mode.
+const degradedWorker = "coordinator"
+
+// dispatch drains the pending queue onto assignable workers. When no worker
+// has been assignable for DegradedAfter while jobs wait, the coordinator
+// sheds to degraded mode: pending jobs run in-process through the same
+// registry the workers use, so their results (deterministic functions of
+// the resolved params) are byte-identical to worker execution.
 func (c *Coordinator) dispatch() {
 	now := c.now()
 	c.mu.Lock()
 	var work []assignment
+	var local []*clusterJob
 	var remaining []string
 	for _, id := range c.pending {
 		j := c.jobs[id]
@@ -600,16 +646,114 @@ func (c *Coordinator) dispatch() {
 		})
 	}
 	c.pending = remaining
+
+	switch {
+	case len(work) > 0:
+		// At least one worker is taking jobs: leave degraded mode.
+		c.starvedSince = time.Time{}
+		c.degraded = false
+	case len(remaining) == 0:
+		c.starvedSince = time.Time{}
+	default:
+		if c.starvedSince.IsZero() {
+			c.starvedSince = now
+		}
+		if c.cfg.DegradedAfter > 0 && now.Sub(c.starvedSince) >= c.cfg.DegradedAfter {
+			c.degraded = true
+			var rest []string
+			for _, id := range c.pending {
+				j := c.jobs[id]
+				if j == nil || j.state != service.StatePending || j.assignedTo != "" {
+					continue
+				}
+				if c.localInflight+len(local) >= c.cfg.MaxInflightPerWorker {
+					rest = append(rest, id)
+					continue
+				}
+				j.assignedTo = degradedWorker
+				j.state = service.StateRunning
+				j.started = now
+				j.assigns++
+				c.appendJournal(coordRecord{Op: copAssign, Job: j.id, Time: now, Worker: degradedWorker})
+				local = append(local, j)
+			}
+			c.pending = rest
+			c.localInflight += len(local)
+		}
+	}
 	c.mu.Unlock()
 
+	for _, j := range local {
+		c.log.Warn("degraded mode: running job in-process", "job", j.id)
+		go c.runLocal(j)
+	}
 	for _, a := range work {
 		c.sendAssignment(a)
 	}
 }
 
+// runLocal executes one job in-process — the degraded-mode path when every
+// worker is partitioned or quarantined. The drivers are deterministic, so
+// the result bytes match what any worker would have produced.
+func (c *Coordinator) runLocal(j *clusterJob) {
+	defer func() {
+		c.mu.Lock()
+		c.localInflight--
+		c.mu.Unlock()
+		c.kickDispatch()
+	}()
+
+	exp, ok := c.reg.Get(j.experiment)
+	var (
+		result any
+		stats  cpu.Counters
+		err    error
+	)
+	if !ok || exp.Run == nil {
+		err = fmt.Errorf("experiment %q not runnable on the coordinator", j.experiment)
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), j.timeout)
+		func() {
+			defer cancel()
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("experiment panicked: %v", r)
+				}
+			}()
+			result, stats, err = exp.Run(ctx, j.params)
+		}()
+	}
+	var raw json.RawMessage
+	if err == nil {
+		raw, err = json.Marshal(result)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if terminal(j.state) {
+		return
+	}
+	st := service.StateDone
+	errMsg := ""
+	if j.cancelRequested {
+		st, raw = service.StateCancelled, nil
+	} else if err != nil {
+		st, errMsg, raw = service.StateFailed, err.Error(), nil
+	}
+	c.finalizeLocked(j, st, errMsg, raw, stats, 1)
+	if st == service.StateDone {
+		c.metrics.add(func(m *coordMetrics) { m.degradedRuns++ })
+	}
+	c.metrics.add(func(m *coordMetrics) { m.results[st]++ })
+	c.log.Info("degraded-mode job finished", "job", j.id, "state", string(st))
+}
+
 // pickWorkerLocked selects the destination: least-loaded among the job's
-// warm-group holders, else least-loaded overall. Iteration is
-// name-sorted so ties break deterministically. Caller holds c.mu.
+// warm-group holders, else least-loaded overall, considering only workers
+// whose peer breaker is closed. When no healthy worker is eligible, a
+// quarantined worker whose cooldown has lapsed may be admitted as a single
+// probe. Iteration is name-sorted so ties break deterministically. Caller
+// holds c.mu.
 func (c *Coordinator) pickWorkerLocked(j *clusterJob, now time.Time) *workerState {
 	holders := c.affinity[affinityGroup(j.experiment, j.params)]
 
@@ -619,13 +763,15 @@ func (c *Coordinator) pickWorkerLocked(j *clusterJob, now time.Time) *workerStat
 	}
 	sort.Strings(names)
 
+	eligible := func(w *workerState) bool {
+		return now.Sub(w.lastSeen) <= c.cfg.WorkerExpiry && !w.saturated &&
+			len(w.inflight) < c.cfg.MaxInflightPerWorker
+	}
+
 	var best, bestHolder *workerState
 	for _, name := range names {
 		w := c.workers[name]
-		if now.Sub(w.lastSeen) > c.cfg.WorkerExpiry || w.saturated {
-			continue
-		}
-		if len(w.inflight) >= c.cfg.MaxInflightPerWorker {
+		if !eligible(w) || c.peers.State(name) != service.BreakerClosed {
 			continue
 		}
 		if best == nil || len(w.inflight) < len(best.inflight) {
@@ -644,16 +790,61 @@ func (c *Coordinator) pickWorkerLocked(j *clusterJob, now time.Time) *workerStat
 		}
 		c.metrics.add(func(m *coordMetrics) { m.affinityMiss++ })
 	}
-	return best
+	if best != nil {
+		return best
+	}
+	// No healthy worker: see if a quarantined one has cooled down enough to
+	// probe. Allow admits at most one probe per open breaker — a second job
+	// in the same dispatch pass is rejected until the probe resolves.
+	for _, name := range names {
+		w := c.workers[name]
+		if !eligible(w) || c.peers.State(name) == service.BreakerClosed {
+			continue
+		}
+		if c.peers.Allow(name) == nil {
+			c.metrics.add(func(m *coordMetrics) { m.probes++ })
+			c.log.Info("probing quarantined worker", "worker", name, "job", j.id)
+			return w
+		}
+	}
+	return nil
 }
 
-// sendAssignment POSTs one assignment and settles the outcome: accepted
-// assignments consume budget and start the lease; a 429 marks the worker
-// saturated until its next heartbeat and requeues the job without consuming
-// budget; transport and other errors requeue likewise.
+// notePeerFailureLocked feeds one peer failure into the breaker and, when
+// the breaker opens on this failure, quarantines the worker: its in-flight
+// leases are requeued immediately rather than waiting for each lease to
+// expire. Caller holds c.mu.
+func (c *Coordinator) notePeerFailureLocked(name, class, reason string) {
+	before := c.peers.State(name)
+	c.peers.Record(name, false)
+	if before == service.BreakerOpen || c.peers.State(name) != service.BreakerOpen {
+		return
+	}
+	c.metrics.add(func(m *coordMetrics) { m.quarantines++ })
+	if w := c.workers[name]; w != nil {
+		for id := range w.inflight {
+			if j := c.jobs[id]; j != nil && !terminal(j.state) && j.assignedTo == name {
+				c.requeueLocked(j, fmt.Sprintf("worker %s quarantined (%s)", name, class))
+			}
+		}
+	}
+	c.log.Warn("worker quarantined", "worker", name, "class", class, "reason", reason)
+}
+
+// sendAssignment POSTs one assignment under the control-RPC deadline and
+// settles the outcome: accepted assignments consume budget, start the lease
+// and count a breaker success; a 429 marks the worker saturated until its
+// next heartbeat and requeues the job without consuming budget (and without
+// touching the breaker — backpressure is load, not sickness); transport
+// errors, timeouts and 5xx feed the worker's breaker, quarantining it when
+// the failure threshold is crossed.
 func (c *Coordinator) sendAssignment(a assignment) {
 	body, _ := json.Marshal(a.req)
-	resp, err := c.client.Post(a.addr+"/v1/cluster/run", "application/json", bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeouts.Control)
+	defer cancel()
+	hreq, _ := http.NewRequestWithContext(ctx, http.MethodPost, a.addr+"/v1/cluster/run", bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
 	status := 0
 	accepted := false
 	if err == nil {
@@ -668,6 +859,7 @@ func (c *Coordinator) sendAssignment(a assignment) {
 	defer c.mu.Unlock()
 	j := a.job
 	if accepted {
+		c.peers.Record(a.worker, true)
 		if terminal(j.state) || j.assignedTo != a.worker {
 			return // raced with a result or a concurrent requeue
 		}
@@ -684,20 +876,39 @@ func (c *Coordinator) sendAssignment(a assignment) {
 			w.saturated = true
 		}
 	}
-	if terminal(j.state) || j.assignedTo != a.worker {
-		return
+	if !terminal(j.state) && j.assignedTo == a.worker {
+		j.assignedTo = ""
+		j.leaseExpiry = time.Time{}
+		c.pending = append([]string{j.id}, c.pending...)
 	}
-	j.assignedTo = ""
-	j.leaseExpiry = time.Time{}
-	c.pending = append([]string{j.id}, c.pending...)
 	switch {
 	case status == http.StatusTooManyRequests:
 		c.metrics.add(func(m *coordMetrics) { m.backpressure++ })
 		c.log.Info("worker saturated, job requeued", "job", j.id, "worker", a.worker)
-	default:
+	case status >= 200 && status < 300:
+		// Reachable but not accepting (rr.Accepted false without an error
+		// status) — treat like backpressure, not sickness.
 		c.metrics.add(func(m *coordMetrics) { m.assignErrors++ })
-		c.log.Warn("assignment failed, job requeued", "job", j.id, "worker", a.worker, "status", status, "err", err)
+	default:
+		class := classifyRPCFailure(err, status)
+		c.metrics.add(func(m *coordMetrics) {
+			m.assignErrors++
+			m.assignFailures[class]++
+		})
+		c.notePeerFailureLocked(a.worker, class, fmt.Sprintf("assignment of %s failed: status=%d err=%v", j.id, status, err))
+		c.log.Warn("assignment failed, job requeued", "job", j.id, "worker", a.worker, "status", status, "class", class, "err", err)
 	}
+}
+
+// handlePeerReport ingests one worker's complaint about a peer (today:
+// corrupt snapshot bodies detected at the transport edge) and feeds it into
+// the peer's breaker, exactly like a coordinator-observed failure.
+func (c *Coordinator) handlePeerReport(pr PeerReport) {
+	c.mu.Lock()
+	c.metrics.add(func(m *coordMetrics) { m.peerReports[pr.Class]++ })
+	c.notePeerFailureLocked(pr.Peer, pr.Class, fmt.Sprintf("reported by %s", pr.From))
+	c.mu.Unlock()
+	c.kickDispatch()
 }
 
 // handleHeartbeat ingests one worker heartbeat: refreshes the directory
@@ -817,39 +1028,56 @@ func (c *Coordinator) handleResults(p ResultsPush) ResultsReply {
 	return reply
 }
 
-// locateSnapshot answers a warm-key lookup with the freshest live holder,
-// excluding the requester itself.
-func (c *Coordinator) locateSnapshot(key, from string) (SnapshotLocation, bool) {
+// locateSnapshots answers a warm-key lookup with up to two live,
+// non-quarantined holders ranked freshest-heartbeat-first (names break
+// ties), excluding the requester itself. Two holders feed the worker's
+// hedged fetch; peers with an open breaker are never offered.
+func (c *Coordinator) locateSnapshots(key, from string) []SnapshotLocation {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var (
-		best     SnapshotLocation
-		bestSeen time.Time
-		found    bool
-	)
+	type candidate struct {
+		loc  SnapshotLocation
+		seen time.Time
+	}
+	var cands []candidate
 	for name, w := range c.workers {
 		if name == from || now.Sub(w.lastSeen) > c.cfg.WorkerExpiry {
+			continue
+		}
+		if c.peers.State(name) == service.BreakerOpen {
 			continue
 		}
 		hash, ok := w.warm[key]
 		if !ok {
 			continue
 		}
-		if !found || w.lastSeen.After(bestSeen) {
-			best = SnapshotLocation{Worker: name, Addr: w.addr, Hash: hash}
-			bestSeen = w.lastSeen
-			found = true
+		cands = append(cands, candidate{
+			loc:  SnapshotLocation{Worker: name, Addr: w.addr, Hash: hash},
+			seen: w.lastSeen,
+		})
+	}
+	sort.Slice(cands, func(i, k int) bool {
+		if !cands[i].seen.Equal(cands[k].seen) {
+			return cands[i].seen.After(cands[k].seen)
 		}
+		return cands[i].loc.Worker < cands[k].loc.Worker
+	})
+	if len(cands) > 2 {
+		cands = cands[:2]
+	}
+	out := make([]SnapshotLocation, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.loc
 	}
 	c.metrics.add(func(m *coordMetrics) {
-		if found {
+		if len(out) > 0 {
 			m.locateHits++
 		} else {
 			m.locateMisses++
 		}
 	})
-	return best, found
+	return out
 }
 
 // Status snapshots the cluster for /cluster/status.
@@ -857,7 +1085,7 @@ func (c *Coordinator) Status() StatusView {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	sv := StatusView{Jobs: make(map[service.State]int, 5), Pending: len(c.pending)}
+	sv := StatusView{Jobs: make(map[service.State]int, 5), Pending: len(c.pending), Degraded: c.degraded}
 	for _, st := range service.States() {
 		sv.Jobs[st] = 0
 	}
@@ -867,15 +1095,18 @@ func (c *Coordinator) Status() StatusView {
 	for _, name := range sortedKeys(c.workers) {
 		w := c.workers[name]
 		keys := sortedKeys(w.warm)
+		brk := c.peers.State(name)
 		sv.Workers = append(sv.Workers, WorkerStatus{
-			Name:       name,
-			Addr:       w.addr,
-			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
-			Inflight:   len(w.inflight),
-			Queue:      w.queue,
-			Capacity:   w.capacity,
-			Saturated:  w.saturated,
-			WarmKeys:   keys,
+			Name:        name,
+			Addr:        w.addr,
+			LastSeenMS:  now.Sub(w.lastSeen).Milliseconds(),
+			Inflight:    len(w.inflight),
+			Queue:       w.queue,
+			Capacity:    w.capacity,
+			Saturated:   w.saturated,
+			WarmKeys:    keys,
+			Breaker:     brk,
+			Quarantined: brk == service.BreakerOpen,
 		})
 	}
 	return sv
@@ -888,8 +1119,10 @@ func (c *Coordinator) gauges() coordGauges {
 	defer c.mu.Unlock()
 	g := coordGauges{
 		inflight: make(map[string]int, len(c.workers)),
+		breakers: make(map[string]int, len(c.workers)),
 		jobs:     make(map[service.State]int, 5),
 		pending:  len(c.pending),
+		degraded: c.degraded,
 	}
 	for _, st := range service.States() {
 		g.jobs[st] = 0
@@ -899,6 +1132,7 @@ func (c *Coordinator) gauges() coordGauges {
 	}
 	for name, w := range c.workers {
 		g.inflight[name] = len(w.inflight)
+		g.breakers[name] = c.peers.State(name)
 		g.warmKeys += len(w.warm)
 		if now.Sub(w.lastSeen) <= c.cfg.WorkerExpiry {
 			g.workers++

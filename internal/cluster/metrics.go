@@ -24,6 +24,11 @@ type coordMetrics struct {
 	backpressure   uint64            // 429-triggered requeues
 	reassigned     uint64            // lease-expiry requeues
 	assignErrors   uint64            // transport/5xx assignment failures
+	assignFailures map[string]uint64 // assignment failures by RPC class
+	peerReports    map[string]uint64 // worker-reported peer failures by class
+	quarantines    uint64            // peer breakers opened
+	probes         uint64            // probe assignments to quarantined workers
+	degradedRuns   uint64            // jobs completed in-process under degraded mode
 	heartbeats     uint64
 	results        map[service.State]uint64
 	dupResults     uint64 // terminal results for already-terminal jobs
@@ -35,8 +40,10 @@ type coordMetrics struct {
 
 func newCoordMetrics() *coordMetrics {
 	return &coordMetrics{
-		assigned: make(map[string]uint64),
-		results:  make(map[service.State]uint64),
+		assigned:       make(map[string]uint64),
+		assignFailures: make(map[string]uint64),
+		peerReports:    make(map[string]uint64),
+		results:        make(map[service.State]uint64),
 	}
 }
 
@@ -50,9 +57,11 @@ func (m *coordMetrics) add(f func(*coordMetrics)) {
 type coordGauges struct {
 	workers  int
 	inflight map[string]int // by worker
+	breakers map[string]int // peer breaker state by worker
 	jobs     map[service.State]int
 	pending  int
-	warmKeys int // advertised snapshot entries across live workers
+	warmKeys int  // advertised snapshot entries across live workers
+	degraded bool // coordinator shedding to in-process execution
 }
 
 // Expose renders the exposition text.
@@ -114,6 +123,40 @@ func (m *coordMetrics) Expose(g coordGauges) string {
 	w("# TYPE pathfinderd_cluster_assign_errors_total counter\n")
 	w("pathfinderd_cluster_assign_errors_total %d\n", m.assignErrors)
 
+	w("# HELP pathfinderd_cluster_peer_breaker_state per-worker circuit breaker (0 closed, 1 half-open, 2 open)\n")
+	w("# TYPE pathfinderd_cluster_peer_breaker_state gauge\n")
+	for _, name := range sortedKeys(g.breakers) {
+		w("pathfinderd_cluster_peer_breaker_state{worker=%q} %d\n", name, g.breakers[name])
+	}
+
+	w("# HELP pathfinderd_cluster_assign_failures_total assignment failures by RPC failure class\n")
+	w("# TYPE pathfinderd_cluster_assign_failures_total counter\n")
+	for _, class := range sortedKeys(m.assignFailures) {
+		w("pathfinderd_cluster_assign_failures_total{class=%q} %d\n", class, m.assignFailures[class])
+	}
+
+	w("# HELP pathfinderd_cluster_peer_reports_total worker-reported peer failures by class\n")
+	w("# TYPE pathfinderd_cluster_peer_reports_total counter\n")
+	for _, class := range sortedKeys(m.peerReports) {
+		w("pathfinderd_cluster_peer_reports_total{class=%q} %d\n", class, m.peerReports[class])
+	}
+
+	w("# HELP pathfinderd_cluster_quarantines_total peer breakers opened (worker quarantined, leases requeued)\n")
+	w("# TYPE pathfinderd_cluster_quarantines_total counter\n")
+	w("pathfinderd_cluster_quarantines_total %d\n", m.quarantines)
+
+	w("# HELP pathfinderd_cluster_probes_total probe assignments admitted to quarantined workers\n")
+	w("# TYPE pathfinderd_cluster_probes_total counter\n")
+	w("pathfinderd_cluster_probes_total %d\n", m.probes)
+
+	w("# HELP pathfinderd_cluster_degraded gauge: 1 while the coordinator is shedding jobs to in-process execution\n")
+	w("# TYPE pathfinderd_cluster_degraded gauge\n")
+	w("pathfinderd_cluster_degraded %d\n", boolGauge(g.degraded))
+
+	w("# HELP pathfinderd_cluster_degraded_runs_total jobs completed in-process under degraded mode\n")
+	w("# TYPE pathfinderd_cluster_degraded_runs_total counter\n")
+	w("pathfinderd_cluster_degraded_runs_total %d\n", m.degradedRuns)
+
 	w("# HELP pathfinderd_cluster_heartbeats_total heartbeats received\n")
 	w("# TYPE pathfinderd_cluster_heartbeats_total counter\n")
 	w("pathfinderd_cluster_heartbeats_total %d\n", m.heartbeats)
@@ -144,6 +187,13 @@ func (m *coordMetrics) Expose(g coordGauges) string {
 	w("pathfinderd_cluster_jobs_recovered_total %d\n", m.jobsRecovered)
 
 	return b.String()
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -109,32 +109,52 @@ type ResultsReply struct {
 	Acked []string `json:"acked"`
 }
 
-// SnapshotLocation answers a warm-key lookup (GET /v1/cluster/snapshots):
-// which live worker holds the snapshot for a key, and under which content
-// hash to fetch it.
+// SnapshotLocation is one live worker holding the snapshot for a warm key,
+// and the content hash to fetch it under.
 type SnapshotLocation struct {
 	Worker string `json:"worker"`
 	Addr   string `json:"addr"`
 	Hash   string `json:"hash"`
 }
 
+// SnapshotLocations answers a warm-key lookup (GET /v1/cluster/snapshots):
+// up to two healthy holders ranked freshest-heartbeat-first, feeding the
+// worker's hedged fetch — leg one races the first holder, leg two the
+// second (or the first again when only one exists).
+type SnapshotLocations struct {
+	Holders []SnapshotLocation `json:"holders"`
+}
+
+// PeerReport flags a sick peer worker→coordinator (POST
+// /v1/cluster/report-peer): the reporter observed a failure class (e.g. a
+// corrupt snapshot body) talking to the peer directly, which the
+// coordinator folds into that peer's breaker and health metrics.
+type PeerReport struct {
+	From  string `json:"from"`
+	Peer  string `json:"peer"`
+	Class string `json:"class"`
+}
+
 // WorkerStatus is one worker's row in GET /cluster/status.
 type WorkerStatus struct {
-	Name       string   `json:"name"`
-	Addr       string   `json:"addr"`
-	LastSeenMS int64    `json:"last_seen_ms"` // since last heartbeat
-	Inflight   int      `json:"inflight"`     // leases held
-	Queue      int      `json:"queue"`
-	Capacity   int      `json:"capacity"`
-	Saturated  bool     `json:"saturated,omitempty"`
-	WarmKeys   []string `json:"warm_keys,omitempty"`
+	Name        string   `json:"name"`
+	Addr        string   `json:"addr"`
+	LastSeenMS  int64    `json:"last_seen_ms"` // since last heartbeat
+	Inflight    int      `json:"inflight"`     // leases held
+	Queue       int      `json:"queue"`
+	Capacity    int      `json:"capacity"`
+	Saturated   bool     `json:"saturated,omitempty"`
+	WarmKeys    []string `json:"warm_keys,omitempty"`
+	Breaker     int      `json:"breaker"` // 0 closed, 1 half-open, 2 open
+	Quarantined bool     `json:"quarantined,omitempty"`
 }
 
 // StatusView is the GET /cluster/status body.
 type StatusView struct {
-	Workers []WorkerStatus        `json:"workers"`
-	Jobs    map[service.State]int `json:"jobs"`
-	Pending int                   `json:"pending"` // unassigned queue length
+	Workers  []WorkerStatus        `json:"workers"`
+	Jobs     map[service.State]int `json:"jobs"`
+	Pending  int                   `json:"pending"`  // unassigned queue length
+	Degraded bool                  `json:"degraded"` // coordinator running jobs in-process
 }
 
 // JobView is the coordinator's job projection: the service view plus the

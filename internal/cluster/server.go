@@ -28,7 +28,8 @@ import (
 //	GET  /cluster/status           worker directory + job rollup
 //	POST /v1/cluster/heartbeat     worker liveness/progress (worker-facing)
 //	POST /v1/cluster/results       terminal results (worker-facing)
-//	GET  /v1/cluster/snapshots     warm-key location lookup (worker-facing)
+//	GET  /v1/cluster/snapshots     warm-key holder lookup, ranked (worker-facing)
+//	POST /v1/cluster/report-peer   worker-observed peer failure (worker-facing)
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -208,12 +209,25 @@ func (c *Coordinator) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "missing key parameter"})
 			return
 		}
-		loc, ok := c.locateSnapshot(key, r.URL.Query().Get("from"))
-		if !ok {
+		holders := c.locateSnapshots(key, r.URL.Query().Get("from"))
+		if len(holders) == 0 {
 			writeJSON(w, http.StatusNotFound, map[string]any{"error": "no live holder for key"})
 			return
 		}
-		writeJSON(w, http.StatusOK, loc)
+		writeJSON(w, http.StatusOK, SnapshotLocations{Holders: holders})
+	})
+
+	mux.HandleFunc("POST /v1/cluster/report-peer", func(w http.ResponseWriter, r *http.Request) {
+		var pr PeerReport
+		if !readJSON(w, r, &pr) {
+			return
+		}
+		if pr.Peer == "" || pr.Class == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "peer report needs peer and class"})
+			return
+		}
+		c.handlePeerReport(pr)
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
 
 	return mux

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,8 +39,26 @@ type WorkerConfig struct {
 	// the entry.
 	SnapStore *snapstore.Store
 
+	// Timeouts are the per-RPC-class context deadlines for worker→
+	// coordinator and worker→peer calls, replacing a flat client timeout.
+	// Zero fields take the documented defaults.
+	Timeouts RPCTimeouts
+
+	// RetryPerSecond and RetryBurst tune the shared retry-token budget:
+	// every retried RPC (heartbeat, result push, fetch legs) spends one
+	// token, so a partitioned worker degrades to single attempts instead of
+	// amplifying a sick network. RetryPerSecond <=0 means 2; RetryBurst
+	// <=0 means 2×RetryPerSecond.
+	RetryPerSecond float64
+	RetryBurst     float64
+
+	// HedgeDelay is how long the warm-snapshot fetch waits on the first
+	// holder before racing a second leg (the second-ranked holder, or the
+	// same holder again when only one exists). <=0 means 50ms.
+	HedgeDelay time.Duration
+
 	Logger     *slog.Logger // nil discards
-	HTTPClient *http.Client // nil uses a 10s-timeout client
+	HTTPClient *http.Client // nil uses a plain client (deadlines come from Timeouts)
 }
 
 // workerMetrics are the worker-side cluster counters, appended to the
@@ -50,6 +69,9 @@ type workerMetrics struct {
 	resultsPushed  atomic.Uint64
 	snapshotServes atomic.Uint64 // peer snapshot downloads served
 	heartbeatErrs  atomic.Uint64
+	hedgeWins      atomic.Uint64 // warm fetches delivered by a non-primary leg
+	hedgeLosses    atomic.Uint64 // hedge legs started but beaten by the primary
+	fetchCorrupt   atomic.Uint64 // peer snapshots rejected by verification
 }
 
 // Worker wraps a full service.Service as one cluster execution node: it
@@ -63,9 +85,12 @@ type Worker struct {
 	log    *slog.Logger
 	client *http.Client
 	m      workerMetrics
+	budget *retryBudget
 
 	mu    sync.Mutex
 	local map[string]string // cluster job ID → local job ID
+
+	retrySeq atomic.Uint64 // deterministic jitter stream for retry delays
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -85,13 +110,21 @@ func NewWorker(cfg WorkerConfig, svc *service.Service) (*Worker, error) {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+		cfg.HTTPClient = &http.Client{}
+	}
+	cfg.Timeouts = cfg.Timeouts.withDefaults()
+	if cfg.RetryPerSecond <= 0 {
+		cfg.RetryPerSecond = 2
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = 50 * time.Millisecond
 	}
 	return &Worker{
 		cfg:    cfg,
 		svc:    svc,
 		log:    cfg.Logger,
 		client: cfg.HTTPClient,
+		budget: newRetryBudget(cfg.RetryPerSecond, cfg.RetryBurst, nil),
 		local:  make(map[string]string),
 		stop:   make(chan struct{}),
 	}, nil
@@ -163,7 +196,7 @@ func (w *Worker) tick() {
 
 	if len(results) > 0 {
 		var reply ResultsReply
-		if err := w.post("/v1/cluster/results", ResultsPush{Worker: w.cfg.Name, Results: results}, &reply); err != nil {
+		if err := w.post("/v1/cluster/results", w.cfg.Timeouts.Heartbeat, ResultsPush{Worker: w.cfg.Name, Results: results}, &reply); err != nil {
 			w.m.heartbeatErrs.Add(1)
 			w.log.Warn("result push failed, will resend", "err", err)
 		} else {
@@ -186,7 +219,7 @@ func (w *Worker) tick() {
 		WarmKeys: warmAds,
 	}
 	var reply HeartbeatReply
-	if err := w.post("/v1/cluster/heartbeat", hb, &reply); err != nil {
+	if err := w.post("/v1/cluster/heartbeat", w.cfg.Timeouts.Heartbeat, hb, &reply); err != nil {
 		w.m.heartbeatErrs.Add(1)
 		w.log.Warn("heartbeat failed", "err", err)
 		return
@@ -228,13 +261,41 @@ func (w *Worker) advertisements() []WarmAd {
 	return warmAds
 }
 
-// post sends one JSON request to the coordinator.
-func (w *Worker) post(path string, body, reply any) error {
+// post sends one JSON request to the coordinator under the given RPC-class
+// deadline, retrying once when the shared retry budget allows it. The retry
+// delay uses the harness's deterministic backoff+jitter, seeded from a
+// per-worker monotone counter.
+func (w *Worker) post(path string, timeout time.Duration, body, reply any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := w.client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(raw))
+	for attempt := 1; ; attempt++ {
+		err = w.postOnce(path, timeout, raw, reply)
+		if err == nil {
+			return nil
+		}
+		if attempt >= 2 || !w.budget.take() {
+			return err
+		}
+		delay := (harness.Retry{Backoff: 25 * time.Millisecond}).Delay(attempt, int64(w.retrySeq.Add(1)))
+		select {
+		case <-w.stop:
+			return err
+		case <-time.After(delay):
+		}
+	}
+}
+
+func (w *Worker) postOnce(path string, timeout time.Duration, raw []byte, reply any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -246,43 +307,166 @@ func (w *Worker) post(path string, body, reply any) error {
 }
 
 // fetchWarm is the harness warm-fetch hook: ask the coordinator who holds
-// the key, pull the snapshot from that peer, and verify the content hash.
+// the key (up to two ranked holders), then hedge-fetch the snapshot —
+// race the first holder against a delayed second leg, cancel the loser,
+// verify the content hash, and report corrupt peers to the coordinator.
 // Every failure declines the fetch — the caller trains locally, which is
-// always correct, just slower.
+// always correct, just slower; a sweep never wedges on fetch failures.
 func (w *Worker) fetchWarm(key harness.WarmStateKey) (*cpu.Snapshot, bool) {
 	q := url.Values{"key": {key.String()}, "from": {w.cfg.Name}}
-	resp, err := w.client.Get(w.cfg.Coordinator + "/v1/cluster/snapshots?" + q.Encode())
+	ctx, cancel := context.WithTimeout(context.Background(), w.cfg.Timeouts.Control)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.cfg.Coordinator+"/v1/cluster/snapshots?"+q.Encode(), nil)
 	if err != nil {
+		cancel()
 		return nil, false
 	}
-	var loc SnapshotLocation
-	err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&loc)
+	resp, err := w.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, false
+	}
+	var locs SnapshotLocations
+	err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&locs)
 	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK || loc.Addr == "" || loc.Addr == w.cfg.SelfURL {
+	cancel()
+	if err != nil || resp.StatusCode != http.StatusOK {
 		return nil, false
 	}
-
-	blob, err := w.getSnapshot(loc.Addr, loc.Hash)
-	if err != nil {
-		w.log.Warn("peer snapshot fetch failed", "peer", loc.Worker, "hash", loc.Hash, "err", err)
+	holders := locs.Holders[:0:len(locs.Holders)]
+	for _, loc := range locs.Holders {
+		if loc.Addr != "" && loc.Addr != w.cfg.SelfURL {
+			holders = append(holders, loc)
+		}
+	}
+	if len(holders) == 0 {
 		return nil, false
 	}
-	snap, err := cpu.DecodeSnapshot(blob)
-	if err != nil {
-		w.log.Warn("peer snapshot rejected", "peer", loc.Worker, "hash", loc.Hash, "err", err)
+	snap, loc, ok := w.hedgedFetch(holders)
+	if !ok {
 		return nil, false
 	}
-	if got := fmt.Sprintf("%016x", snap.Hash()); got != loc.Hash {
-		w.log.Warn("peer snapshot hash mismatch", "peer", loc.Worker, "want", loc.Hash, "got", got)
-		return nil, false
-	}
-	w.log.Info("warm snapshot fetched from peer", "peer", loc.Worker, "key", key.String(), "bytes", len(blob))
+	w.log.Info("warm snapshot fetched from peer", "peer", loc.Worker, "key", key.String())
 	return snap, true
 }
 
-// getSnapshot downloads one content-addressed snapshot blob from a peer.
-func (w *Worker) getSnapshot(addr, hash string) ([]byte, error) {
-	resp, err := w.client.Get(addr + "/snapshots/" + hash)
+// hedgedFetch races up to two fetch legs: leg one to the first-ranked
+// holder immediately, leg two after HedgeDelay (or immediately if leg one
+// fails first) to the second holder — or the same holder again when only
+// one exists, which retries past per-request faults. The first verified
+// snapshot wins and the loser's context is cancelled.
+func (w *Worker) hedgedFetch(holders []SnapshotLocation) (*cpu.Snapshot, SnapshotLocation, bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type legResult struct {
+		snap *cpu.Snapshot
+		loc  SnapshotLocation
+		leg  int
+		err  error
+	}
+	results := make(chan legResult, 2)
+	launch := func(leg int, loc SnapshotLocation) {
+		go func() {
+			snap, err := w.fetchFromHolder(ctx, loc)
+			results <- legResult{snap: snap, loc: loc, leg: leg, err: err}
+		}()
+	}
+
+	second := holders[0]
+	if len(holders) > 1 {
+		second = holders[1]
+	}
+	launch(0, holders[0])
+	started := 1
+	hedge := time.NewTimer(w.cfg.HedgeDelay)
+	defer hedge.Stop()
+
+	failures := 0
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				if r.leg > 0 {
+					w.m.hedgeWins.Add(1)
+				} else if started > 1 {
+					w.m.hedgeLosses.Add(1)
+				}
+				return r.snap, r.loc, true
+			}
+			failures++
+			if started < 2 {
+				// Primary failed before the hedge fired: launch the second
+				// leg now, if the retry budget allows the extra request.
+				hedge.Stop()
+				if !w.budget.take() {
+					return nil, SnapshotLocation{}, false
+				}
+				launch(1, second)
+				started = 2
+			} else if failures >= started {
+				return nil, SnapshotLocation{}, false
+			}
+		case <-hedge.C:
+			if started < 2 {
+				launch(1, second)
+				started = 2
+			}
+		}
+	}
+}
+
+// fetchFromHolder downloads and verifies one snapshot. Verification
+// failures (undecodable wire envelope, content-hash mismatch) count the
+// corrupt metric and report the peer to the coordinator before failing the
+// leg, so the hedge (or a later fetch) lands on a different holder.
+func (w *Worker) fetchFromHolder(ctx context.Context, loc SnapshotLocation) (*cpu.Snapshot, error) {
+	blob, err := w.getSnapshot(ctx, loc.Addr, loc.Hash)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := cpu.DecodeSnapshot(blob)
+	if err != nil {
+		w.noteCorrupt(loc, err)
+		return nil, fmt.Errorf("corrupt snapshot from %s: %w", loc.Worker, err)
+	}
+	if got := fmt.Sprintf("%016x", snap.Hash()); got != loc.Hash {
+		err = fmt.Errorf("hash mismatch: want %s got %s", loc.Hash, got)
+		w.noteCorrupt(loc, err)
+		return nil, fmt.Errorf("corrupt snapshot from %s: %w", loc.Worker, err)
+	}
+	return snap, nil
+}
+
+// noteCorrupt accounts one corrupt peer delivery and flags the peer to the
+// coordinator (best-effort — the local rejection alone already keeps the
+// corruption out of the warm cache).
+func (w *Worker) noteCorrupt(loc SnapshotLocation, err error) {
+	harness.RecordWarmFetchCorrupt()
+	w.m.fetchCorrupt.Add(1)
+	w.log.Warn("peer snapshot rejected as corrupt", "peer", loc.Worker, "hash", loc.Hash, "err", err)
+	var ack struct {
+		OK bool `json:"ok"`
+	}
+	if perr := w.post("/v1/cluster/report-peer", w.cfg.Timeouts.Control,
+		PeerReport{From: w.cfg.Name, Peer: loc.Worker, Class: rpcFailCorrupt}, &ack); perr != nil {
+		w.log.Warn("peer report failed", "peer", loc.Worker, "err", perr)
+	}
+}
+
+// getSnapshot downloads one content-addressed snapshot blob from a peer
+// under a deadline sized to the blob: FetchBase covers dialing and headers,
+// then the deadline is extended per advertised MB once headers arrive.
+func (w *Worker) getSnapshot(parent context.Context, addr, hash string) ([]byte, error) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	timer := time.AfterFunc(w.cfg.Timeouts.FetchBase, cancel)
+	defer timer.Stop()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/snapshots/"+hash, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -290,6 +474,7 @@ func (w *Worker) getSnapshot(addr, hash string) ([]byte, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("peer returned %s", resp.Status)
 	}
+	timer.Reset(w.cfg.Timeouts.fetchDeadline(resp.ContentLength))
 	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 }
 
@@ -418,6 +603,18 @@ func (w *Worker) Handler() http.Handler {
 		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_warm_fetch_total counter\n")
 		fmt.Fprintf(rw, "pathfinderd_worker_warm_fetch_total{outcome=\"hit\"} %d\n", fetchHits)
 		fmt.Fprintf(rw, "pathfinderd_worker_warm_fetch_total{outcome=\"miss\"} %d\n", fetchMisses)
+		fmt.Fprintf(rw, "# HELP pathfinderd_worker_warm_fetch_corrupt_total peer snapshots rejected by wire/hash verification\n")
+		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_warm_fetch_corrupt_total counter\n")
+		fmt.Fprintf(rw, "pathfinderd_worker_warm_fetch_corrupt_total %d\n", w.m.fetchCorrupt.Load())
+		fmt.Fprintf(rw, "# HELP pathfinderd_worker_hedge_total hedged warm-fetch outcomes: win = non-primary leg delivered\n")
+		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_hedge_total counter\n")
+		fmt.Fprintf(rw, "pathfinderd_worker_hedge_total{outcome=\"win\"} %d\n", w.m.hedgeWins.Load())
+		fmt.Fprintf(rw, "pathfinderd_worker_hedge_total{outcome=\"loss\"} %d\n", w.m.hedgeLosses.Load())
+		spent, denied := w.budget.stats()
+		fmt.Fprintf(rw, "# HELP pathfinderd_worker_retry_budget_total retry-budget tokens, by outcome\n")
+		fmt.Fprintf(rw, "# TYPE pathfinderd_worker_retry_budget_total counter\n")
+		fmt.Fprintf(rw, "pathfinderd_worker_retry_budget_total{outcome=\"spent\"} %d\n", spent)
+		fmt.Fprintf(rw, "pathfinderd_worker_retry_budget_total{outcome=\"denied\"} %d\n", denied)
 	})
 
 	mux.Handle("/", svcHandler)

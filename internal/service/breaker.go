@@ -17,95 +17,131 @@ const (
 	failError   failureClass = "error"
 )
 
-// Breaker states, exposed as gauge values on /metrics and /readyz.
+// Breaker states, exposed as gauge values on /metrics and /readyz. The
+// cluster layer reuses the same encoding for per-peer breakers.
 const (
-	breakerClosed   = 0
-	breakerHalfOpen = 1
-	breakerOpen     = 2
+	BreakerClosed   = 0
+	BreakerHalfOpen = 1
+	BreakerOpen     = 2
 )
 
-// breaker is a per-experiment circuit breaker. An experiment that fails
-// `threshold` consecutive times stops accepting submissions (open) until
-// `cooldown` passes; the first submission after the cooldown is admitted as
-// a probe (half-open), and its outcome decides between closing the circuit
-// and re-opening it. Cancellations are not failures — they say nothing
-// about the experiment — and only terminal outcomes move the state.
-type breaker struct {
+// Unexported aliases keep the service-internal spelling stable.
+const (
+	breakerClosed   = BreakerClosed
+	breakerHalfOpen = BreakerHalfOpen
+	breakerOpen     = BreakerOpen
+)
+
+// KeyedBreaker is a map of independent circuit breakers sharing one
+// threshold and cooldown. The service pool keys it by experiment name; the
+// cluster keys it by peer. A key that fails `threshold` consecutive times
+// stops being admitted (open) until `cooldown` passes; the first admission
+// after the cooldown is the probe (half-open), and its outcome decides
+// between closing the circuit and re-opening it. Only terminal outcomes
+// move the state — cancellations say nothing about the key's health.
+type KeyedBreaker struct {
 	mu        sync.Mutex
+	noun      string // what a key names in error messages ("experiment", "peer")
 	threshold int
 	cooldown  time.Duration
 	now       func() time.Time
-	exps      map[string]*expBreaker
+	keys      map[string]*keyBreaker
 }
 
-type expBreaker struct {
+type keyBreaker struct {
 	state       int
 	consecutive int
 	openedAt    time.Time
 }
 
-func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
-	return &breaker{
+// NewKeyedBreaker builds a breaker map. noun appears in rejection messages
+// so callers read "peer w0 has failed..." rather than a generic key.
+func NewKeyedBreaker(noun string, threshold int, cooldown time.Duration, now func() time.Time) *KeyedBreaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &KeyedBreaker{
+		noun:      noun,
 		threshold: threshold,
 		cooldown:  cooldown,
 		now:       now,
-		exps:      make(map[string]*expBreaker),
+		keys:      make(map[string]*keyBreaker),
 	}
 }
 
-// allow admits or rejects a submission for the experiment.
-func (b *breaker) allow(experiment string) error {
+// newBreaker keeps the pool's original per-experiment constructor spelling.
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *KeyedBreaker {
+	return NewKeyedBreaker("experiment", threshold, cooldown, now)
+}
+
+// Allow admits or rejects the key, wrapping ErrBreakerOpen on rejection.
+func (b *KeyedBreaker) Allow(key string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	e := b.exps[experiment]
+	e := b.keys[key]
 	if e == nil {
 		return nil
 	}
 	switch e.state {
-	case breakerOpen:
+	case BreakerOpen:
 		if wait := b.cooldown - b.now().Sub(e.openedAt); wait > 0 {
-			return fmt.Errorf("%w: experiment %q has failed %d consecutive runs, retry in %s",
-				ErrBreakerOpen, experiment, e.consecutive, wait.Round(time.Millisecond))
+			return fmt.Errorf("%w: %s %q has failed %d consecutive times, retry in %s",
+				ErrBreakerOpen, b.noun, key, e.consecutive, wait.Round(time.Millisecond))
 		}
 		// Cooldown over: admit this one submission as the probe.
-		e.state = breakerHalfOpen
+		e.state = BreakerHalfOpen
 		return nil
-	case breakerHalfOpen:
-		return fmt.Errorf("%w: experiment %q is probing after repeated failures, retry shortly",
-			ErrBreakerOpen, experiment)
+	case BreakerHalfOpen:
+		return fmt.Errorf("%w: %s %q is probing after repeated failures, retry shortly",
+			ErrBreakerOpen, b.noun, key)
 	}
 	return nil
 }
 
-// record feeds one terminal job outcome into the breaker.
-func (b *breaker) record(experiment string, success bool) {
+// Record feeds one terminal outcome into the key's breaker.
+func (b *KeyedBreaker) Record(key string, success bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	e := b.exps[experiment]
+	e := b.keys[key]
 	if success {
 		if e != nil {
-			delete(b.exps, experiment)
+			delete(b.keys, key)
 		}
 		return
 	}
 	if e == nil {
-		e = &expBreaker{}
-		b.exps[experiment] = e
+		e = &keyBreaker{}
+		b.keys[key] = e
 	}
 	e.consecutive++
-	if e.state == breakerHalfOpen || e.consecutive >= b.threshold {
-		e.state = breakerOpen
+	if e.state == BreakerHalfOpen || e.consecutive >= b.threshold {
+		e.state = BreakerOpen
 		e.openedAt = b.now()
 	}
 }
 
-// snapshot returns the state gauge of every experiment the breaker tracks.
-func (b *breaker) snapshot() map[string]int {
+// State returns the key's current breaker state gauge.
+func (b *KeyedBreaker) State(key string) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make(map[string]int, len(b.exps))
-	for exp, e := range b.exps {
-		out[exp] = e.state
+	if e := b.keys[key]; e != nil {
+		return e.state
+	}
+	return BreakerClosed
+}
+
+// Snapshot returns the state gauge of every key the breaker tracks.
+func (b *KeyedBreaker) Snapshot() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.keys))
+	for key, e := range b.keys {
+		out[key] = e.state
 	}
 	return out
 }
+
+// Unexported method shims preserve the pool's call sites.
+func (b *KeyedBreaker) allow(key string) error          { return b.Allow(key) }
+func (b *KeyedBreaker) record(key string, success bool) { b.Record(key, success) }
+func (b *KeyedBreaker) snapshot() map[string]int        { return b.Snapshot() }

@@ -101,7 +101,7 @@ type Service struct {
 	log     *slog.Logger
 	metrics *Metrics
 	now     func() time.Time
-	breaker *breaker
+	breaker *KeyedBreaker
 	retry   harness.Retry
 	journal *journal     // nil when Config.DataDir is empty
 	results *resultCache // nil when Config.ResultCacheSize <= 0
