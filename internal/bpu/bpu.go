@@ -242,6 +242,11 @@ type btbEntry struct {
 // (Table 2, §7.4).
 type BTB struct {
 	entries []btbEntry
+
+	// dirty has one bit per 64-entry bank (4096 entries → 64 banks → one
+	// word), raised when Insert writes a slot or Flush clears the table;
+	// RestoreDirty copies only marked banks.
+	dirty uint64
 }
 
 // NewBTB returns an empty 4096-entry BTB.
@@ -251,10 +256,13 @@ func NewBTB() *BTB { return &BTB{entries: make([]btbEntry, 4096)} }
 func (b *BTB) slot(pc uint64) *btbEntry { return &b.entries[pc&uint64(len(b.entries)-1)] }
 
 // Insert records a taken branch target. Hot loops re-insert the same
-// mapping on every iteration, so an already-current slot is left untouched.
+// mapping on every iteration, so an already-current slot is left untouched
+// (and, deliberately, not marked dirty).
 func (b *BTB) Insert(pc, target uint64) {
 	e := b.slot(pc)
 	if e.key != pc+1 || e.target != target {
+		bank := (pc & uint64(len(b.entries)-1)) * 64 / uint64(len(b.entries))
+		b.dirty |= 1 << bank
 		*e = btbEntry{key: pc + 1, target: target}
 	}
 }
@@ -270,6 +278,7 @@ func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 
 // Flush invalidates the BTB (the effect of IBPB).
 func (b *BTB) Flush() {
+	b.dirty = ^uint64(0)
 	for i := range b.entries {
 		b.entries[i] = btbEntry{}
 	}
@@ -291,6 +300,10 @@ func (b *BTB) Occupancy() int {
 // — and *only* that effect.
 type IBP struct {
 	targets map[uint64]uint64
+
+	// dirty is coarse (the whole map): the IBP is tiny or empty on every
+	// measured path, so per-key tracking would cost more than it saves.
+	dirty bool
 }
 
 // NewIBP returns an empty indirect predictor.
@@ -302,6 +315,7 @@ func ibpKey(pc uint64, h phr.History) uint64 {
 
 // Insert records an indirect branch target for (pc, history).
 func (p *IBP) Insert(pc uint64, h phr.History, target uint64) {
+	p.dirty = true
 	p.targets[ibpKey(pc, h)] = target
 }
 
@@ -314,7 +328,10 @@ func (p *IBP) Lookup(pc uint64, h phr.History) (uint64, bool) {
 // Flush clears the IBP (the effect of IBPB; IBRS restricts its use across
 // privilege transitions, modeled as a flush at transition time). The map is
 // cleared in place so the per-trial Recycle path stays allocation-free.
-func (p *IBP) Flush() { clear(p.targets) }
+func (p *IBP) Flush() {
+	p.dirty = true
+	clear(p.targets)
+}
 
 // Occupancy counts recorded indirect targets.
 func (p *IBP) Occupancy() int { return len(p.targets) }

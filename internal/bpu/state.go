@@ -1,6 +1,7 @@
 package bpu
 
 import (
+	"math/bits"
 	"slices"
 
 	"pathfinder/internal/pht"
@@ -47,6 +48,21 @@ func (c *CBP) Restore(s *CBPState) {
 	c.updates = s.updates
 }
 
+// RestoreDirty overwrites only the regions each component has marked dirty
+// since it last matched a restored state; the decay clock is scalar and
+// always copied. Same precondition as the pht RestoreDirty methods: every
+// clean region must already match s.
+func (c *CBP) RestoreDirty(s *CBPState) {
+	if s.arch != c.cfg.Name || len(s.tables) != len(c.Tables) {
+		panic("bpu: restore CBP state across microarchitectures")
+	}
+	c.Base.RestoreDirty(&s.base)
+	for i, t := range c.Tables {
+		t.RestoreDirty(&s.tables[i])
+	}
+	c.updates = s.updates
+}
+
 // Hash folds the saved CBP into h.
 func (s *CBPState) Hash(h uint64) uint64 {
 	h = s.base.Hash(h)
@@ -72,6 +88,20 @@ func (b *BTB) Restore(s *BTBState) {
 		panic("bpu: restore BTB state with mismatched geometry")
 	}
 	copy(b.entries, s.entries)
+	b.dirty = 0
+}
+
+// RestoreDirty copies only the 64-entry banks whose dirty bit is raised.
+func (b *BTB) RestoreDirty(s *BTBState) {
+	if len(s.entries) != len(b.entries) {
+		panic("bpu: restore BTB state with mismatched geometry")
+	}
+	bank := len(b.entries) / 64
+	for w := b.dirty; w != 0; w &= w - 1 {
+		lo := bits.TrailingZeros64(w) * bank
+		copy(b.entries[lo:lo+bank], s.entries[lo:lo+bank])
+	}
+	b.dirty = 0
 }
 
 // Hash folds the saved BTB into h.
@@ -111,6 +141,15 @@ func (p *IBP) Restore(s *IBPState) {
 	for i, k := range s.keys {
 		p.targets[k] = s.targets[i]
 	}
+	p.dirty = false
+}
+
+// RestoreDirty rebuilds the map only if it was touched since it last
+// matched a restored state.
+func (p *IBP) RestoreDirty(s *IBPState) {
+	if p.dirty {
+		p.Restore(s)
+	}
 }
 
 // Hash folds the saved IBP into h.
@@ -141,6 +180,16 @@ func (u *Unit) Restore(s *UnitState) {
 	u.CBP.Restore(&s.cbp)
 	u.BTB.Restore(&s.btb)
 	u.IBP.Restore(&s.ibp)
+}
+
+// RestoreDirty overwrites only regions marked dirty since the unit last
+// matched a restored state — the cpu layer calls it when its snapshot-hash
+// sync check proves the clean regions already equal s. Bit-identical to
+// Restore under that precondition.
+func (u *Unit) RestoreDirty(s *UnitState) {
+	u.CBP.RestoreDirty(&s.cbp)
+	u.BTB.RestoreDirty(&s.btb)
+	u.IBP.RestoreDirty(&s.ibp)
 }
 
 // Hash folds the saved Unit into h.

@@ -38,6 +38,14 @@ type Cache struct {
 	tick    uint64
 
 	hits, misses, flushes uint64
+
+	// dirty holds one bit per set, raised whenever any line or LRU stamp in
+	// that set may have changed. The bits are a conservative superset of
+	// sets that differ from the last state this cache was restored to;
+	// RestoreDirty copies only those sets and clears the bits. A trial's
+	// footprint is a few dozen sets out of 4096, so this is what makes warm
+	// restore proportional to work done instead of cache geometry.
+	dirty []uint64
 }
 
 // New returns an empty cache with the given geometry. sets must be a power
@@ -46,12 +54,29 @@ func New(sets, ways int) *Cache {
 	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
 		panic("cache: bad geometry")
 	}
-	c := &Cache{sets: make([][]line, sets), setMask: uint64(sets - 1), ways: ways}
+	c := &Cache{
+		sets:    make([][]line, sets),
+		setMask: uint64(sets - 1),
+		ways:    ways,
+		dirty:   make([]uint64, (sets+63)/64),
+	}
 	backing := make([]line, sets*ways)
 	for i := range c.sets {
 		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
 	}
 	return c
+}
+
+// markDirty raises the dirty bit for set index si.
+func (c *Cache) markDirty(si uint64) {
+	c.dirty[si>>6] |= 1 << (si & 63)
+}
+
+// markAllDirty raises every dirty bit (bulk mutations: FlushAll, Reset).
+func (c *Cache) markAllDirty() {
+	for i := range c.dirty {
+		c.dirty[i] = ^uint64(0)
+	}
 }
 
 // NewDefault returns the default 32 KiB cache.
@@ -66,6 +91,7 @@ func (c *Cache) locate(addr uint64) (set []line, key uint64) {
 // it hit. Misses allocate the line with LRU replacement.
 func (c *Cache) Access(addr uint64) (latency int, hit bool) {
 	c.tick++
+	c.markDirty((addr / LineSize) & c.setMask) // hits move LRU stamps too
 	set, key := c.locate(addr)
 	for i := range set {
 		if set[i].key == key {
@@ -104,6 +130,7 @@ func (c *Cache) Contains(addr uint64) bool {
 // Flush evicts addr's line if present (CLFLUSH).
 func (c *Cache) Flush(addr uint64) {
 	c.flushes++
+	c.markDirty((addr / LineSize) & c.setMask)
 	set, key := c.locate(addr)
 	for i := range set {
 		if set[i].key == key {
@@ -119,12 +146,14 @@ func (c *Cache) Flush(addr uint64) {
 // eviction pressure landing on an invalid line.
 func (c *Cache) EvictNth(r uint64) {
 	c.flushes++
+	c.markDirty(r & c.setMask)
 	set := c.sets[r&c.setMask]
 	set[(r>>32)%uint64(c.ways)] = line{}
 }
 
 // FlushAll empties the cache.
 func (c *Cache) FlushAll() {
+	c.markAllDirty()
 	for s := range c.sets {
 		for w := range c.sets[s] {
 			c.sets[s][w] = line{}

@@ -1,5 +1,7 @@
 package cache
 
+import "math/bits"
+
 // State is a saved Cache for the checkpoint layer: one flat copy of every
 // line plus the LRU clock and the cumulative counters. The clock is
 // observable state — replacement decisions compare lru stamps — so a
@@ -29,6 +31,7 @@ func (c *Cache) Save(dst *State) {
 }
 
 // Restore overwrites the cache from a saved state of identical geometry.
+// Afterwards every set matches s, so all dirty bits clear.
 func (c *Cache) Restore(s *State) {
 	if s.sets != len(c.sets) || s.ways != c.ways {
 		panic("cache: restore state with mismatched geometry")
@@ -36,6 +39,33 @@ func (c *Cache) Restore(s *State) {
 	c.tick, c.hits, c.misses, c.flushes = s.tick, s.hits, s.misses, s.flushes
 	for i, set := range c.sets {
 		copy(set, s.lines[i*c.ways:(i+1)*c.ways])
+	}
+	for i := range c.dirty {
+		c.dirty[i] = 0
+	}
+}
+
+// RestoreDirty overwrites only the sets whose dirty bit is raised, plus the
+// clock and counters, then clears the bits. It is only correct when every
+// clean set already matches s — i.e. the cache was last restored to (or
+// snapshotted into) a state with identical bytes, a precondition the cpu
+// layer enforces via its snapshot-hash sync check. Result is bit-identical
+// to a full Restore at a fraction of the copying.
+func (c *Cache) RestoreDirty(s *State) {
+	if s.sets != len(c.sets) || s.ways != c.ways {
+		panic("cache: restore state with mismatched geometry")
+	}
+	c.tick, c.hits, c.misses, c.flushes = s.tick, s.hits, s.misses, s.flushes
+	for wi, w := range c.dirty {
+		for w != 0 {
+			si := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if si >= len(c.sets) {
+				break
+			}
+			copy(c.sets[si], s.lines[si*c.ways:(si+1)*c.ways])
+		}
+		c.dirty[wi] = 0
 	}
 }
 

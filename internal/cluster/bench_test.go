@@ -52,14 +52,58 @@ func runBenchStandalone(t *testing.T) time.Duration {
 	return time.Since(start)
 }
 
+// startBenchNode is startWorkerNode with a bench-grade heartbeat: the
+// 20ms cadence the scheduler tests use for snappy lease renewal costs
+// ~100 control POSTs per worker per second, which on a shared host drowns
+// the per-shape signal the bench is after. 60ms is still 16× faster than
+// the production default and well inside the test lease TTL.
+func startBenchNode(t *testing.T, coordURL, name string, svcCfg service.Config) *node {
+	t.Helper()
+	svcCfg.Registry = service.NewRegistry()
+	n := &node{svc: service.New(svcCfg)}
+	n.srv = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		n.w.Handler().ServeHTTP(rw, r)
+	}))
+	var err error
+	n.w, err = NewWorker(WorkerConfig{
+		Name:        name,
+		Coordinator: coordURL,
+		SelfURL:     n.srv.URL,
+		Heartbeat:   60 * time.Millisecond,
+	}, n.svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.w.Start()
+	t.Cleanup(func() {
+		n.w.Stop()
+		n.srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = n.svc.Shutdown(ctx)
+	})
+	return n
+}
+
 // runBenchCluster executes the sweep on an n-worker in-process cluster.
+// Total sim capacity is held at 4 lanes regardless of n — the nodes share
+// one host, so scaling lanes with n would just oversubscribe the machine;
+// keeping capacity fixed makes the n-worker columns measure what changes
+// with cluster size (dispatch, heartbeats, transport), not core contention.
 func runBenchCluster(t *testing.T, n int) time.Duration {
 	t.Helper()
 	harness.ResetWarmCache()
-	_, csrv := startCoord(t, CoordinatorConfig{Registry: service.NewRegistry(), MaxInflightPerWorker: 4})
+	// The inflight cap must not bind: each 6-job arch group affinity-routes
+	// to one holder, and a cap below the group size turns the sweep tail
+	// into done-ack round trips instead of sim work.
+	_, csrv := startCoord(t, CoordinatorConfig{Registry: service.NewRegistry(), MaxInflightPerWorker: 12})
+	lanes := 4 / n
+	if lanes < 1 {
+		lanes = 1
+	}
 	for i := 0; i < n; i++ {
-		startWorkerNode(t, csrv.URL, fmt.Sprintf("bench-w%d", i), service.NewRegistry(),
-			service.Config{Workers: 2, QueueDepth: 64})
+		startBenchNode(t, csrv.URL, fmt.Sprintf("bench-w%d", i),
+			service.Config{Workers: lanes, QueueDepth: 64})
 	}
 	waitWorkers(t, csrv.URL, n)
 	start := time.Now()
@@ -86,9 +130,21 @@ func TestEmitClusterBenchArtifact(t *testing.T) {
 		t.Skip("set PATHFINDER_EMIT_CLUSTER_BENCH=1 to emit BENCH_cluster.json")
 	}
 
-	standalone := runBenchStandalone(t)
-	cluster2 := runBenchCluster(t, 2)
-	cluster4 := runBenchCluster(t, 4)
+	// Best-of-3 per configuration: on a shared (often single-core) CI host
+	// the sweep wall time is ±10% noisy, and the minimum is the cleanest
+	// estimate of the scheduling+transport overhead each shape adds.
+	bestOf := func(runs int, f func() time.Duration) time.Duration {
+		best := f()
+		for i := 1; i < runs; i++ {
+			if d := f(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	standalone := bestOf(3, func() time.Duration { return runBenchStandalone(t) })
+	cluster2 := bestOf(3, func() time.Duration { return runBenchCluster(t, 2) })
+	cluster4 := bestOf(3, func() time.Duration { return runBenchCluster(t, 4) })
 
 	// Job-level cold-vs-warm: on a fresh single-worker cluster the first job
 	// of a warm group trains; the second (affinity-routed, same group)
@@ -150,7 +206,8 @@ func TestEmitClusterBenchArtifact(t *testing.T) {
 		"cold_job_ns":          coldJob.Nanoseconds(),
 		"warm_affinity_job_ns": warmJob.Nanoseconds(),
 		"snapshot_fetch_ns":    fetchNS,
-		"note": "in-process nodes share one host and one warm cache, so cluster columns measure " +
+		"note": "best of 3 runs per configuration, total sim capacity fixed at 4 lanes across cluster shapes; " +
+			"in-process nodes share one host and one warm cache, so cluster columns measure " +
 			"scheduling+transport overhead and scaling shape, not cross-host speedup; " +
 			"cold_job trains phase-1 + per-trial warm state, warm_affinity_job restores it; " +
 			"snapshot_fetch_ns is the full locate+HTTP fetch+decode+hash-verify round trip",

@@ -207,7 +207,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		cfg.DefaultTimeout = 2 * time.Minute
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = &http.Client{}
+		cfg.HTTPClient = defaultHTTPClient()
 	}
 	cfg.Timeouts = cfg.Timeouts.withDefaults()
 	if cfg.PeerBreakerThreshold <= 0 {
@@ -687,9 +687,25 @@ func (c *Coordinator) dispatch() {
 		c.log.Warn("degraded mode: running job in-process", "job", j.id)
 		go c.runLocal(j)
 	}
-	for _, a := range work {
-		c.sendAssignment(a)
+	if len(work) == 0 {
+		return
 	}
+	// One batched POST per destination worker, sent concurrently: a slow or
+	// saturated worker no longer serializes the rest of the dispatch pass
+	// behind its RPC, which is what made adding workers *slow down* sweeps.
+	byWorker := make(map[string][]assignment)
+	for _, a := range work {
+		byWorker[a.worker] = append(byWorker[a.worker], a)
+	}
+	var wg sync.WaitGroup
+	for _, batch := range byWorker {
+		wg.Add(1)
+		go func(batch []assignment) {
+			defer wg.Done()
+			c.sendAssignments(batch)
+		}(batch)
+	}
+	wg.Wait()
 }
 
 // runLocal executes one job in-process — the degraded-mode path when every
@@ -831,72 +847,105 @@ func (c *Coordinator) notePeerFailureLocked(name, class, reason string) {
 	c.log.Warn("worker quarantined", "worker", name, "class", class, "reason", reason)
 }
 
-// sendAssignment POSTs one assignment under the control-RPC deadline and
-// settles the outcome: accepted assignments consume budget, start the lease
-// and count a breaker success; a 429 marks the worker saturated until its
-// next heartbeat and requeues the job without consuming budget (and without
-// touching the breaker — backpressure is load, not sickness); transport
-// errors, timeouts and 5xx feed the worker's breaker, quarantining it when
-// the failure threshold is crossed.
-func (c *Coordinator) sendAssignment(a assignment) {
-	body, _ := json.Marshal(a.req)
+// sendAssignments POSTs one dispatch tick's assignments for a single
+// worker (every element targets the same address) as one batch under the
+// control-RPC deadline, then settles each job: accepted assignments start
+// their leases and count a breaker success; a Saturated rejection marks
+// the worker saturated until its next heartbeat and requeues the job
+// without touching the breaker — backpressure is load, not sickness; a
+// transport error, timeout or 5xx fails the whole batch, requeues every
+// job and feeds the worker's breaker exactly once, so one dead RPC carries
+// the same breaker weight no matter how many jobs rode on it.
+func (c *Coordinator) sendAssignments(batch []assignment) {
+	worker, addr := batch[0].worker, batch[0].addr
+	jobs := make([]RunRequest, len(batch))
+	for i, a := range batch {
+		jobs[i] = a.req
+	}
+	body, _ := json.Marshal(RunBatch{Jobs: jobs})
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeouts.Control)
 	defer cancel()
-	hreq, _ := http.NewRequestWithContext(ctx, http.MethodPost, a.addr+"/v1/cluster/run", bytes.NewReader(body))
+	hreq, _ := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/cluster/runs", bytes.NewReader(body))
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(hreq)
 	status := 0
-	accepted := false
+	var reply RunBatchReply
 	if err == nil {
 		status = resp.StatusCode
-		var rr RunResponse
-		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr)
+		if status < 300 {
+			err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&reply)
+		}
 		resp.Body.Close()
-		accepted = status < 300 && rr.Accepted
 	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	j := a.job
-	if accepted {
-		c.peers.Record(a.worker, true)
-		if terminal(j.state) || j.assignedTo != a.worker {
-			return // raced with a result or a concurrent requeue
+
+	requeue := func(a assignment, saturated bool) {
+		j := a.job
+		if w := c.workers[worker]; w != nil {
+			delete(w.inflight, j.id)
+			if saturated {
+				w.saturated = true
+			}
 		}
-		j.assigns++
-		c.appendJournal(coordRecord{Op: copAssign, Job: j.id, Time: c.now(), Worker: a.worker})
-		c.metrics.add(func(m *coordMetrics) { m.assigned[a.worker]++ })
-		c.log.Info("cluster job assigned", "job", j.id, "worker", a.worker, "assign", j.assigns)
+		if !terminal(j.state) && j.assignedTo == worker {
+			j.assignedTo = ""
+			j.leaseExpiry = time.Time{}
+			c.pending = append([]string{j.id}, c.pending...)
+		}
+	}
+
+	if err != nil || status >= 300 {
+		saturated := status == http.StatusTooManyRequests
+		for _, a := range batch {
+			requeue(a, saturated)
+		}
+		if saturated {
+			// The whole batch bounced as load (a proxy or the legacy single
+			// surface): requeue without breaker feedback.
+			c.metrics.add(func(m *coordMetrics) { m.backpressure += uint64(len(batch)) })
+			c.log.Info("worker saturated, batch requeued", "worker", worker, "jobs", len(batch))
+			return
+		}
+		class := classifyRPCFailure(err, status)
+		c.metrics.add(func(m *coordMetrics) {
+			m.assignErrors += uint64(len(batch))
+			m.assignFailures[class]++
+		})
+		c.notePeerFailureLocked(worker, class, fmt.Sprintf("assignment batch of %d failed: status=%d err=%v", len(batch), status, err))
+		c.log.Warn("assignment batch failed, jobs requeued", "worker", worker, "jobs", len(batch), "status", status, "class", class, "err", err)
 		return
 	}
 
-	if w := c.workers[a.worker]; w != nil {
-		delete(w.inflight, j.id)
-		if status == http.StatusTooManyRequests {
-			w.saturated = true
+	byID := make(map[string]RunResponse, len(reply.Results))
+	for _, rr := range reply.Results {
+		byID[rr.ID] = rr
+	}
+	for _, a := range batch {
+		j := a.job
+		rr := byID[j.id]
+		switch {
+		case rr.Accepted:
+			c.peers.Record(worker, true)
+			if terminal(j.state) || j.assignedTo != worker {
+				continue // raced with a result or a concurrent requeue
+			}
+			j.assigns++
+			c.appendJournal(coordRecord{Op: copAssign, Job: j.id, Time: c.now(), Worker: worker})
+			c.metrics.add(func(m *coordMetrics) { m.assigned[worker]++ })
+			c.log.Info("cluster job assigned", "job", j.id, "worker", worker, "assign", j.assigns)
+		case rr.Saturated:
+			requeue(a, true)
+			c.metrics.add(func(m *coordMetrics) { m.backpressure++ })
+			c.log.Info("worker saturated, job requeued", "job", j.id, "worker", worker)
+		default:
+			// Reachable but not accepting this job (rejected or missing from
+			// the reply) — treat like backpressure, not sickness.
+			requeue(a, false)
+			c.metrics.add(func(m *coordMetrics) { m.assignErrors++ })
+			c.log.Warn("assignment rejected, job requeued", "job", j.id, "worker", worker, "reason", rr.Error)
 		}
-	}
-	if !terminal(j.state) && j.assignedTo == a.worker {
-		j.assignedTo = ""
-		j.leaseExpiry = time.Time{}
-		c.pending = append([]string{j.id}, c.pending...)
-	}
-	switch {
-	case status == http.StatusTooManyRequests:
-		c.metrics.add(func(m *coordMetrics) { m.backpressure++ })
-		c.log.Info("worker saturated, job requeued", "job", j.id, "worker", a.worker)
-	case status >= 200 && status < 300:
-		// Reachable but not accepting (rr.Accepted false without an error
-		// status) — treat like backpressure, not sickness.
-		c.metrics.add(func(m *coordMetrics) { m.assignErrors++ })
-	default:
-		class := classifyRPCFailure(err, status)
-		c.metrics.add(func(m *coordMetrics) {
-			m.assignErrors++
-			m.assignFailures[class]++
-		})
-		c.notePeerFailureLocked(a.worker, class, fmt.Sprintf("assignment of %s failed: status=%d err=%v", j.id, status, err))
-		c.log.Warn("assignment failed, job requeued", "job", j.id, "worker", a.worker, "status", status, "class", class, "err", err)
 	}
 }
 

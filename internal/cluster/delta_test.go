@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathfinder/internal/cpu"
+	"pathfinder/internal/harness"
+	"pathfinder/internal/service"
+	"pathfinder/internal/snapstore"
+	"pathfinder/internal/wire"
+)
+
+// TestClusterSnapshotDeltaExchange drives the delta-negotiated snapshot
+// exchange end to end: the requester advertises a base it holds, the
+// holder answers with a PFWD delta frame (visibly smaller than the full
+// blob), and the requester materializes it against its local base into a
+// hash-verified snapshot.
+func TestClusterSnapshotDeltaExchange(t *testing.T) {
+	harness.ResetWarmCache()
+	baseSnap := cpu.New(cpu.Options{Seed: 41}).Snapshot()
+	targetSnap := cpu.New(cpu.Options{Seed: 42}).Snapshot()
+	const baseKey = "delta-x|Alder Lake|194|0000000000000abc|41|0"
+	const targetKey = "delta-x|Alder Lake|194|0000000000000abc|42|0"
+	targetHash := fmt.Sprintf("%016x", targetSnap.Hash())
+
+	_, csrv := startCoord(t, CoordinatorConfig{})
+
+	// The holder can materialize both snapshots; the requester holds only
+	// the base.
+	st0, err := snapstore.Open(t.TempDir(), snapstore.DefaultMaxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0.Save(baseKey, baseSnap, nil)
+	st0.Save(targetKey, targetSnap, nil)
+	svc0 := service.New(service.Config{Workers: 1, QueueDepth: 4})
+	w0, err := NewWorker(WorkerConfig{
+		Name: "w0", Coordinator: "http://coord.invalid", SelfURL: "http://w0.invalid",
+		SnapStore: st0,
+	}, svc0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0srv := httptest.NewServer(w0.Handler())
+	defer w0srv.Close()
+	advertiseHolder(t, csrv.URL, "w0", w0srv.URL, targetKey, targetHash)
+
+	st1, err := snapstore.Open(t.TempDir(), snapstore.DefaultMaxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.Save(baseKey, baseSnap, nil)
+	svc1 := service.New(service.Config{Workers: 1, QueueDepth: 4})
+	w1, err := NewWorker(WorkerConfig{
+		Name: "w1", Coordinator: csrv.URL, SelfURL: "http://w1.invalid",
+		SnapStore: st1,
+	}, svc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc0.Shutdown(ctx)
+		_ = svc1.Shutdown(ctx)
+	}()
+
+	wk, err := harness.ParseWarmStateKey(targetKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w1.fetchWarm(wk)
+	if !ok {
+		t.Fatal("delta-negotiated fetch failed")
+	}
+	if got.Hash() != targetSnap.Hash() {
+		t.Fatalf("fetched snapshot hash %#x, want %#x", got.Hash(), targetSnap.Hash())
+	}
+	if n := w1.m.deltaApplied.Load(); n != 1 {
+		t.Errorf("requester delta_applied = %d, want 1", n)
+	}
+	if n := w1.m.deltaFallback.Load(); n != 0 {
+		t.Errorf("requester delta_fallback = %d, want 0", n)
+	}
+	if n := scrapeMetric(t, w0srv.URL+"/metrics", `pathfinderd_worker_snapshot_delta_total{event="served"}`); n < 1 {
+		t.Errorf("holder delta serves = %v, want >= 1", n)
+	}
+
+	// The wire saving is the point: the delta between two same-arch warm
+	// states must be far smaller than the full encoding.
+	baseBlob, err := baseSnap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetBlob, err := targetSnap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := wire.EncodeDelta(baseBlob, targetBlob)
+	if len(delta)*5 > len(targetBlob) {
+		t.Errorf("delta %d bytes vs full %d: expected >=5x wire reduction", len(delta), len(targetBlob))
+	}
+}
+
+// TestClusterCorruptDeltaFallsBackToFull: a holder serves a damaged PFWD
+// frame; the requester rejects it against the delta envelope, reports the
+// peer through the corrupt-delivery machinery, retries the same holder for
+// the full blob, and the fetch still succeeds.
+func TestClusterCorruptDeltaFallsBackToFull(t *testing.T) {
+	harness.ResetWarmCache()
+	baseSnap := cpu.New(cpu.Options{Seed: 43}).Snapshot()
+	targetSnap := cpu.New(cpu.Options{Seed: 44}).Snapshot()
+	const baseKey = "delta-corrupt|Alder Lake|194|0000000000000abc|43|0"
+	const targetKey = "delta-corrupt|Alder Lake|194|0000000000000abc|44|0"
+	baseHash := fmt.Sprintf("%016x", baseSnap.Hash())
+	targetHash := fmt.Sprintf("%016x", targetSnap.Hash())
+
+	baseBlob, err := baseSnap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBlob, err := targetSnap.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	badDelta := wire.EncodeDelta(baseBlob, fullBlob)
+	badDelta[len(badDelta)-3] ^= 0x40 // keep the magic, break the envelope hash
+	if !wire.IsDelta(badDelta) {
+		t.Fatal("corrupted frame no longer parses as a delta")
+	}
+
+	// A hand-rolled holder: delta requests get the damaged frame, the full
+	// retry (no have= advertisement) gets the honest blob.
+	var deltaServes, fullServes int
+	var mu sync.Mutex
+	holder := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if strings.Contains(r.URL.RawQuery, "have=") {
+			deltaServes++
+			rw.Header().Set(deltaBaseHeader, baseHash)
+			_, _ = rw.Write(badDelta)
+			return
+		}
+		fullServes++
+		_, _ = rw.Write(fullBlob)
+	}))
+	defer holder.Close()
+
+	_, csrv := startCoord(t, CoordinatorConfig{})
+	advertiseHolder(t, csrv.URL, "w0", holder.URL, targetKey, targetHash)
+
+	st1, err := snapstore.Open(t.TempDir(), snapstore.DefaultMaxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.Save(baseKey, baseSnap, nil)
+	svc1 := service.New(service.Config{Workers: 1, QueueDepth: 4})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc1.Shutdown(ctx)
+	}()
+	w1, err := NewWorker(WorkerConfig{
+		Name: "w1", Coordinator: csrv.URL, SelfURL: "http://w1.invalid",
+		SnapStore: st1,
+	}, svc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt0 := harness.WarmFetchCorrupt()
+	wk, err := harness.ParseWarmStateKey(targetKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w1.fetchWarm(wk)
+	if !ok {
+		t.Fatal("fetch failed outright; the full-blob retry should have delivered")
+	}
+	if got.Hash() != targetSnap.Hash() {
+		t.Fatalf("fetched snapshot hash %#x, want %#x", got.Hash(), targetSnap.Hash())
+	}
+	mu.Lock()
+	if deltaServes < 1 || fullServes < 1 {
+		t.Errorf("holder saw %d delta and %d full requests, want >= 1 of each", deltaServes, fullServes)
+	}
+	mu.Unlock()
+	if n := w1.m.deltaFallback.Load(); n < 1 {
+		t.Errorf("delta_fallback = %d, want >= 1", n)
+	}
+	if n := w1.m.fetchCorrupt.Load(); n < 1 {
+		t.Errorf("fetch_corrupt = %d, want >= 1", n)
+	}
+	if harness.WarmFetchCorrupt() <= corrupt0 {
+		t.Error("corrupt delta was not counted by the harness corrupt counter")
+	}
+	if n := scrapeMetric(t, csrv.URL+"/metrics", `pathfinderd_cluster_peer_reports_total{class="corrupt"}`); n < 1 {
+		t.Errorf("peer reports (corrupt) = %v, want >= 1", n)
+	}
+}
+
+// TestDispatchBatchesAssignments: the coordinator sends one POST
+// /v1/cluster/runs per destination worker per dispatch pass — not one
+// POST per job — and never uses the legacy single-assignment route.
+func TestDispatchBatchesAssignments(t *testing.T) {
+	c, csrv := startCoord(t, CoordinatorConfig{Registry: ctestRegistry(), MaxInflightPerWorker: 8})
+
+	// Submit the whole sweep before any worker joins, so the first dispatch
+	// pass with a live worker sees every job pending at once.
+	batch, views, err := c.SubmitSweep("ctest", service.Params{}, []string{"alderlake"}, []int64{1, 2, 3, 4, 5, 6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 6 {
+		t.Fatalf("submitted %d jobs, want 6", len(views))
+	}
+
+	var mu sync.Mutex
+	var singles, batchPosts, maxBatch int
+	n := &node{svc: service.New(service.Config{Registry: ctestRegistry(), Workers: 2, QueueDepth: 32})}
+	n.srv = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/cluster/run" {
+			mu.Lock()
+			singles++
+			mu.Unlock()
+		}
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/cluster/runs" {
+			raw, _ := io.ReadAll(r.Body)
+			var rb RunBatch
+			_ = json.Unmarshal(raw, &rb)
+			mu.Lock()
+			batchPosts++
+			if len(rb.Jobs) > maxBatch {
+				maxBatch = len(rb.Jobs)
+			}
+			mu.Unlock()
+			r.Body = io.NopCloser(bytes.NewReader(raw))
+		}
+		n.w.Handler().ServeHTTP(rw, r)
+	}))
+	n.w, err = NewWorker(WorkerConfig{
+		Name: "w0", Coordinator: csrv.URL, SelfURL: n.srv.URL,
+		Heartbeat: 20 * time.Millisecond,
+	}, n.svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.w.Start()
+	t.Cleanup(func() {
+		n.w.Stop()
+		n.srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = n.svc.Shutdown(ctx)
+	})
+
+	report := waitReport(t, csrv.URL, batch)
+	var rep service.Report
+	if err := json.Unmarshal(report, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ByState[service.StateDone] != 6 {
+		t.Fatalf("by_state = %v, want 6 done", rep.ByState)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if singles != 0 {
+		t.Errorf("legacy /v1/cluster/run posts = %d, want 0", singles)
+	}
+	if batchPosts == 0 {
+		t.Fatal("no batched assignment posts observed")
+	}
+	if maxBatch < 4 {
+		t.Errorf("largest assignment batch carried %d jobs, want >= 4", maxBatch)
+	}
+}

@@ -141,6 +141,19 @@ func (b *retryBudget) stats() (spent, denied uint64) {
 	return b.spent, b.denied
 }
 
+// defaultHTTPClient is the transport both cluster roles fall back to when
+// the caller injects none: http.DefaultTransport's keep-alive pool widened
+// past its per-host idle limit of 2, so per-tick assignment batches,
+// heartbeats and snapshot fetches reuse TCP connections instead of
+// re-dialing — with several workers behind one coordinator the default
+// pool churns connections badly enough to show up in sweep wall time.
+func defaultHTTPClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 128
+	tr.MaxIdleConnsPerHost = 16
+	return &http.Client{Transport: tr}
+}
+
 // drainBody discards and closes a response body so the transport can reuse
 // the connection; nil-safe.
 func drainBody(resp *http.Response) {

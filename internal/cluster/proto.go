@@ -45,10 +45,28 @@ type RunRequest struct {
 
 // RunResponse acknowledges an assignment. A worker that already holds the
 // job replies Accepted without resubmitting, making assignment idempotent
-// under coordinator retries.
+// under coordinator retries. Saturated marks a rejection caused by a full
+// local queue — backpressure the coordinator requeues without feeding the
+// worker's breaker, as opposed to a malformed or unrunnable assignment.
 type RunResponse struct {
-	ID       string `json:"id"`
-	Accepted bool   `json:"accepted"`
+	ID        string `json:"id"`
+	Accepted  bool   `json:"accepted"`
+	Saturated bool   `json:"saturated,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// RunBatch carries every assignment one dispatch tick routed at one worker
+// (POST /v1/cluster/runs): one request per destination per tick instead of
+// one per job, so dispatch latency stays flat as sweeps and clusters grow.
+type RunBatch struct {
+	Jobs []RunRequest `json:"jobs"`
+}
+
+// RunBatchReply answers a RunBatch per job, in any order (jobs are matched
+// back by ID). The batch itself always lands with 200 — per-job outcomes,
+// including backpressure, live in the results.
+type RunBatchReply struct {
+	Results []RunResponse `json:"results"`
 }
 
 // Heartbeat is the worker→coordinator liveness and progress report (POST

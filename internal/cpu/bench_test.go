@@ -100,9 +100,11 @@ func BenchmarkSnapshot(b *testing.B) {
 	}
 }
 
-// BenchmarkRestore measures rewinding a machine to a warm snapshot — the
-// per-trial cost that replaces re-running the training loop when the
-// warm-state cache hits.
+// BenchmarkRestore measures rewinding a machine to a warm snapshot via the
+// flat full-copy path — the cost every trial paid before dirty tracking,
+// and still the cost when restore-sync cannot be established (first restore
+// on a lane, cross-snapshot hops). ForgetRestoreSync pins the full path;
+// BenchmarkDirtyRestore measures the tracked one.
 func BenchmarkRestore(b *testing.B) {
 	p := benchProgram(b, 256)
 	m := New(Options{Seed: 1})
@@ -113,6 +115,33 @@ func BenchmarkRestore(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		m.ForgetRestoreSync()
+		m.RestoreFrom(snap)
+	}
+}
+
+// BenchmarkDirtyRestore measures the dirty-tracked restore on the warm
+// per-trial path: each iteration runs a trial-sized workload (untimed) and
+// times only the rewind, which copies just the regions the trial touched.
+// The gap between this and BenchmarkRestore is the tentpole speedup
+// BENCH_delta.json pins on the real AES path.
+func BenchmarkDirtyRestore(b *testing.B) {
+	p := benchProgram(b, 256)
+	m := New(Options{Seed: 1})
+	if err := m.Run(p, "main"); err != nil {
+		b.Fatal(err)
+	}
+	snap := m.Snapshot()
+	m.RestoreFrom(snap) // establish restore-sync
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m.Reseed(int64(i))
+		if err := m.Run(p, "main"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
 		m.RestoreFrom(snap)
 	}
 }

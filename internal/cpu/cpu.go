@@ -202,6 +202,16 @@ type Machine struct {
 	tscr   transientState   // reused wrong-path sandbox (exec is not reentrant)
 	kstubs map[int64]string // syscall number -> entry label
 	estubs map[int64]string // enclave number -> entry label
+
+	// Restore-sync marker: when syncOK is set, every BPU/cache region whose
+	// dirty bit is clear is bit-identical to the snapshot whose content hash
+	// is syncHash (the machine was last restored to, or snapshotted into,
+	// that state and the dirty bitmaps have recorded every mutation since).
+	// RestoreFrom uses it to rewind via the dirty-only copies — restore cost
+	// proportional to the trial's footprint instead of table geometry.
+	// Recycle clears it; anything it cannot account for must.
+	syncOK   bool
+	syncHash uint64
 }
 
 // progState is decoded per-(machine, program) interpreter state: the
@@ -341,6 +351,7 @@ func (m *Machine) Recycle(opts Options) {
 		panic("cpu: recycle with a custom predictor")
 	}
 	m.opts = opts
+	m.syncOK = false
 	m.BPU.Reset()
 	m.Mem.Reset()
 	m.Data.Reset()
@@ -371,6 +382,49 @@ func (m *Machine) Recycle(opts Options) {
 		h.rng = splitmix64{s: uint64(opts.Seed) + uint64(i)*0x632be59bd9b4e019 + 7}
 	}
 }
+
+// RecycleRestore is Recycle(opts) followed by RestoreFrom(s), fused so the
+// intermediate power-on reset is skipped: every structure Recycle would
+// reset and RestoreFrom would then overwrite (predictors, cache, hart
+// state, stats, noise, IBRS) is written once by the restore, and — the
+// point of the fusion — the predictor/cache dirty bitmaps keep describing
+// only the previous trial's footprint, so a machine in restore-sync with s
+// rewinds via the dirty-only copies instead of a full-table pass. The
+// batch drivers' per-trial path is exactly this pair; the equivalence test
+// pins that the fused result is bit-identical to the sequential one.
+//
+// Validation and panics match Recycle plus RestoreFrom. As with the pair,
+// follow with Reseed to move the PRNG streams to the trial's seed.
+func (m *Machine) RecycleRestore(opts Options, s *Snapshot) {
+	opts = normalizeOptions(opts)
+	if opts.Arch.Name != m.opts.Arch.Name || opts.Arch.PHRSize != m.opts.Arch.PHRSize {
+		panic("cpu: recycle across microarchitectures")
+	}
+	if opts.Harts != len(m.harts) {
+		panic("cpu: recycle with a different hart count")
+	}
+	if opts.NewPredictor != nil || m.opts.NewPredictor != nil {
+		panic("cpu: recycle with a custom predictor")
+	}
+	// Only the state RestoreFrom does not cover: options, memory, the trace
+	// hook, the injector rebuild and the stub registrations. Everything else
+	// Recycle resets is overwritten wholesale by RestoreFrom.
+	m.opts = opts
+	m.Mem.Reset()
+	m.TraceTaken = nil
+	m.inj = nil
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		m.inj = faultinject.NewInjector(*opts.Faults, opts.Seed)
+	}
+	clear(m.kstubs)
+	clear(m.estubs)
+	m.RestoreFrom(s)
+}
+
+// ForgetRestoreSync drops the restore-sync marker, forcing the next
+// RestoreFrom onto the full-copy path (which re-establishes sync).
+// Benchmarks use it to measure the flat restore against the dirty one.
+func (m *Machine) ForgetRestoreSync() { m.syncOK = false }
 
 // Hart returns logical core i.
 func (m *Machine) Hart(i int) *Hart { return m.harts[i] }

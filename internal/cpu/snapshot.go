@@ -140,6 +140,13 @@ func (m *Machine) SnapshotInto(dst *Snapshot) {
 	}
 
 	dst.hash = dst.computeHash()
+
+	// The machine now matches dst exactly, so it is in restore-sync with it:
+	// regions whose dirty bits are clear equal dst's capture of them (the
+	// bits stay raised for anything mutated since the last restore — a
+	// conservative superset of what could differ). A later RestoreFrom(dst)
+	// — or of any snapshot with equal content — may take the dirty-only path.
+	m.syncOK, m.syncHash = true, dst.hash
 }
 
 // RestoreFrom rewinds the machine to a previously captured snapshot. The
@@ -166,8 +173,20 @@ func (m *Machine) RestoreFrom(s *Snapshot) {
 		panic("cpu: restore across fault-injection configurations")
 	}
 
-	m.BPU.Restore(&s.unit)
-	m.Data.Restore(&s.data)
+	// Dirty-only fast path: when the machine's clean predictor/cache regions
+	// provably match s (it was last synced to a state with s's content hash,
+	// and the dirty bitmaps recorded every mutation since), copy just the
+	// dirty regions. Hash equality stands in for content equality here
+	// exactly as it does in the warm-state cache and the differential
+	// suites. Everything scalar or footprint-sized below is copied either
+	// way.
+	if m.syncOK && m.syncHash == s.hash {
+		m.BPU.RestoreDirty(&s.unit)
+		m.Data.RestoreDirty(&s.data)
+	} else {
+		m.BPU.Restore(&s.unit)
+		m.Data.Restore(&s.data)
+	}
 	m.IBRS = s.ibrs
 	m.noise.s = s.noise
 	if m.inj != nil {
@@ -198,6 +217,8 @@ func (m *Machine) RestoreFrom(s *Snapshot) {
 		h.stack = append(h.stack[:0], hs.stack...)
 		h.rng.s = hs.rng
 	}
+
+	m.syncOK, m.syncHash = true, s.hash
 }
 
 // Reseed re-derives every seed-dependent PRNG stream — the transient-noise

@@ -29,7 +29,15 @@ const (
 
 // MarshalBinary encodes the snapshot into a fresh byte slice.
 func (s *Snapshot) MarshalBinary() ([]byte, error) {
-	w := wire.NewWriter(1 << 16)
+	return s.AppendBinary(make([]byte, 0, 1<<16))
+}
+
+// AppendBinary appends the encoding to buf and returns the extended slice —
+// the pooled-buffer path of MarshalBinary. The snapshot store and the
+// cluster worker's snapshot-serve path reuse encode buffers across calls,
+// so the ~1 MiB encoding does not allocate per spill or per fetch.
+func (s *Snapshot) AppendBinary(buf []byte) ([]byte, error) {
+	w := wire.NewWriterBuf(buf)
 	w.Raw([]byte(snapshotMagic))
 	w.U16(snapshotVersion)
 	w.U64(s.hash)

@@ -821,10 +821,13 @@ func AESLeakEval(ctx context.Context, opts Options, trials int, noise float64) (
 		if shareWarm && b != nil {
 			if e, ok := warm.getOrFetch(warmK); ok {
 				we = e
+				// RecycleRestore instead of Recycle-then-restore: the fused
+				// operation preserves each lane's restore-sync with the shared
+				// snapshot, so from the second group on a lane rewinds by
+				// copying only what its previous trial touched.
 				for t := lo; t < hi; t++ {
-					b.Lane(t - lo).Recycle(trialCPU(t, 0))
+					b.Lane(t-lo).RecycleRestore(trialCPU(t, 0), e.snap)
 				}
-				b.RestoreAll(e.snap)
 			}
 		}
 		for t := lo; t < hi; t++ {

@@ -318,6 +318,61 @@ func TestAESGridSweepPlannerStoreByteIdentical(t *testing.T) {
 	}
 }
 
+// TestAESGridSweepStoreUsesDeltaChains: spilling a multi-seed grid through
+// the real store must persist later cells of each warm-key class as delta
+// entries (the tentpole's on-disk reduction), stay fully loadable, and
+// degrade to all-full-blob spills when delta persistence is toggled off.
+func TestAESGridSweepStoreUsesDeltaChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	ctx := context.Background()
+	archs := []bpu.Config{bpu.AlderLake}
+	seeds := []int64{31, 32}
+
+	sweep := func(t *testing.T, dir string) *snapstore.Store {
+		t.Helper()
+		s, err := snapstore.Open(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm.reset()
+		SetSnapStore(s)
+		t.Cleanup(func() { SetSnapStore(nil) })
+		if _, err := AESGridSweep(ctx, Options{WarmCache: WarmCacheOn, Planner: PlannerOn}, 2, archs, seeds, nil); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s := sweep(t, t.TempDir())
+	var full, delta int
+	for _, e := range s.Entries() {
+		if e.Delta {
+			delta++
+		} else {
+			full++
+		}
+	}
+	if full == 0 || delta == 0 {
+		t.Fatalf("store holds %d full / %d delta entries; a two-seed grid must chain (full anchors plus deltas)", full, delta)
+	}
+	for _, e := range s.Entries() {
+		if _, _, ok := s.Load(e.Key); !ok {
+			t.Fatalf("entry %q unloadable (delta=%v base=%q)", e.Key, e.Delta, e.Base)
+		}
+	}
+
+	SetStoreDeltaEnabled(false)
+	defer SetStoreDeltaEnabled(true)
+	s2 := sweep(t, t.TempDir())
+	for _, e := range s2.Entries() {
+		if e.Delta {
+			t.Fatalf("entry %q stored as a delta with delta persistence disabled", e.Key)
+		}
+	}
+}
+
 // TestAESNoiseSweepPlannerByteIdentical: the ladder shares one phase-1
 // prefix; routed through the planner it must reproduce the naive report.
 func TestAESNoiseSweepPlannerByteIdentical(t *testing.T) {

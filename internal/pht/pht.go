@@ -61,9 +61,20 @@ func WeakFor(taken bool) Counter {
 // BaseIndexBits is the PC width indexing the base predictor (PC[12:0]).
 const BaseIndexBits = 13
 
+// baseBankShift groups base counters into 64-entry banks for dirty
+// tracking: 8192 counters → 128 banks → two bitmap words. A trial trains a
+// handful of PCs, so a dirty-aware restore copies a few 64-byte banks
+// instead of the whole array.
+const baseBankShift = 6
+
 // BaseTable is the PC-indexed base (local) predictor, Table 0 in Figure 3.
 type BaseTable struct {
 	ctr []Counter
+
+	// dirty has one bit per 64-counter bank, raised by Update/Reset and
+	// consumed (and cleared) by RestoreDirty. Conservative superset of banks
+	// differing from the last restored state.
+	dirty [(1 << BaseIndexBits) >> baseBankShift / 64]uint64
 }
 
 // NewBase returns a base predictor with all counters at the weak not-taken
@@ -90,12 +101,17 @@ func (b *BaseTable) Counter(pc uint64) Counter { return b.ctr[b.Index(pc)] }
 // Update trains the base counter for pc with one outcome.
 func (b *BaseTable) Update(pc uint64, taken bool) {
 	i := b.Index(pc)
+	bank := i >> baseBankShift
+	b.dirty[bank>>6] |= 1 << (bank & 63)
 	b.ctr[i] = b.ctr[i].Update(taken)
 }
 
 // Reset returns every counter to the weak not-taken state (used by the
 // mitigation experiments; on hardware this costs ~100k branches, §10.2).
 func (b *BaseTable) Reset() {
+	for i := range b.dirty {
+		b.dirty[i] = ^uint64(0)
+	}
 	for i := range b.ctr {
 		b.ctr[i] = WeakFor(false)
 	}
@@ -154,6 +170,13 @@ type TaggedTable struct {
 	// all. Entries are pure functions of their key and so never need
 	// invalidation; Reset clears them only for hygiene.
 	locMemos [locSlots]locMemo
+
+	// dirty has one bit per set. A set is marked when an entry pointer
+	// escapes via lookupAt (the bpu layer mutates Ctr/Useful through it),
+	// when allocateAt touches it (a failed allocation still decrements
+	// usefulness), and on the bulk mutators. RestoreDirty copies only the
+	// marked sets.
+	dirty [Sets / 64]uint64
 }
 
 // locSlots sizes the per-table locate memo: loops with up to locSlots
@@ -237,9 +260,13 @@ func (t *TaggedTable) LookupReg(pc uint64, r *phr.Reg) (*Entry, bool) {
 }
 
 func (t *TaggedTable) lookupAt(idx, tag uint32) (*Entry, bool) {
-	set := &t.sets[idx&(Sets-1)]
+	si := idx & (Sets - 1)
+	set := &t.sets[si]
 	for w := range set {
 		if set[w].Valid && set[w].Tag == tag {
+			// The returned pointer escapes to the bpu layer, which trains
+			// Ctr/Useful through it; a hit must therefore be assumed a write.
+			t.dirty[si>>6] |= 1 << (si & 63)
 			return &set[w], true
 		}
 	}
@@ -263,7 +290,9 @@ func (t *TaggedTable) AllocateReg(pc uint64, r *phr.Reg, taken bool) bool {
 }
 
 func (t *TaggedTable) allocateAt(idx, tag uint32, taken bool) bool {
-	set := &t.sets[idx&(Sets-1)]
+	si := idx & (Sets - 1)
+	t.dirty[si>>6] |= 1 << (si & 63) // a failed allocate still decays Useful
+	set := &t.sets[si]
 	victim := -1
 	for w := range set {
 		if !set[w].Valid {
@@ -294,6 +323,9 @@ func (t *TaggedTable) allocateAt(idx, tag uint32, taken bool) bool {
 // DecayUseful halves every usefulness counter — the periodic TAGE aging
 // that keeps long-lived entries evictable.
 func (t *TaggedTable) DecayUseful() {
+	for i := range t.dirty {
+		t.dirty[i] = ^uint64(0)
+	}
 	for s := range t.sets {
 		for w := range t.sets[s] {
 			t.sets[s][w].Useful >>= 1
@@ -303,6 +335,9 @@ func (t *TaggedTable) DecayUseful() {
 
 // Reset invalidates every entry (PHT flush mitigation, §10.2).
 func (t *TaggedTable) Reset() {
+	for i := range t.dirty {
+		t.dirty[i] = ^uint64(0)
+	}
 	for s := range t.sets {
 		for w := range t.sets[s] {
 			t.sets[s][w] = Entry{}

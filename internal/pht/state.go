@@ -1,5 +1,7 @@
 package pht
 
+import "math/bits"
+
 // Snapshot state for the checkpoint layer (internal/cpu.Machine.Snapshot):
 // flat copies of the base and tagged tables with no per-entry allocation.
 // Save reuses the destination's backing storage, Restore panics on a
@@ -23,6 +25,26 @@ func (b *BaseTable) Restore(s *BaseState) {
 		panic("pht: restore base state with mismatched geometry")
 	}
 	copy(b.ctr, s.ctr)
+	b.dirty = [len(b.dirty)]uint64{}
+}
+
+// RestoreDirty copies only the 64-counter banks whose dirty bit is raised,
+// then clears the bits. Correct only when every clean bank already matches
+// s (the cpu layer's snapshot-hash sync check guarantees this); then it is
+// bit-identical to a full Restore.
+func (b *BaseTable) RestoreDirty(s *BaseState) {
+	if len(s.ctr) != len(b.ctr) {
+		panic("pht: restore base state with mismatched geometry")
+	}
+	for wi, w := range b.dirty {
+		for w != 0 {
+			bank := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			lo := bank << baseBankShift
+			copy(b.ctr[lo:lo+1<<baseBankShift], s.ctr[lo:lo+1<<baseBankShift])
+		}
+		b.dirty[wi] = 0
+	}
 }
 
 // Hash folds the saved counters into h.
@@ -58,6 +80,26 @@ func (t *TaggedTable) Restore(s *TaggedState) {
 		panic("pht: restore tagged state with mismatched history length")
 	}
 	t.sets = s.sets
+	t.memoOK = false
+	t.dirty = [Sets / 64]uint64{}
+}
+
+// RestoreDirty copies only the sets whose dirty bit is raised, then clears
+// the bits; the fold memo drops exactly as in Restore (locMemos survive —
+// they are pure functions of their keys). Correct only when every clean set
+// already matches s, per the cpu layer's snapshot-hash sync check.
+func (t *TaggedTable) RestoreDirty(s *TaggedState) {
+	if s.histLen != t.HistLen {
+		panic("pht: restore tagged state with mismatched history length")
+	}
+	for wi, w := range t.dirty {
+		for w != 0 {
+			si := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			t.sets[si] = s.sets[si]
+		}
+		t.dirty[wi] = 0
+	}
 	t.memoOK = false
 }
 

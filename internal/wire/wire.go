@@ -33,6 +33,13 @@ func NewWriter(n int) *Writer {
 	return &Writer{buf: make([]byte, 0, n)}
 }
 
+// NewWriterBuf returns a writer that appends to buf, reusing its capacity —
+// the pooled-buffer spelling of NewWriter. Callers that want a fresh
+// encoding pass buf[:0].
+func NewWriterBuf(buf []byte) *Writer {
+	return &Writer{buf: buf}
+}
+
 // Bytes returns the accumulated encoding.
 func (w *Writer) Bytes() []byte { return w.buf }
 
